@@ -1,0 +1,159 @@
+// Ablation: correlated failures and physical placement (§2.1). The paper
+// assumes independent failures and sketches two remedies for correlated
+// (whole-node) crashes: random tree renumbering, or structuring the ring so
+// co-located processes sit far apart. This bench quantifies both: one or
+// more full nodes crash, and we compare block / striped / random placements
+// of ranks onto nodes.
+// Expected shape: block placement produces gaps >= node_size (correction
+// time grows with node_size); striped keeps every gap at 1; random sits in
+// between.
+
+#include "bench_common.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "topology/hierarchical.hpp"
+#include "topology/placement.hpp"
+
+namespace {
+
+using namespace ct;
+
+struct Row {
+  support::Samples max_gap;
+  support::Samples correction_time;
+  std::int64_t uncolored_runs = 0;
+};
+
+Row run_placement(const bench::BenchEnv& env, topo::Placement placement,
+                  topo::Rank node_size, topo::Rank failed_nodes) {
+  const topo::Tree tree = topo::make_binomial_interleaved(env.procs);
+  const sim::LogP params = env.logp(env.procs);
+  const sim::Time sync = proto::fault_free_dissemination_time(tree, params);
+
+  Row row;
+  for (std::size_t rep = 0; rep < env.reps; ++rep) {
+    const std::uint64_t seed = support::derive_seed(env.seed, rep);
+    const auto ranks = topo::make_placement(env.procs, node_size, placement, seed);
+    support::Xoshiro256ss rng(seed);
+    const sim::FaultSet faults =
+        sim::FaultSet::correlated_nodes(ranks, node_size, failed_nodes, rng);
+
+    proto::CorrectionConfig correction;
+    correction.kind = proto::CorrectionKind::kChecked;
+    correction.start = proto::CorrectionStart::kSynchronized;
+    correction.sync_time = sync;
+    proto::CorrectedTreeBroadcast broadcast(tree, correction);
+    sim::Simulator simulator(params, faults);
+    const sim::RunResult result = simulator.run(broadcast);
+    row.max_gap.add(static_cast<double>(result.dissemination_gaps.max_gap));
+    row.correction_time.add(static_cast<double>(result.correction_time()));
+    row.uncolored_runs += !result.fully_colored();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::make_env(argc, argv, /*procs=*/4096, /*reps=*/60);
+  bench::print_header(
+      env, "Ablation — correlated node failures vs rank placement (§2.1)",
+      "not evaluated in the paper (§2.1 sketches the remedies)",
+      "block placement: g_max >= node_size, correction time grows with it; "
+      "striped: g_max stays 1; random in between");
+
+  support::Table table({"placement", "node size", "failed nodes", "gmax mean",
+                        "gmax max", "corr.time mean", "uncolored runs"});
+  for (topo::Rank node_size : {4, 8, 16}) {
+    for (topo::Rank failed_nodes : {1, 3}) {
+      for (auto placement : {topo::Placement::kBlock, topo::Placement::kStriped,
+                             topo::Placement::kRandom}) {
+        const Row row = run_placement(env, placement, node_size, failed_nodes);
+        table.add_row({topo::placement_name(placement), support::fmt_int(node_size),
+                       support::fmt_int(failed_nodes),
+                       support::fmt(row.max_gap.mean(), 1),
+                       support::fmt(row.max_gap.max(), 0),
+                       support::fmt(row.correction_time.mean(), 1),
+                       support::fmt_int(row.uncolored_runs)});
+      }
+      table.add_separator();
+    }
+  }
+  bench::emit(env, table);
+
+  // --- Part 2: the locality side of the coin (§6). Under a two-level
+  // latency model the ring-friendly choices cost dissemination speed:
+  // tree numbering x placement is a genuine trade-off, with the
+  // hierarchical (node-aware) tree as the locality-extreme point.
+  const topo::Rank node_size = 8;
+  const sim::LogP params = [&] {
+    sim::LogP p = env.logp(env.procs);
+    p.L = 6;  // make inter/intra contrast visible (L_intra = 1)
+    return p;
+  }();
+
+  struct Combo {
+    std::string label;
+    topo::Tree tree;
+    topo::Placement placement;
+  };
+  std::vector<Combo> combos;
+  combos.push_back({"interleaved + striped",
+                    topo::make_binomial_interleaved(env.procs),
+                    topo::Placement::kStriped});
+  combos.push_back({"interleaved + block", topo::make_binomial_interleaved(env.procs),
+                    topo::Placement::kBlock});
+  combos.push_back({"in-order + block", topo::make_binomial_inorder(env.procs),
+                    topo::Placement::kBlock});
+  combos.push_back({"hierarchical + block",
+                    topo::make_hierarchical(env.procs, node_size,
+                                            topo::parse_tree_spec("binomial")),
+                    topo::Placement::kBlock});
+
+  support::Table locality_table({"numbering + placement", "dissemination",
+                                 "corr.time after node crash", "gmax"});
+  for (const Combo& combo : combos) {
+    const auto rank_of_pid =
+        topo::make_placement(env.procs, node_size, combo.placement, env.seed);
+    sim::Locality locality;
+    locality.L_intra = 1;
+    locality.node_of_rank.resize(static_cast<std::size_t>(env.procs));
+    for (std::size_t pid = 0; pid < rank_of_pid.size(); ++pid) {
+      locality.node_of_rank[static_cast<std::size_t>(rank_of_pid[pid])] =
+          static_cast<std::int32_t>(pid / static_cast<std::size_t>(node_size));
+    }
+
+    // Fault-free dissemination latency under the two-level model.
+    proto::CorrectionConfig none;
+    none.kind = proto::CorrectionKind::kNone;
+    proto::CorrectedTreeBroadcast bare(combo.tree, none);
+    sim::Simulator fast(params, sim::FaultSet::none(env.procs), locality);
+    const sim::Time dissemination = fast.run(bare).coloring_latency;
+
+    // Correction cost after one node crash (mean over reps).
+    support::Samples corr_time;
+    support::Samples gmax;
+    for (std::size_t rep = 0; rep < std::min<std::size_t>(env.reps, 20); ++rep) {
+      support::Xoshiro256ss rng(support::derive_seed(env.seed, rep));
+      const sim::FaultSet faults =
+          sim::FaultSet::correlated_nodes(rank_of_pid, node_size, 1, rng);
+      proto::CorrectionConfig checked;
+      checked.kind = proto::CorrectionKind::kChecked;
+      checked.start = proto::CorrectionStart::kSynchronized;
+      checked.sync_time = dissemination;
+      proto::CorrectedTreeBroadcast broadcast(combo.tree, checked);
+      sim::Simulator simulator(params, faults, locality);
+      const sim::RunResult result = simulator.run(broadcast);
+      corr_time.add(static_cast<double>(result.correction_time()));
+      gmax.add(static_cast<double>(result.dissemination_gaps.max_gap));
+    }
+    locality_table.add_row({combo.label, support::fmt_int(dissemination),
+                            support::fmt(corr_time.mean(), 1),
+                            support::fmt(gmax.mean(), 1)});
+  }
+  if (!env.csv) {
+    std::cout << "--- with two-level latency (L_intra=1, L=" << params.L
+              << "), node size " << node_size << " ---\n";
+  }
+  bench::emit(env, locality_table);
+  return 0;
+}

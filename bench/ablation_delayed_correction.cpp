@@ -1,0 +1,74 @@
+// Ablation: delayed correction (§3.3 — described in the paper but not
+// evaluated there: "We do not evaluate delayed correction further, because
+// the appropriate delay is application-specific"). This bench fills that
+// gap: message floor and latency of delayed correction vs checked and
+// optimized opportunistic, fault-free and under faults, over a delay sweep.
+// Expectation from §3.3: one message per process fault-free (the "Minimum"
+// line of Fig. 6); failures trade that economy for extra latency, more so
+// for shorter delays (premature probing) and longer delays (late recovery).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ct;
+
+exp::Aggregate run(const bench::BenchEnv& env, proto::CorrectionKind kind,
+                   sim::Time delay, double fault_rate, std::size_t reps) {
+  exp::Scenario scenario;
+  scenario.params = env.logp(env.procs);
+  scenario.tree = topo::parse_tree_spec("binomial");
+  scenario.correction.kind = kind;
+  scenario.correction.start = proto::CorrectionStart::kSynchronized;
+  scenario.correction.delay = delay;
+  scenario.correction.distance = 4;
+  scenario.fault_fraction = fault_rate;
+  const support::ThreadPool pool;
+  return exp::run_replicated(scenario, reps, env.seed, &pool);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::make_env(argc, argv, /*procs=*/8192, /*reps=*/100);
+  bench::print_header(
+      env, "Ablation — delayed correction (delay sweep vs checked/opportunistic)",
+      "not evaluated in the paper (§3.3 describes the algorithm only)",
+      "fault-free messages/process: delayed = 2.0 (tree + 1), checked = 6.0, "
+      "opportunistic(4) in between; under faults delayed pays latency");
+
+  const sim::Time unit = env.logp(env.procs).message_cost();  // 2o+L
+  support::Table table(
+      {"correction", "faults", "latency mean", "latency p95", "msgs/proc", "uncolored runs"});
+
+  for (double rate : {0.0, 0.01}) {
+    const std::size_t reps = rate == 0.0 ? 1 : env.reps;
+    for (sim::Time delay_mult : {2, 4, 8}) {
+      const exp::Aggregate agg =
+          run(env, proto::CorrectionKind::kDelayed, delay_mult * unit, rate, reps);
+      table.add_row({"delayed x" + std::to_string(delay_mult),
+                     support::fmt(rate * 100, 1) + "%",
+                     support::fmt(agg.quiescence_latency.mean(), 1),
+                     support::fmt(agg.quiescence_latency.percentile(0.95), 1),
+                     support::fmt(agg.messages_per_process.mean(), 2),
+                     support::fmt_int(agg.not_fully_colored)});
+    }
+    const exp::Aggregate checked =
+        run(env, proto::CorrectionKind::kChecked, 0, rate, reps);
+    table.add_row({"checked", support::fmt(rate * 100, 1) + "%",
+                   support::fmt(checked.quiescence_latency.mean(), 1),
+                   support::fmt(checked.quiescence_latency.percentile(0.95), 1),
+                   support::fmt(checked.messages_per_process.mean(), 2),
+                   support::fmt_int(checked.not_fully_colored)});
+    const exp::Aggregate opportunistic =
+        run(env, proto::CorrectionKind::kOptimizedOpportunistic, 0, rate, reps);
+    table.add_row({"opportunistic d=4", support::fmt(rate * 100, 1) + "%",
+                   support::fmt(opportunistic.quiescence_latency.mean(), 1),
+                   support::fmt(opportunistic.quiescence_latency.percentile(0.95), 1),
+                   support::fmt(opportunistic.messages_per_process.mean(), 2),
+                   support::fmt_int(opportunistic.not_fully_colored)});
+    table.add_separator();
+  }
+  bench::emit(env, table);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+// Shared plumbing for the figure/table benches. Every bench binary:
+//  * prints what it reproduces and at which scale,
+//  * honours --procs/--reps/--seed (and CT_PROCS/CT_REPS/CT_SEED) so the
+//    default quick run and the full paper-scale run use the same code,
+//  * prints a table of the same series the paper plots, plus the paper's
+//    qualitative expectation so EXPERIMENTS.md can record shape-vs-shape,
+//  * supports --csv for machine-readable output.
+
+#include <iostream>
+#include <string>
+
+#include "experiment/runner.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace ct::bench {
+
+struct BenchEnv {
+  support::Options options;
+  topo::Rank procs;
+  std::size_t reps;
+  std::uint64_t seed;
+  bool csv = false;
+
+  /// LogP parameters used throughout the paper's simulations (§4: L = 2,
+  /// o = 1, "corresponds to the range of LogP parameters measured on real
+  /// systems").
+  sim::LogP logp(topo::Rank num_procs) const { return sim::LogP{2, 1, 1, num_procs}; }
+};
+
+inline BenchEnv make_env(int argc, char** argv, topo::Rank default_procs,
+                         std::size_t default_reps) {
+  BenchEnv env;
+  env.options = support::Options(argc, argv);
+  env.procs = static_cast<topo::Rank>(env.options.get_int("procs", default_procs));
+  env.reps = static_cast<std::size_t>(
+      env.options.get_int("reps", static_cast<std::int64_t>(default_reps)));
+  env.seed = static_cast<std::uint64_t>(env.options.get_int("seed", 0x5eed5eed));
+  env.csv = env.options.get_flag("csv");
+  return env;
+}
+
+inline void print_header(const BenchEnv& env, const std::string& what,
+                         const std::string& paper_setup,
+                         const std::string& expectation) {
+  if (env.csv) return;
+  std::cout << "=== " << what << " ===\n"
+            << "paper setup : " << paper_setup << "\n"
+            << "this run    : P = " << env.procs << ", reps = " << env.reps
+            << ", seed = " << env.seed
+            << "  (scale with --procs/--reps or CT_PROCS/CT_REPS)\n"
+            << "paper shape : " << expectation << "\n\n";
+}
+
+inline void emit(const BenchEnv& env, const support::Table& table) {
+  if (env.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace ct::bench

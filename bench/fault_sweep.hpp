@@ -1,0 +1,77 @@
+#pragma once
+// Shared fault-injection sweep for Figures 8-10 and Table 1: the paper runs
+// the same experiment (64 Ki processes, fault rates 0.01 % ... 4 %, all tree
+// types plus gossip, sync checked correction) and reads different metrics
+// off it.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "protocol/gossip_tuning.hpp"
+
+namespace ct::bench {
+
+inline const std::vector<double>& fault_rates() {
+  static const std::vector<double> rates{0.0001, 0.001, 0.01, 0.02, 0.04};
+  return rates;
+}
+
+inline std::string rate_label(double rate) {
+  return support::fmt(rate * 100.0, rate < 0.001 ? 2 : (rate < 0.01 ? 1 : 0)) + "%";
+}
+
+inline const std::vector<std::string>& sweep_trees() {
+  static const std::vector<std::string> trees{"binomial", "kary:4", "lame:2", "optimal"};
+  return trees;
+}
+
+/// Aggregates for every tree at every fault rate (sync checked correction).
+inline std::map<std::pair<std::string, double>, exp::Aggregate> run_tree_fault_sweep(
+    const BenchEnv& env) {
+  const support::ThreadPool pool;
+  std::map<std::pair<std::string, double>, exp::Aggregate> results;
+  for (const std::string& tree : sweep_trees()) {
+    for (double rate : fault_rates()) {
+      exp::Scenario scenario;
+      scenario.params = env.logp(env.procs);
+      scenario.tree = topo::parse_tree_spec(tree);
+      scenario.correction.kind = proto::CorrectionKind::kChecked;
+      scenario.correction.start = proto::CorrectionStart::kSynchronized;
+      scenario.fault_fraction = rate;
+      results.emplace(std::make_pair(tree, rate),
+                      exp::run_replicated(scenario, env.reps, env.seed, &pool));
+    }
+  }
+  return results;
+}
+
+/// Gossip aggregates per fault rate (checked correction, latency-tuned
+/// gossip time; fewer replications — gossip runs are much more expensive).
+inline std::map<double, exp::Aggregate> run_gossip_fault_sweep(const BenchEnv& env,
+                                                               std::size_t reps) {
+  const sim::LogP params = env.logp(env.procs);
+  proto::CorrectionConfig checked;
+  checked.kind = proto::CorrectionKind::kChecked;
+  const proto::GossipTuneResult tuned =
+      proto::tune_gossip_for_latency(params, checked, /*reps=*/3, env.seed);
+
+  const support::ThreadPool pool;
+  std::map<double, exp::Aggregate> results;
+  for (double rate : fault_rates()) {
+    exp::Scenario scenario;
+    scenario.params = params;
+    scenario.protocol = exp::ProtocolKind::kGossip;
+    scenario.gossip.budget = proto::GossipConfig::Budget::kTime;
+    scenario.gossip.gossip_time = tuned.gossip_time;
+    scenario.gossip.correction = checked;
+    scenario.gossip.correction.start = proto::CorrectionStart::kSynchronized;
+    scenario.gossip.correction.sync_time = tuned.gossip_time;
+    scenario.fault_fraction = rate;
+    results.emplace(rate, exp::run_replicated(scenario, reps, env.seed, &pool));
+  }
+  return results;
+}
+
+}  // namespace ct::bench

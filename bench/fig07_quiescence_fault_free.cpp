@@ -1,0 +1,81 @@
+// Figure 7: quiescence latency in the fault-free case, P = 2^10 ... 2^19.
+// Series: {Binomial, Lamé, Optimal} x {acknowledged tree, corrected tree
+// (sync checked)} and checked Corrected Gossip (5 %/95 % ribbon).
+// Paper shape: ack trees are the slowest (tree traversed twice); corrected
+// trees pay a constant 8-step correction on top of one-way dissemination;
+// gossip lands between binomial(corr) and lame(corr); optimal < lame < binomial.
+
+#include "bench_common.hpp"
+#include "protocol/gossip_tuning.hpp"
+
+namespace {
+
+using namespace ct;
+
+double tree_latency(const bench::BenchEnv& env, topo::Rank procs, const std::string& tree,
+                    bool acked) {
+  exp::Scenario scenario;
+  scenario.params = env.logp(procs);
+  scenario.tree = topo::parse_tree_spec(tree);
+  if (acked) {
+    scenario.protocol = exp::ProtocolKind::kAckTree;
+  } else {
+    scenario.correction.kind = proto::CorrectionKind::kChecked;
+    scenario.correction.start = proto::CorrectionStart::kSynchronized;
+  }
+  return static_cast<double>(exp::run_once(scenario, env.seed).quiescence_latency);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --procs here is the LARGEST process count of the sweep.
+  const bench::BenchEnv env = bench::make_env(argc, argv, /*procs=*/16384, /*reps=*/5);
+  bench::print_header(
+      env, "Figure 7 — quiescence latency vs process count, fault-free",
+      "P = 2^10 .. 2^19; trees with acknowledgments vs corrected trees vs "
+      "checked Corrected Gossip",
+      "ack > corrected for every tree; binomial > lame > optimal; gossip sits "
+      "between binomial(corr) and lame(corr); corrected tree == dissemination + 8");
+
+  support::Table table({"P", "binom(ack)", "lame(ack)", "opt(ack)", "binom(corr)",
+                        "lame(corr)", "opt(corr)", "gossip p50", "gossip p5",
+                        "gossip p95"});
+
+  for (topo::Rank procs = 1024; procs <= env.procs; procs *= 2) {
+    std::vector<std::string> cells{support::fmt_int(procs)};
+    for (bool acked : {true, false}) {
+      for (const char* tree : {"binomial", "lame:2", "optimal"}) {
+        cells.push_back(support::fmt(tree_latency(env, procs, tree, acked), 0));
+      }
+    }
+
+    // Checked Corrected Gossip with latency-tuned gossip time (paper: "for
+    // each process count, we empirically found gossiping time with a
+    // minimum average latency in the fault-free case").
+    const sim::LogP params = env.logp(procs);
+    proto::CorrectionConfig checked;
+    checked.kind = proto::CorrectionKind::kChecked;
+    const proto::GossipTuneResult tuned =
+        proto::tune_gossip_for_latency(params, checked, /*reps=*/3, env.seed);
+    support::Samples gossip;
+    for (std::size_t rep = 0; rep < env.reps; ++rep) {
+      exp::Scenario scenario;
+      scenario.params = params;
+      scenario.protocol = exp::ProtocolKind::kGossip;
+      scenario.gossip.budget = proto::GossipConfig::Budget::kTime;
+      scenario.gossip.gossip_time = tuned.gossip_time;
+      scenario.gossip.correction = checked;
+      scenario.gossip.correction.start = proto::CorrectionStart::kSynchronized;
+      scenario.gossip.correction.sync_time = tuned.gossip_time;
+      gossip.add(static_cast<double>(
+          exp::run_once(scenario, support::derive_seed(env.seed, rep)).quiescence_latency));
+    }
+    cells.push_back(support::fmt(gossip.median(), 0));
+    cells.push_back(support::fmt(gossip.percentile(0.05), 0));
+    cells.push_back(support::fmt(gossip.percentile(0.95), 0));
+    table.add_row(cells);
+  }
+  bench::emit(env, table);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Engineering micro-benchmarks (google-benchmark): simulator event
+// throughput, tree construction (constructive builder vs closed formula),
+// gap analysis and the PRNG — the hot paths behind the replicated sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "experiment/runner.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "topology/factory.hpp"
+#include "topology/gaps.hpp"
+
+namespace {
+
+using namespace ct;
+
+void BM_SimulateBroadcast(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  const sim::LogP params{2, 1, 1, procs};
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kSynchronized;
+  config.sync_time = proto::fault_free_dissemination_time(tree, params);
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    proto::CorrectedTreeBroadcast protocol(tree, config);
+    sim::Simulator simulator(params, sim::FaultSet::none(procs));
+    messages = simulator.run(protocol).total_messages;
+    benchmark::DoNotOptimize(messages);
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+  state.SetLabel("messages/iter=" + std::to_string(messages));
+}
+BENCHMARK(BM_SimulateBroadcast)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_SimulateWithFaults(benchmark::State& state) {
+  const topo::Rank procs = 8192;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  const sim::LogP params{2, 1, 1, procs};
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kSynchronized;
+  config.sync_time = proto::fault_free_dissemination_time(tree, params);
+  support::Xoshiro256ss rng(7);
+  for (auto _ : state) {
+    proto::CorrectedTreeBroadcast protocol(tree, config);
+    sim::Simulator simulator(
+        params, sim::FaultSet::random_fraction(procs, 0.02, rng));
+    benchmark::DoNotOptimize(simulator.run(protocol).quiescence_latency);
+  }
+}
+BENCHMARK(BM_SimulateWithFaults);
+
+void BM_TreeConstructive(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  for (auto _ : state) {
+    const topo::Tree tree = topo::make_lame(procs, 2);
+    benchmark::DoNotOptimize(tree.height());
+  }
+}
+BENCHMARK(BM_TreeConstructive)->Arg(1024)->Arg(65536);
+
+void BM_TreeChildrenFormula(benchmark::State& state) {
+  // The Eq. 2 closed form per rank, summed over the whole tree — the
+  // alternative to materialising (DESIGN.md decision 2).
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (topo::Rank r = 0; r < procs; ++r) {
+      total += topo::lame_children_formula(r, procs, 2).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_TreeChildrenFormula)->Arg(1024);
+
+void BM_GapAnalysis(benchmark::State& state) {
+  const auto procs = static_cast<std::size_t>(state.range(0));
+  std::vector<char> colored(procs, 1);
+  support::Xoshiro256ss rng(3);
+  for (std::size_t i = 0; i < procs / 50; ++i) colored[rng.below(procs)] = 0;
+  colored[0] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::analyze_gaps(colored).max_gap);
+  }
+}
+BENCHMARK(BM_GapAnalysis)->Arg(65536);
+
+void BM_Rng(benchmark::State& state) {
+  support::Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(65536));
+  }
+}
+BENCHMARK(BM_Rng);
+
+void BM_FaultSampling(benchmark::State& state) {
+  support::Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::FaultSet::random_count(65536, 655, rng).failed_count());
+  }
+}
+BENCHMARK(BM_FaultSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

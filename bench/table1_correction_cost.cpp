@@ -1,0 +1,46 @@
+// Table 1: cost of correction under faults, aggregated over ALL tree types.
+// Columns: g_max and L_SCC at the 99 %, 99.9 % percentiles and maximum, one
+// row per fault rate. Paper values (64 Ki processes, 1e5 runs per config):
+//
+//   F(%)   g_max 99/99.9/max    L_SCC 99/99.9/max
+//   0.01        1 /  2 /  3          10 / 12 / 14
+//   0.1         2 /  3 /  6          12 / 13 / 16
+//   1           5 /  7 / 19          16 / 19 / 32
+//   2           8 / 11 / 35          19 / 24 / 56
+//   4          13 / 20 / 55          26 / 34 / 86
+//
+// (no faults: g_max = 0 and L_SCC = 8)
+
+#include "fault_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ct;
+  const bench::BenchEnv env = bench::make_env(argc, argv, /*procs=*/8192, /*reps=*/100);
+  bench::print_header(
+      env, "Table 1 — g_max and correction latency percentiles per fault rate",
+      "aggregated over binomial, 4-ary, Lamé and optimal trees",
+      "both g_max and L_SCC grow with the fault rate; tails (max) grow much "
+      "faster than the 99 % percentile");
+
+  const auto sweep = bench::run_tree_fault_sweep(env);
+
+  support::Table table({"F (%)", "gmax p99", "gmax p99.9", "gmax max", "Lscc p99",
+                        "Lscc p99.9", "Lscc max"});
+  for (double rate : bench::fault_rates()) {
+    // Aggregate across tree types, as the paper's table does.
+    support::Samples gaps;
+    support::Samples times;
+    for (const std::string& tree : bench::sweep_trees()) {
+      const exp::Aggregate& agg = sweep.at({tree, rate});
+      gaps.merge(agg.max_gap);
+      times.merge(agg.correction_time);
+    }
+    table.add_row({bench::rate_label(rate), support::fmt(gaps.percentile(0.99), 0),
+                   support::fmt(gaps.percentile(0.999), 0), support::fmt(gaps.max(), 0),
+                   support::fmt(times.percentile(0.99), 0),
+                   support::fmt(times.percentile(0.999), 0),
+                   support::fmt(times.max(), 0)});
+  }
+  bench::emit(env, table);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Dissemination dynamics: how many processes are colored at each instant —
+// the mechanism behind §4.1's observation that "gossip shows low latency,
+// as it sends more messages and keeps significantly more processes busy
+// during the dissemination, whereas processes relying on trees mostly send
+// few messages before becoming silent".
+//
+// Prints ASCII coloring curves (time -> colored fraction) for a binomial
+// corrected tree, the optimal tree and Corrected Gossip.
+//
+//   $ ./dissemination_dynamics --procs 1024
+
+#include <algorithm>
+#include <iostream>
+
+#include "protocol/gossip_broadcast.hpp"
+#include "protocol/gossip_tuning.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "sim/simulator.hpp"
+#include "support/options.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ct;
+
+/// colored(t) curve derived from per-rank coloring times.
+std::vector<int> coloring_curve(const sim::RunResult& result, sim::Time horizon) {
+  std::vector<int> curve(static_cast<std::size_t>(horizon) + 1, 0);
+  for (sim::Time t : result.colored_at) {
+    if (t == sim::kTimeNever) continue;
+    for (sim::Time i = t; i <= horizon; ++i) ++curve[static_cast<std::size_t>(i)];
+  }
+  return curve;
+}
+
+void print_curve(const std::string& name, const std::vector<int>& curve, int procs) {
+  std::cout << name << "\n";
+  const std::size_t step = std::max<std::size_t>(1, curve.size() / 24);
+  for (std::size_t t = 0; t < curve.size(); t += step) {
+    const double fraction = static_cast<double>(curve[t]) / procs;
+    const int bar = static_cast<int>(fraction * 50);
+    std::cout << "  t=" << t << "\t" << std::string(static_cast<std::size_t>(bar), '#')
+              << " " << static_cast<int>(fraction * 100) << "%\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Options options(argc, argv);
+  const auto procs = static_cast<topo::Rank>(options.get_int("procs", 1024));
+  const sim::LogP params{2, 1, 1, procs};
+  sim::RunOptions run_options;
+  run_options.keep_per_rank_detail = true;
+
+  sim::Time horizon = 0;
+  std::vector<std::pair<std::string, sim::RunResult>> runs;
+
+  for (const char* spec : {"binomial", "optimal"}) {
+    const topo::Tree tree = topo::make_tree(topo::parse_tree_spec(spec), procs);
+    proto::CorrectionConfig correction;
+    correction.kind = proto::CorrectionKind::kChecked;
+    correction.start = proto::CorrectionStart::kSynchronized;
+    correction.sync_time = proto::fault_free_dissemination_time(tree, params);
+    proto::CorrectedTreeBroadcast broadcast(tree, correction);
+    sim::Simulator simulator(params, sim::FaultSet::none(procs));
+    runs.emplace_back(std::string("corrected tree (") + spec + ")",
+                      simulator.run(broadcast, run_options));
+  }
+  {
+    proto::CorrectionConfig checked;
+    checked.kind = proto::CorrectionKind::kChecked;
+    const proto::GossipTuneResult tuned =
+        proto::tune_gossip_for_latency(params, checked, 3, 1);
+    proto::GossipConfig config;
+    config.budget = proto::GossipConfig::Budget::kTime;
+    config.gossip_time = tuned.gossip_time;
+    config.correction = checked;
+    config.correction.start = proto::CorrectionStart::kSynchronized;
+    config.correction.sync_time = tuned.gossip_time;
+    proto::CorrectedGossipBroadcast gossip(procs, config);
+    sim::Simulator simulator(params, sim::FaultSet::none(procs));
+    runs.emplace_back("corrected gossip", simulator.run(gossip, run_options));
+  }
+
+  for (const auto& [name, result] : runs) {
+    horizon = std::max(horizon, result.quiescence_latency);
+  }
+  for (const auto& [name, result] : runs) {
+    print_curve(name + "  (quiescent at " + std::to_string(result.quiescence_latency) +
+                    ", " + std::to_string(result.total_messages) + " messages)",
+                coloring_curve(result, horizon), procs);
+  }
+  std::cout << "Note the tree curves' late jump (leaves color in the last level)\n"
+               "versus gossip's early exponential climb bought with extra traffic.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// LogP calibration on the threaded runtime: measures the o and L this host
+// actually delivers (like the logp_mpi / LogfP measurements the paper cites
+// for its simulator parameters) and suggests the matching simulator knobs.
+//
+//   $ ./runtime_logp_fit [--procs 4] [--round-trips 200] [--burst 64]
+
+#include <iostream>
+
+#include "rt/logp_fit.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ct;
+  const support::Options options(argc, argv);
+  const auto procs = static_cast<topo::Rank>(options.get_int("procs", 4));
+  const int round_trips = static_cast<int>(options.get_int("round-trips", 200));
+  const int burst = static_cast<int>(options.get_int("burst", 64));
+
+  rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0));
+  const rt::LogPFit fit = rt::fit_logp(engine, round_trips, burst);
+
+  std::cout << "ping-pong RTT        : " << fit.rtt_ns / 1000.0 << " us\n"
+            << "estimated o          : " << fit.o_ns / 1000.0 << " us\n"
+            << "estimated L          : " << fit.L_ns / 1000.0 << " us\n"
+            << "implied L/o          : " << fit.l_over_o << "\n\n"
+            << "The paper simulates with L = 2, o = 1 (L/o = 2), 'the range of\n"
+            << "LogP parameters measured on real systems'. To model THIS host,\n"
+            << "set sim::LogP{L, o} to the ratio above (scaled to integers).\n";
+  return 0;
+}

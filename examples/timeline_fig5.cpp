@@ -1,0 +1,54 @@
+// Figure 5a, live: "Timeline of a Lamé tree, k = 3, P = 9. L = o = 1 chosen
+// to make the tree optimal for this model." Renders the per-process
+// send/receive timeline of the dissemination, then the same picture for a
+// binomial tree so the different shapes are visible side by side.
+//
+//   $ ./timeline_fig5 [--tree=lame:3] [--procs 9] [--L 1] [--o 1]
+
+#include <iostream>
+
+#include "protocol/tree_broadcast.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
+#include "support/options.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+void show(const ct::topo::Tree& tree, const ct::sim::LogP& params) {
+  using namespace ct;
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast broadcast(tree, none);
+
+  sim::TimelineRecorder recorder(params);
+  sim::RunOptions options;
+  options.trace = recorder.callback();
+  sim::Simulator simulator(params, sim::FaultSet::none(params.P));
+  const sim::RunResult result = simulator.run(broadcast, options);
+
+  std::cout << tree.name() << "  (P = " << params.P << ", L = " << params.L
+            << ", o = " << params.o << "): colored in " << result.coloring_latency
+            << " steps\n"
+            << recorder.render() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ct;
+  const support::Options options(argc, argv);
+  const auto procs = static_cast<topo::Rank>(options.get_int("procs", 9));
+  sim::LogP params{options.get_int("L", 1), options.get_int("o", 1), 0, procs};
+  params.g = params.o;
+
+  const std::string spec = options.get_string("tree", "lame:3");
+  show(topo::make_tree(topo::parse_tree_spec(spec), procs), params);
+
+  if (!options.has("tree")) {
+    // Contrast: the binomial tree under the same model finishes later here
+    // because 2o + L = 3 = k makes the Lamé tree optimal (§3.2.3).
+    show(topo::make_binomial_interleaved(procs), params);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "analysis/bounds.hpp"
+
+#include <stdexcept>
+
+namespace ct::analysis {
+
+sim::Time checked_correction_fault_free_latency(const sim::LogP& params) {
+  params.validate();
+  // Lemma 2, exact form. A process learns to stop its second direction when
+  // the neighbour's second message completes at 3o + L; its last send is the
+  // largest send slot strictly before that, and that message is received
+  // 2o + L later. For o | L this is the paper's 4o + L + (L/o)*o.
+  const sim::Time last_send = params.o * ((3 * params.o + params.L - 1) / params.o);
+  return last_send + 2 * params.o + params.L;
+}
+
+std::int64_t checked_correction_fault_free_messages(const sim::LogP& params) {
+  params.validate();
+  // Corollary 1, exact form: one send per slot up to (exclusive) 3o + L.
+  // For o | L this is the paper's 3 + L/o.
+  return (3 * params.o + params.L - 1) / params.o + 1;
+}
+
+sim::Time checked_correction_latency_lower_bound(const sim::LogP& params,
+                                                 std::int64_t max_gap) {
+  if (max_gap < 0) throw std::invalid_argument("max gap must be >= 0");
+  return checked_correction_fault_free_latency(params) + max_gap * params.o;
+}
+
+sim::Time checked_correction_latency_upper_bound(const sim::LogP& params,
+                                                 std::int64_t max_gap) {
+  if (max_gap < 0) throw std::invalid_argument("max gap must be >= 0");
+  return checked_correction_fault_free_latency(params) + (2 * max_gap + 1) * params.o;
+}
+
+std::int64_t kary_guaranteed_failure_tolerance(int arity) {
+  if (arity < 1) throw std::invalid_argument("arity must be >= 1");
+  return arity - 1;
+}
+
+}  // namespace ct::analysis

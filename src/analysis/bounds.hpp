@@ -1,0 +1,35 @@
+#pragma once
+// Closed-form results of §4.2, §3.2.1 — validated against the simulator by
+// the test suite and drawn as bound lines in the Fig. 10 bench.
+
+#include "sim/logp.hpp"
+
+namespace ct::analysis {
+
+/// Lemma 2: fault-free quiescence latency of synchronized checked
+/// correction. Equals the paper's LFF_SCC = 4o + L + floor(L/o) * o whenever
+/// o divides L (all configurations the paper evaluates); for misaligned
+/// parameters this returns the exact value the protocol achieves (the
+/// paper's floor form undercounts by one partial send slot then).
+sim::Time checked_correction_fault_free_latency(const sim::LogP& params);
+
+/// Corollary 1: fault-free messages per process of synchronized checked
+/// correction. Equals the paper's M_SCC = 3 + floor(L/o) whenever o divides
+/// L; exact for all parameters (ceil instead of floor otherwise).
+std::int64_t checked_correction_fault_free_messages(const sim::LogP& params);
+
+/// Lemma 3, lower bound: LFF_SCC + g_max * o.
+sim::Time checked_correction_latency_lower_bound(const sim::LogP& params,
+                                                 std::int64_t max_gap);
+
+/// Lemma 3, upper bound: LFF_SCC + (2 * g_max + 1) * o.
+sim::Time checked_correction_latency_upper_bound(const sim::LogP& params,
+                                                 std::int64_t max_gap);
+
+/// §3.2.1: a k-ary interleaved tree keeps every k^level-th process colored
+/// under up to k^level - 1 failures at or below that level; equivalently,
+/// up to k - 1 arbitrary failures guarantee a maximum gap below k, so
+/// opportunistic correction with d >= k - 1 (both directions) colors all.
+std::int64_t kary_guaranteed_failure_tolerance(int arity);
+
+}  // namespace ct::analysis

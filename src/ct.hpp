@@ -1,0 +1,50 @@
+#pragma once
+// Umbrella header: the full public API of the corrected-trees library.
+//
+//   #include "ct.hpp"
+//
+//   ct::topo    — trees, rings, gaps, placement        (topology/)
+//   ct::sim     — LogP/LogGP simulator, faults, traces (sim/)
+//   ct::proto   — broadcast/collective protocols       (protocol/)
+//   ct::rt      — threaded message-passing runtime     (rt/)
+//   ct::analysis— closed-form bounds                   (analysis/)
+//   ct::exp     — replicated-experiment driver         (experiment/)
+//   ct::support — RNG, statistics, tables, options     (support/)
+//
+// Individual headers remain includable on their own; this header is a
+// convenience for applications and exploratory code.
+
+#include "analysis/bounds.hpp"
+#include "experiment/runner.hpp"
+#include "protocol/ack_tree.hpp"
+#include "protocol/allreduce.hpp"
+#include "protocol/baselines.hpp"
+#include "protocol/config.hpp"
+#include "protocol/correction.hpp"
+#include "protocol/gossip_broadcast.hpp"
+#include "protocol/gossip_tuning.hpp"
+#include "protocol/reduce.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "rt/engine.hpp"
+#include "rt/harness.hpp"
+#include "rt/logp_fit.hpp"
+#include "sim/faults.hpp"
+#include "sim/logp.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/timeline.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/factory.hpp"
+#include "topology/gaps.hpp"
+#include "topology/hierarchical.hpp"
+#include "topology/interleave.hpp"
+#include "topology/placement.hpp"
+#include "topology/ring.hpp"
+#include "topology/tree.hpp"

@@ -1,0 +1,150 @@
+#include "experiment/runner.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "protocol/ack_tree.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "sim/simulator.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+
+namespace ct::exp {
+
+void Aggregate::add(const sim::RunResult& result) {
+  ++runs;
+  if (result.coloring_latency != sim::kTimeNever) {
+    coloring_latency.add(static_cast<double>(result.coloring_latency));
+  }
+  quiescence_latency.add(static_cast<double>(result.quiescence_latency));
+  messages_per_process.add(result.messages_per_process());
+  if (!result.fully_colored()) {
+    ++not_fully_colored;
+    uncolored_total += result.uncolored_live;
+  }
+  if (result.has_dissemination_snapshot) {
+    max_gap.add(static_cast<double>(result.dissemination_gaps.max_gap));
+    gap_count.add(static_cast<double>(result.dissemination_gaps.gap_count));
+    correction_time.add(static_cast<double>(result.correction_time()));
+  }
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  coloring_latency.merge(other.coloring_latency);
+  quiescence_latency.merge(other.quiescence_latency);
+  messages_per_process.merge(other.messages_per_process);
+  max_gap.merge(other.max_gap);
+  gap_count.merge(other.gap_count);
+  correction_time.merge(other.correction_time);
+  runs += other.runs;
+  not_fully_colored += other.not_fully_colored;
+  uncolored_total += other.uncolored_total;
+}
+
+namespace {
+
+sim::FaultSet make_faults(const Scenario& scenario, support::Xoshiro256ss& rng) {
+  if (scenario.fault_count > 0) {
+    return sim::FaultSet::random_count(scenario.params.P, scenario.fault_count, rng);
+  }
+  if (scenario.fault_fraction > 0.0) {
+    return sim::FaultSet::random_fraction(scenario.params.P, scenario.fault_fraction, rng);
+  }
+  return sim::FaultSet::none(scenario.params.P);
+}
+
+/// Scenario with tree & sync_time resolved; the tree is shared across
+/// replications (simulation only reads it).
+struct Prepared {
+  Scenario scenario;
+  std::unique_ptr<topo::Tree> tree;
+};
+
+Prepared prepare(const Scenario& input) {
+  Prepared prepared{input, nullptr};
+  auto& scenario = prepared.scenario;
+  scenario.params.validate();
+  if (scenario.protocol == ProtocolKind::kGossip) return prepared;
+
+  prepared.tree =
+      std::make_unique<topo::Tree>(topo::make_tree(scenario.tree, scenario.params.P));
+  if (scenario.protocol == ProtocolKind::kCorrectedTree &&
+      scenario.correction.kind != proto::CorrectionKind::kNone &&
+      scenario.correction.start == proto::CorrectionStart::kSynchronized &&
+      scenario.correction.sync_time == 0 && scenario.auto_sync_time) {
+    scenario.correction.sync_time =
+        proto::fault_free_dissemination_time(*prepared.tree, scenario.params);
+  }
+  return prepared;
+}
+
+sim::RunResult run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
+                            const sim::RunOptions& options) {
+  const Scenario& scenario = prepared.scenario;
+  support::Xoshiro256ss rng(rep_seed);
+  sim::Simulator simulator(scenario.params, make_faults(scenario, rng));
+
+  switch (scenario.protocol) {
+    case ProtocolKind::kCorrectedTree: {
+      proto::CorrectedTreeBroadcast protocol(*prepared.tree, scenario.correction);
+      return simulator.run(protocol, options);
+    }
+    case ProtocolKind::kAckTree: {
+      proto::AckTreeBroadcast protocol(*prepared.tree);
+      return simulator.run(protocol, options);
+    }
+    case ProtocolKind::kGossip: {
+      proto::GossipConfig config = scenario.gossip;
+      config.seed = support::derive_seed(rep_seed, 0x60551b);
+      proto::CorrectedGossipBroadcast protocol(scenario.params.P, config);
+      return simulator.run(protocol, options);
+    }
+  }
+  throw std::logic_error("unreachable protocol kind");
+}
+
+}  // namespace
+
+sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,
+                        const sim::RunOptions& options) {
+  return run_prepared(prepare(scenario), rep_seed, options);
+}
+
+Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
+                         const support::ThreadPool* pool) {
+  const Prepared prepared = prepare(scenario);
+
+  if (!pool || pool->size() <= 1 || reps < 2) {
+    Aggregate aggregate;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      aggregate.add(run_prepared(prepared, support::derive_seed(seed, rep), {}));
+    }
+    return aggregate;
+  }
+
+  // One partial aggregate per worker block; merged in block order so the
+  // result is identical to the serial run.
+  const std::size_t workers = pool->size();
+  const std::size_t chunk = (reps + workers - 1) / workers;
+  std::vector<Aggregate> partial((reps + chunk - 1) / chunk);
+  pool->parallel_for(reps, [&](std::size_t rep) {
+    partial[rep / chunk].add(run_prepared(prepared, support::derive_seed(seed, rep), {}));
+  });
+  Aggregate aggregate;
+  for (const Aggregate& part : partial) aggregate.merge(part);
+  return aggregate;
+}
+
+Scale default_scale(topo::Rank default_procs, std::size_t default_reps,
+                    std::uint64_t default_seed) {
+  support::Options env;  // no argv: env vars only
+  Scale scale;
+  scale.procs = static_cast<topo::Rank>(env.get_int("procs", default_procs));
+  scale.reps = static_cast<std::size_t>(env.get_int("reps", static_cast<std::int64_t>(default_reps)));
+  scale.seed = static_cast<std::uint64_t>(env.get_int("seed", static_cast<std::int64_t>(default_seed)));
+  return scale;
+}
+
+}  // namespace ct::exp

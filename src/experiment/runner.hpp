@@ -1,0 +1,83 @@
+#pragma once
+// Replicated-simulation driver. A Scenario describes one broadcast
+// configuration (protocol x tree x correction x fault model x LogP); the
+// runner executes N seeded replications (optionally across a thread pool)
+// and aggregates the paper's metrics. Every figure/table bench is a sweep
+// over Scenarios.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "protocol/config.hpp"
+#include "protocol/gossip_broadcast.hpp"
+#include "sim/logp.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/factory.hpp"
+
+namespace ct::exp {
+
+enum class ProtocolKind {
+  kCorrectedTree,  ///< tree dissemination + configured correction
+  kAckTree,        ///< acknowledged tree broadcast baseline
+  kGossip,         ///< Corrected Gossip baseline
+};
+
+struct Scenario {
+  std::string label;
+  sim::LogP params{};  // P required
+
+  ProtocolKind protocol = ProtocolKind::kCorrectedTree;
+  topo::TreeSpec tree{};
+  proto::CorrectionConfig correction{};
+  proto::GossipConfig gossip{};  // gossip only (correction taken from here)
+
+  /// Fault model: explicit count wins over fraction; both zero = fault-free.
+  topo::Rank fault_count = 0;
+  double fault_fraction = 0.0;
+
+  /// For synchronized tree correction with sync_time == 0 the runner fills
+  /// in the fault-free dissemination time automatically.
+  bool auto_sync_time = true;
+};
+
+/// Aggregated metrics over all replications of one scenario.
+struct Aggregate {
+  support::Samples coloring_latency;
+  support::Samples quiescence_latency;
+  support::Samples messages_per_process;
+  support::Samples max_gap;         // only runs with a dissemination snapshot
+  support::Samples gap_count;       // ditto
+  support::Samples correction_time; // ditto
+  std::int64_t runs = 0;
+  std::int64_t not_fully_colored = 0;  // runs leaving live processes uncolored
+  std::int64_t uncolored_total = 0;    // sum of uncolored live processes
+
+  void add(const sim::RunResult& result);
+  void merge(const Aggregate& other);
+};
+
+/// Runs `reps` replications of `scenario`; replication i uses the RNG
+/// stream derive_seed(seed, i) for faults (and gossip). Deterministic for a
+/// fixed (scenario, reps, seed) regardless of the pool size.
+Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
+                         const support::ThreadPool* pool = nullptr);
+
+/// Single replication, exposed for tests and detailed inspection.
+sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,
+                        const sim::RunOptions& options = {});
+
+/// Global experiment scale knobs, honoring CT_PROCS / CT_REPS / CT_SEED env
+/// overrides used by the bench suite (see DESIGN.md).
+struct Scale {
+  topo::Rank procs;
+  std::size_t reps;
+  std::uint64_t seed;
+};
+Scale default_scale(topo::Rank default_procs, std::size_t default_reps,
+                    std::uint64_t default_seed = 0x5eed5eedULL);
+
+}  // namespace ct::exp

@@ -1,0 +1,62 @@
+#include "protocol/ack_tree.hpp"
+
+#include <stdexcept>
+
+namespace ct::proto {
+
+using sim::Message;
+using topo::Rank;
+
+AckTreeBroadcast::AckTreeBroadcast(const topo::Tree& tree)
+    : tree_(tree),
+      pending_acks_(static_cast<std::size_t>(tree.num_procs()), 0),
+      started_(static_cast<std::size_t>(tree.num_procs()), 0) {}
+
+void AckTreeBroadcast::begin(sim::Context& ctx) {
+  ctx.mark_colored(tree_.root());
+  color(ctx, tree_.root());
+}
+
+void AckTreeBroadcast::color(sim::Context& ctx, Rank me) {
+  if (started_[static_cast<std::size_t>(me)]) return;
+  started_[static_cast<std::size_t>(me)] = 1;
+  const auto children = tree_.children(me);
+  pending_acks_[static_cast<std::size_t>(me)] = static_cast<std::int32_t>(children.size());
+  if (children.empty()) {
+    // Leaf: acknowledge immediately (the root of a single-process tree is
+    // trivially acknowledged).
+    ack_received(ctx, me);
+    return;
+  }
+  for (Rank child : children) {
+    ctx.send(me, child, sim::tag::kTree, 0);
+  }
+}
+
+void AckTreeBroadcast::ack_received(sim::Context& ctx, Rank me) {
+  if (me == tree_.root()) {
+    root_acknowledged_ = true;
+    return;
+  }
+  ctx.send(me, tree_.parent(me), sim::tag::kAck, 0);
+}
+
+void AckTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
+  switch (msg.tag) {
+    case sim::tag::kTree:
+      ctx.mark_colored(me);
+      color(ctx, me);
+      break;
+    case sim::tag::kAck:
+      if (--pending_acks_[static_cast<std::size_t>(me)] == 0) {
+        ack_received(ctx, me);
+      }
+      break;
+    default:
+      throw std::logic_error("unexpected message tag in ack-tree broadcast");
+  }
+}
+
+void AckTreeBroadcast::on_sent(sim::Context&, Rank, const Message&) {}
+
+}  // namespace ct::proto

@@ -1,0 +1,39 @@
+#pragma once
+// Traditional acknowledged tree broadcast — the fault-tolerance baseline the
+// paper compares against ("(ack.)" curves in Fig. 7; §5: "Even in the
+// fault-free case the tree has to be traversed twice, effectively doubling
+// the latency"). Acknowledgments travel the dissemination tree bottom-up:
+// a leaf acks on coloring, an inner node after collecting all child acks.
+// Quiescence is reached when the root holds every ack. The protocol is
+// fault-AGNOSTIC: a failed subtree means the root never completes — exactly
+// the behaviour the paper's introduction ascribes to current MPI libraries.
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::proto {
+
+class AckTreeBroadcast final : public sim::Protocol {
+ public:
+  explicit AckTreeBroadcast(const topo::Tree& tree);
+
+  void begin(sim::Context& ctx) override;
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+
+  /// True once the root collected acknowledgments from its whole subtree.
+  bool root_acknowledged() const noexcept { return root_acknowledged_; }
+
+ private:
+  void color(sim::Context& ctx, topo::Rank me);
+  void ack_received(sim::Context& ctx, topo::Rank me);
+
+  const topo::Tree& tree_;
+  std::vector<std::int32_t> pending_acks_;
+  std::vector<char> started_;
+  bool root_acknowledged_ = false;
+};
+
+}  // namespace ct::proto

@@ -1,0 +1,82 @@
+#include "protocol/allreduce.hpp"
+
+#include <stdexcept>
+
+namespace ct::proto {
+
+using sim::Message;
+using topo::Rank;
+
+CorrectedAllReduce::CorrectedAllReduce(const topo::Tree& tree, const sim::LogP& params,
+                                       std::vector<std::int64_t> values,
+                                       AllReduceConfig config)
+    : reduce_(tree, params, std::move(values), config.reduce),
+      broadcast_(tree, config.correction) {
+  reduce_.set_on_root_done([this](sim::Context& ctx, std::int64_t result) {
+    // The gather finished at the root: broadcast the result. begin() colors
+    // the root, registers the payload and fires the tree sends; correction
+    // handles ranks whose tree path is broken.
+    broadcast_.set_payload(result);
+    broadcast_.begin(ctx);
+  });
+}
+
+void CorrectedAllReduce::begin(sim::Context& ctx) { reduce_.begin(ctx); }
+
+void CorrectedAllReduce::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
+  switch (msg.tag) {
+    case sim::tag::kReduce:
+    case sim::tag::kReduceRing:
+      reduce_.on_receive(ctx, me, msg);
+      break;
+    case sim::tag::kTree:
+    case sim::tag::kCorrection:
+    case sim::tag::kCorrReply:
+      broadcast_.on_receive(ctx, me, msg);
+      break;
+    default:
+      throw std::logic_error("unexpected message tag in corrected all-reduce");
+  }
+}
+
+void CorrectedAllReduce::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
+  switch (msg.tag) {
+    case sim::tag::kReduce:
+    case sim::tag::kReduceRing:
+      reduce_.on_sent(ctx, me, msg);
+      break;
+    default:
+      broadcast_.on_sent(ctx, me, msg);
+      break;
+  }
+}
+
+void CorrectedAllReduce::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
+  if (id == sim::timer::kCorrectionStart || id == sim::timer::kDelayExpired) {
+    broadcast_.on_timer(ctx, me, id);
+  } else {
+    reduce_.on_timer(ctx, me, id);
+  }
+}
+
+CorrectedBarrier::CorrectedBarrier(const topo::Tree& tree, const sim::LogP& params,
+                                   AllReduceConfig config)
+    : inner_(tree, params,
+             std::vector<std::int64_t>(static_cast<std::size_t>(tree.num_procs()), 0),
+             config) {}
+
+void CorrectedBarrier::begin(sim::Context& ctx) { inner_.begin(ctx); }
+
+void CorrectedBarrier::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
+  inner_.on_receive(ctx, me, msg);
+}
+
+void CorrectedBarrier::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
+  inner_.on_sent(ctx, me, msg);
+}
+
+void CorrectedBarrier::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
+  inner_.on_timer(ctx, me, id);
+}
+
+}  // namespace ct::proto

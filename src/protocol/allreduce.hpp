@@ -1,0 +1,78 @@
+#pragma once
+// Corrected all-reduce and barrier — the paper's §1/§6 claim made concrete:
+// "Using these two basic phases, a variety of reliable MPI collectives can
+// be built, e.g., applying correction before dissemination allows to create
+// a reduction tree."
+//
+// CorrectedAllReduce composes the two existing collectives:
+//   phase 1: CorrectedReduce — ring replication ("correction before
+//            dissemination") followed by a deadline-driven tree gather; the
+//            root ends up with the reduction over all live contributions
+//            (idempotent max, see reduce.hpp for the guarantee);
+//   phase 2: CorrectedTreeBroadcast — the root broadcasts the result with
+//            ordinary tree dissemination + ring correction, so every live
+//            process learns it despite failures.
+//
+// A process is "colored" when it holds the final result; RunResult's
+// coloring metrics therefore read exactly like a broadcast's.
+//
+// CorrectedBarrier is the degenerate all-reduce (contributions ignored):
+// completion of phase 2 certifies that phase 1's deadline passed on every
+// live process, i.e. all live processes entered the barrier.
+
+#include <memory>
+
+#include "protocol/reduce.hpp"
+#include "protocol/tree_broadcast.hpp"
+
+namespace ct::proto {
+
+struct AllReduceConfig {
+  /// Ring replication distance of the gather phase.
+  ReduceConfig reduce{};
+  /// Correction used by the result broadcast. Synchronized correction needs
+  /// sync_time >= the gather deadline + dissemination span; the default
+  /// overlapped opportunistic correction needs no timing knowledge.
+  CorrectionConfig correction{};
+};
+
+class CorrectedAllReduce final : public sim::Protocol {
+ public:
+  /// `values[r]` is rank r's contribution; the result is max over live
+  /// ranks' contributions (under the reduce-phase guarantee).
+  CorrectedAllReduce(const topo::Tree& tree, const sim::LogP& params,
+                     std::vector<std::int64_t> values, AllReduceConfig config);
+
+  void begin(sim::Context& ctx) override;
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id) override;
+
+  /// The reduction result as known at the root (valid after the run).
+  std::int64_t result() const noexcept { return reduce_.result(); }
+  bool reduction_done() const noexcept { return reduce_.root_done(); }
+
+ private:
+  CorrectedReduce reduce_;
+  CorrectedTreeBroadcast broadcast_;
+};
+
+class CorrectedBarrier final : public sim::Protocol {
+ public:
+  CorrectedBarrier(const topo::Tree& tree, const sim::LogP& params,
+                   AllReduceConfig config = {});
+
+  void begin(sim::Context& ctx) override;
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id) override;
+
+  /// True once the root observed the gather deadline — all live processes
+  /// reached the barrier. Release coloring is in the run metrics.
+  bool released() const noexcept { return inner_.reduction_done(); }
+
+ private:
+  CorrectedAllReduce inner_;
+};
+
+}  // namespace ct::proto

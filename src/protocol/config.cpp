@@ -1,0 +1,46 @@
+#include "protocol/config.hpp"
+
+#include <stdexcept>
+
+namespace ct::proto {
+
+std::string correction_kind_name(CorrectionKind kind) {
+  switch (kind) {
+    case CorrectionKind::kNone:
+      return "none";
+    case CorrectionKind::kOpportunistic:
+      return "opportunistic-plain";
+    case CorrectionKind::kOptimizedOpportunistic:
+      return "opportunistic";
+    case CorrectionKind::kChecked:
+      return "checked";
+    case CorrectionKind::kFailureProof:
+      return "failure-proof";
+    case CorrectionKind::kDelayed:
+      return "delayed";
+  }
+  throw std::logic_error("unreachable correction kind");
+}
+
+CorrectionKind parse_correction_kind(const std::string& text) {
+  if (text == "none") return CorrectionKind::kNone;
+  if (text == "opportunistic-plain") return CorrectionKind::kOpportunistic;
+  if (text == "opportunistic") return CorrectionKind::kOptimizedOpportunistic;
+  if (text == "checked") return CorrectionKind::kChecked;
+  if (text == "failure-proof") return CorrectionKind::kFailureProof;
+  if (text == "delayed") return CorrectionKind::kDelayed;
+  throw std::invalid_argument("unknown correction kind '" + text + "'");
+}
+
+std::string CorrectionConfig::to_string() const {
+  std::string result = correction_kind_name(kind);
+  if (kind == CorrectionKind::kOpportunistic ||
+      kind == CorrectionKind::kOptimizedOpportunistic) {
+    result += ":" + std::to_string(distance);
+  }
+  result += (start == CorrectionStart::kSynchronized) ? "/sync" : "/overlapped";
+  if (directions == CorrectionDirections::kLeftOnly) result += "/left-only";
+  return result;
+}
+
+}  // namespace ct::proto

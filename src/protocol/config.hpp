@@ -1,0 +1,65 @@
+#pragma once
+// Configuration of a corrected broadcast (§3): which correction algorithm,
+// how it starts (synchronized at a fixed time vs overlapped right after a
+// process's own dissemination sends), correction distance, and direction
+// policy.
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ct::proto {
+
+/// §3.1/§3.3 correction algorithms.
+enum class CorrectionKind {
+  kNone,                     ///< fault-agnostic broadcast (baseline, "d = 0")
+  kOpportunistic,            ///< fixed d messages per direction
+  kOptimizedOpportunistic,   ///< + coverage-based send-range reduction (§3.3)
+  kChecked,                  ///< unbounded, stops on confirmed overlap
+  kFailureProof,             ///< ack-driven, tolerates faults during correction
+  kDelayed,                  ///< 1 message left, probe right after a delay (§3.3)
+};
+
+/// When correction begins (§3.3 "Synchronized and Overlapped Correction").
+enum class CorrectionStart {
+  kSynchronized,  ///< all processes at a pre-specified time
+  kOverlapped,    ///< each process right after its own dissemination sends
+};
+
+/// Which ring directions correction messages travel. The MPI prototype in
+/// §4.4 uses a single direction "for simplicity"; both is the general form.
+enum class CorrectionDirections {
+  kBoth,
+  kLeftOnly,  ///< send only towards lower ranks (each process covers d below)
+};
+
+struct CorrectionConfig {
+  CorrectionKind kind = CorrectionKind::kOptimizedOpportunistic;
+  CorrectionStart start = CorrectionStart::kOverlapped;
+  CorrectionDirections directions = CorrectionDirections::kBoth;
+
+  /// Correction distance d (opportunistic variants only).
+  int distance = 4;
+
+  /// Absolute start time for synchronized correction. Callers usually set
+  /// this to the fault-free dissemination completion time (the tree schedule
+  /// does not stretch under failures, so that instant is always valid).
+  sim::Time sync_time = 0;
+
+  /// Delay before probing right (delayed correction only).
+  sim::Time delay = 0;
+
+  /// Redundancy for failure-proof correction: the number of concurrently
+  /// responsible relays per direction; tolerates `redundancy - 1` failures
+  /// during the correction phase.
+  int redundancy = 2;
+
+  std::string to_string() const;
+};
+
+/// CLI names: "none", "opportunistic", "opportunistic-plain", "checked",
+/// "failure-proof", "delayed" (optionally ":d" suffix for distance).
+CorrectionKind parse_correction_kind(const std::string& text);
+std::string correction_kind_name(CorrectionKind kind);
+
+}  // namespace ct::proto

@@ -1,0 +1,73 @@
+#pragma once
+// Ring-correction engines (§3.1, §3.3). A CorrectionEngine implements the
+// second phase of a corrected collective: once dissemination-colored
+// processes enter correction (via start()), the engine exchanges messages on
+// the ring until every live process is colored (subject to each algorithm's
+// guarantee):
+//
+//  * Opportunistic(d)            — fixed d messages per direction; colors all
+//    processes iff the maximum gap is at most 2d (both directions) or d
+//    (left-only). No feedback, lowest overhead.
+//  * Optimized opportunistic(d)  — same, but a received correction message
+//    from j with j-d < i < j proves j covers down to j-d, so i skips the
+//    overlap and only sends to {i-d, ..., j-d-1} (§3.3). The default for
+//    Corrected Trees, as in the paper.
+//  * Checked                     — unbounded alternating sends; a direction
+//    stops once the process receives a message from that direction from a
+//    process it has already sent to. Colors all live processes for any gap
+//    size, provided no failures occur during correction.
+//  * Failure-proof               — generalisation of checked: probes demand
+//    replies; processes colored by correction relay the probe onward, and a
+//    direction only stops after a reply from a dissemination-colored
+//    participant or `redundancy` relay replies. Tolerates up to
+//    `redundancy - 1` failures during the correction phase itself. (The
+//    paper defers the concrete algorithm to Corrected Gossip [17]; this is
+//    our implementation of that generalisation, see DESIGN.md §1.)
+//  * Delayed                     — one message to the left; after `delay`
+//    with no message from the right, probe rightward until one arrives.
+//    Dissemination-colored processes reply to probes from the left to stop
+//    the prober. One message per process in the fault-free case (§3.3).
+//
+// Engines are passive components driven by a broadcast protocol: the
+// protocol routes kCorrection/kCorrReply receipts, send completions and
+// timer events here. Processes colored *by correction* never initiate
+// correction sends (no-duplicates masking; §2.1) — the failure-proof relay
+// behaviour is the single, documented exception.
+
+#include <memory>
+#include <vector>
+
+#include "protocol/config.hpp"
+#include "sim/message.hpp"
+#include "sim/protocol.hpp"
+#include "topology/ring.hpp"
+
+namespace ct::proto {
+
+class CorrectionEngine {
+ public:
+  explicit CorrectionEngine(topo::Rank num_procs) : ring_(num_procs) {}
+  virtual ~CorrectionEngine() = default;
+
+  /// Rank `me` (dissemination-colored) enters the correction phase.
+  virtual void start(sim::Context& ctx, topo::Rank me) = 0;
+  /// A kCorrection / kCorrReply message finished arriving at `me`.
+  virtual void on_message(sim::Context& ctx, topo::Rank me, const sim::Message& msg) = 0;
+  /// A correction-tagged send of `me` completed.
+  virtual void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) = 0;
+  virtual void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id);
+
+ protected:
+  /// Signed ring offset of `other` as seen from `me`: positive = closer on
+  /// the right (ties break right), negative = closer on the left.
+  std::int64_t signed_offset(topo::Rank me, topo::Rank other) const;
+
+  topo::Ring ring_;
+};
+
+/// Builds the engine described by `config` for a P-process ring. Returns
+/// nullptr for CorrectionKind::kNone.
+std::unique_ptr<CorrectionEngine> make_correction_engine(const CorrectionConfig& config,
+                                                         topo::Rank num_procs);
+
+}  // namespace ct::proto

@@ -1,0 +1,132 @@
+#include "protocol/gossip_broadcast.hpp"
+
+#include <stdexcept>
+
+namespace ct::proto {
+
+using sim::Message;
+using topo::Rank;
+
+CorrectedGossipBroadcast::CorrectedGossipBroadcast(Rank num_procs, GossipConfig config)
+    : num_procs_(num_procs),
+      config_(config),
+      engine_(make_correction_engine(config.correction, num_procs)),
+      rng_(config.seed),
+      gossip_colored_(static_cast<std::size_t>(num_procs), 0),
+      in_correction_(static_cast<std::size_t>(num_procs), 0),
+      round_(static_cast<std::size_t>(num_procs), 0) {
+  if (config_.budget == GossipConfig::Budget::kTime && config_.gossip_time <= 0) {
+    throw std::invalid_argument("time-based gossip needs gossip_time > 0");
+  }
+  if (config_.budget == GossipConfig::Budget::kRounds && config_.gossip_rounds <= 0) {
+    throw std::invalid_argument("round-based gossip needs gossip_rounds > 0");
+  }
+  if (config_.correction.kind != CorrectionKind::kNone &&
+      config_.budget == GossipConfig::Budget::kTime &&
+      config_.correction.start != CorrectionStart::kSynchronized) {
+    throw std::invalid_argument(
+        "time-based Corrected Gossip synchronizes correction at the gossip deadline");
+  }
+}
+
+void CorrectedGossipBroadcast::begin(sim::Context& ctx) {
+  if (config_.budget == GossipConfig::Budget::kTime) {
+    // Global deadline: every (live) process checks in at gossip_time; the
+    // then-colored ones enter correction together.
+    for (Rank r = 0; r < num_procs_; ++r) {
+      ctx.set_timer(r, config_.gossip_time, sim::timer::kGossipDeadline);
+    }
+  }
+  ctx.set_rank_data(0, config_.payload);
+  ctx.mark_colored(0);
+  start_gossip(ctx, 0, 0);
+}
+
+void CorrectedGossipBroadcast::start_gossip(sim::Context& ctx, Rank me,
+                                            std::int64_t round) {
+  if (gossip_colored_[static_cast<std::size_t>(me)]) return;
+  gossip_colored_[static_cast<std::size_t>(me)] = 1;
+  round_[static_cast<std::size_t>(me)] = round;
+  if (num_procs_ < 2) {
+    if (config_.budget == GossipConfig::Budget::kRounds) enter_correction(ctx, me);
+    return;
+  }
+  if (config_.budget == GossipConfig::Budget::kRounds &&
+      round >= config_.gossip_rounds) {
+    enter_correction(ctx, me);
+    return;
+  }
+  gossip_send(ctx, me);
+}
+
+void CorrectedGossipBroadcast::gossip_send(sim::Context& ctx, Rank me) {
+  // Uniform random target other than ourselves; the sender cannot know
+  // whether the target is colored or even alive (§2.2).
+  const auto offset = 1 + rng_.below(static_cast<std::uint64_t>(num_procs_) - 1);
+  const Rank target = static_cast<Rank>(
+      (static_cast<std::int64_t>(me) + static_cast<std::int64_t>(offset)) % num_procs_);
+  auto& round = round_[static_cast<std::size_t>(me)];
+  ++round;
+  ctx.send(me, target, sim::tag::kGossip, round);
+}
+
+void CorrectedGossipBroadcast::enter_correction(sim::Context& ctx, Rank me) {
+  if (in_correction_[static_cast<std::size_t>(me)]) return;
+  in_correction_[static_cast<std::size_t>(me)] = 1;
+  ctx.note_correction_start();
+  if (engine_) engine_->start(ctx, me);
+}
+
+void CorrectedGossipBroadcast::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
+  switch (msg.tag) {
+    case sim::tag::kGossip: {
+      const bool first = !ctx.is_colored(me);
+      if (first) ctx.set_rank_data(me, msg.data);
+      ctx.mark_colored(me);
+      if (!first) return;
+      if (config_.budget == GossipConfig::Budget::kTime) {
+        if (ctx.now() < config_.gossip_time) start_gossip(ctx, me, msg.payload);
+        // Colored after the deadline: stays a passive receiver.
+      } else {
+        start_gossip(ctx, me, msg.payload);
+      }
+      break;
+    }
+    case sim::tag::kCorrection:
+    case sim::tag::kCorrReply:
+      if (msg.tag == sim::tag::kCorrection && !ctx.is_colored(me)) {
+        ctx.set_rank_data(me, msg.data);
+      }
+      if (engine_) engine_->on_message(ctx, me, msg);
+      break;
+    default:
+      throw std::logic_error("unexpected message tag in corrected gossip broadcast");
+  }
+}
+
+void CorrectedGossipBroadcast::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
+  if (msg.tag == sim::tag::kGossip) {
+    if (config_.budget == GossipConfig::Budget::kTime) {
+      if (ctx.now() < config_.gossip_time) gossip_send(ctx, me);
+    } else {
+      if (round_[static_cast<std::size_t>(me)] < config_.gossip_rounds) {
+        gossip_send(ctx, me);
+      } else {
+        enter_correction(ctx, me);
+      }
+    }
+    return;
+  }
+  if (engine_) engine_->on_sent(ctx, me, msg);
+}
+
+void CorrectedGossipBroadcast::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
+  if (id == sim::timer::kGossipDeadline) {
+    ctx.note_correction_start();
+    if (ctx.is_colored(me)) enter_correction(ctx, me);
+    return;
+  }
+  if (engine_) engine_->on_timer(ctx, me, id);
+}
+
+}  // namespace ct::proto

@@ -1,0 +1,66 @@
+#pragma once
+// Corrected Gossip broadcast (Hoefler et al. [17]; §3.1) — the competing
+// baseline the paper evaluates against. Dissemination: colored processes
+// send the payload to uniformly random targets; after a fixed gossip budget
+// all colored processes enter correction.
+//
+// Two budget modes:
+//  * Time-based (the original Corrected Gossip): gossip until a global
+//    deadline; correction starts synchronized at that deadline.
+//  * Round-based (the paper's own MPI prototype, §4.4: wall-clock limits
+//    are impractical on a real cluster, so "each message carries the
+//    current gossip round, which gets incremented each time a message is
+//    sent; when a node receives a message with the gossip round equal to
+//    the predefined limit, it enters the correction phase").
+
+#include <memory>
+#include <vector>
+
+#include "protocol/config.hpp"
+#include "protocol/correction.hpp"
+#include "sim/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace ct::proto {
+
+struct GossipConfig {
+  enum class Budget { kTime, kRounds };
+  Budget budget = Budget::kTime;
+
+  /// Time-based: absolute gossip deadline (= correction sync point).
+  sim::Time gossip_time = 0;
+  /// Round-based: a process whose coloring message carried this round (or
+  /// whose own counter reached it) stops gossiping and enters correction.
+  std::int64_t gossip_rounds = 0;
+
+  CorrectionConfig correction;
+  std::uint64_t seed = 1;
+  /// Broadcast content word; every colored process ends up holding it.
+  std::int64_t payload = 0;
+};
+
+class CorrectedGossipBroadcast final : public sim::Protocol {
+ public:
+  CorrectedGossipBroadcast(topo::Rank num_procs, GossipConfig config);
+
+  void begin(sim::Context& ctx) override;
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id) override;
+
+ private:
+  void start_gossip(sim::Context& ctx, topo::Rank me, std::int64_t round);
+  void gossip_send(sim::Context& ctx, topo::Rank me);
+  void enter_correction(sim::Context& ctx, topo::Rank me);
+
+  topo::Rank num_procs_;
+  GossipConfig config_;
+  std::unique_ptr<CorrectionEngine> engine_;
+  support::Xoshiro256ss rng_;
+
+  std::vector<char> gossip_colored_;      // colored during dissemination
+  std::vector<char> in_correction_;
+  std::vector<std::int64_t> round_;       // round-based: next round to send
+};
+
+}  // namespace ct::proto

@@ -1,0 +1,114 @@
+#include "protocol/gossip_tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/simulator.hpp"
+
+namespace ct::proto {
+
+namespace {
+
+struct Probe {
+  bool all_colored = true;
+  double mean_quiescence = 0.0;
+  double mean_messages = 0.0;
+};
+
+Probe probe_gossip_time(const sim::LogP& params, const CorrectionConfig& correction,
+                        sim::Time gossip_time, std::size_t reps, std::uint64_t seed) {
+  Probe probe;
+  double quiescence_sum = 0.0;
+  double message_sum = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    GossipConfig config;
+    config.budget = GossipConfig::Budget::kTime;
+    config.gossip_time = gossip_time;
+    config.correction = correction;
+    config.correction.start = CorrectionStart::kSynchronized;
+    config.correction.sync_time = gossip_time;
+    config.seed = support::derive_seed(seed, rep);
+    CorrectedGossipBroadcast protocol(params.P, config);
+    sim::Simulator simulator(params, sim::FaultSet::none(params.P));
+    const sim::RunResult result = simulator.run(protocol);
+    if (!result.fully_colored()) probe.all_colored = false;
+    quiescence_sum += static_cast<double>(result.quiescence_latency);
+    message_sum += result.messages_per_process();
+  }
+  probe.mean_quiescence = quiescence_sum / static_cast<double>(reps);
+  probe.mean_messages = message_sum / static_cast<double>(reps);
+  return probe;
+}
+
+/// log2(P) rounded up: the information-theoretic dissemination floor.
+sim::Time log2_ceil(topo::Rank num_procs) {
+  sim::Time bits = 0;
+  topo::Rank value = 1;
+  while (value < num_procs) {
+    value = static_cast<topo::Rank>(2 * value);
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+GossipTuneResult tune_gossip_for_coloring(const sim::LogP& params,
+                                          const CorrectionConfig& correction,
+                                          std::size_t reps, std::uint64_t seed) {
+  // Each gossip "hop" costs about 2o+L; start at the binary-dissemination
+  // floor and grow until all replications color fully.
+  const sim::Time floor_time = log2_ceil(params.P) * params.o + params.L;
+  const sim::Time ceiling = 64 * floor_time + 64;  // generous safety net
+  for (sim::Time t = floor_time;; t += params.o) {
+    if (t > ceiling) {
+      throw std::runtime_error("gossip coloring tuning did not converge");
+    }
+    const Probe probe = probe_gossip_time(params, correction, t, reps, seed);
+    if (probe.all_colored) {
+      return {t, probe.mean_quiescence, probe.mean_messages};
+    }
+  }
+}
+
+GossipTuneResult tune_gossip_for_latency(const sim::LogP& params,
+                                         const CorrectionConfig& correction,
+                                         std::size_t reps, std::uint64_t seed) {
+  const sim::Time floor_time = std::max<sim::Time>(params.o, log2_ceil(params.P) * params.o);
+  const sim::Time coarse_step = std::max<sim::Time>(params.o * 4, 1);
+
+  // Coarse scan: latency as a function of gossip time is V-shaped (too
+  // short -> long correction; too long -> wasted gossip), so stop once it
+  // has been rising for a few consecutive steps.
+  sim::Time best_time = floor_time;
+  double best_latency = std::numeric_limits<double>::infinity();
+  double best_messages = 0.0;
+  int rising = 0;
+  for (sim::Time t = floor_time; rising < 3; t += coarse_step) {
+    const Probe probe = probe_gossip_time(params, correction, t, reps, seed);
+    if (probe.mean_quiescence < best_latency) {
+      best_latency = probe.mean_quiescence;
+      best_messages = probe.mean_messages;
+      best_time = t;
+      rising = 0;
+    } else {
+      ++rising;
+    }
+  }
+
+  // Unit-step refinement around the coarse optimum.
+  for (sim::Time t = std::max<sim::Time>(params.o, best_time - coarse_step + 1);
+       t < best_time + coarse_step; t += params.o) {
+    if (t == best_time) continue;
+    const Probe probe = probe_gossip_time(params, correction, t, reps, seed);
+    if (probe.mean_quiescence < best_latency) {
+      best_latency = probe.mean_quiescence;
+      best_messages = probe.mean_messages;
+      best_time = t;
+    }
+  }
+  return {best_time, best_latency, best_messages};
+}
+
+}  // namespace ct::proto

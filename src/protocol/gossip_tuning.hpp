@@ -1,0 +1,34 @@
+#pragma once
+// Empirical gossip-budget tuning, mirroring the paper's procedure (§4.1):
+//  * for opportunistic Corrected Gossip: "the smallest gossiping time where
+//    we observed no uncolored processes in [N] simulations",
+//  * for checked Corrected Gossip: the gossiping time "optimized ... for the
+//    lowest latency".
+// Tuning runs fault-free replicated simulations over a gossip-time grid.
+
+#include <cstdint>
+
+#include "protocol/gossip_broadcast.hpp"
+#include "sim/logp.hpp"
+
+namespace ct::proto {
+
+struct GossipTuneResult {
+  sim::Time gossip_time = 0;
+  double mean_quiescence = 0.0;
+  double mean_messages_per_proc = 0.0;
+};
+
+/// Smallest gossip time (in steps of o) for which all `reps` fault-free
+/// simulations color every process with the given correction.
+GossipTuneResult tune_gossip_for_coloring(const sim::LogP& params,
+                                          const CorrectionConfig& correction,
+                                          std::size_t reps, std::uint64_t seed);
+
+/// Gossip time minimising mean fault-free quiescence latency (coarse grid
+/// then unit-step refinement).
+GossipTuneResult tune_gossip_for_latency(const sim::LogP& params,
+                                         const CorrectionConfig& correction,
+                                         std::size_t reps, std::uint64_t seed);
+
+}  // namespace ct::proto

@@ -1,0 +1,109 @@
+#include "protocol/reduce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::proto {
+
+using sim::Message;
+using topo::Rank;
+
+namespace {
+constexpr std::int64_t kReduceForwardTimer = 100;
+}
+
+CorrectedReduce::CorrectedReduce(const topo::Tree& tree, const sim::LogP& params,
+                                 std::vector<std::int64_t> values, ReduceConfig config)
+    : tree_(tree),
+      params_(params),
+      ring_(tree.num_procs()),
+      config_(config),
+      accumulator_(std::move(values)),
+      replicas_sent_(static_cast<std::size_t>(tree.num_procs()), 0),
+      subtree_height_(static_cast<std::size_t>(tree.num_procs()), 0) {
+  if (config_.distance < 0) throw std::invalid_argument("replication distance must be >= 0");
+  if (static_cast<Rank>(accumulator_.size()) != tree.num_procs()) {
+    throw std::invalid_argument("one contribution per rank required");
+  }
+  // Subtree heights, bottom-up: process ranks grouped by decreasing depth.
+  std::vector<Rank> order(static_cast<std::size_t>(tree.num_procs()));
+  for (Rank r = 0; r < tree.num_procs(); ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(),
+            [&](Rank a, Rank b) { return tree.depth(a) > tree.depth(b); });
+  for (Rank r : order) {
+    if (r == tree.root()) continue;
+    auto& parent_height = subtree_height_[static_cast<std::size_t>(tree.parent(r))];
+    parent_height = std::max(parent_height, subtree_height_[static_cast<std::size_t>(r)] + 1);
+  }
+}
+
+sim::Time CorrectedReduce::forward_deadline(Rank r) const {
+  // Phase 1 finishes once every replica send completed and arrived:
+  // `distance` back-to-back sends, the last landing after 2o+L more, plus
+  // up to `distance` incoming replicas serialising on the receive port.
+  const sim::Time phase1 =
+      2 * static_cast<sim::Time>(config_.distance) * params_.port_period() +
+      params_.message_cost();
+  // Per tree level: a child forwards at its own deadline; the message takes
+  // 2o+L, and up to max_fanout sibling arrivals serialise on the parent's
+  // receive port.
+  const sim::Time step =
+      params_.message_cost() +
+      static_cast<sim::Time>(tree_.max_fanout()) * params_.port_period();
+  return phase1 + static_cast<sim::Time>(subtree_height_[static_cast<std::size_t>(r)] + 1) * step;
+}
+
+void CorrectedReduce::begin(sim::Context& ctx) {
+  for (Rank r = 0; r < tree_.num_procs(); ++r) {
+    // Phase 1: replicate the own contribution rightwards.
+    if (config_.distance > 0 && tree_.num_procs() > 1) {
+      send_next_replica(ctx, r);
+    }
+    // Phase 2 trigger: forward the aggregate at the deterministic deadline.
+    ctx.set_timer(r, forward_deadline(r), kReduceForwardTimer);
+  }
+}
+
+void CorrectedReduce::send_next_replica(sim::Context& ctx, Rank me) {
+  auto& sent = replicas_sent_[static_cast<std::size_t>(me)];
+  const std::int64_t limit =
+      std::min<std::int64_t>(config_.distance, ring_.num_procs() - 1);
+  if (sent >= limit) return;
+  ++sent;
+  ctx.send(me, ring_.right(me, sent), sim::tag::kReduceRing,
+           accumulator_[static_cast<std::size_t>(me)]);
+}
+
+void CorrectedReduce::on_receive(sim::Context&, Rank me, const Message& msg) {
+  switch (msg.tag) {
+    case sim::tag::kReduceRing:  // ring replica of a neighbour's contribution
+    case sim::tag::kReduce: {    // child subtree aggregate
+      auto& acc = accumulator_[static_cast<std::size_t>(me)];
+      acc = std::max(acc, msg.payload);
+      break;
+    }
+    default:
+      throw std::logic_error("unexpected message tag in corrected reduce");
+  }
+}
+
+void CorrectedReduce::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
+  // Chain the phase-1 replicas; note the replica carries the value as of its
+  // send time, which already includes anything aggregated so far — harmless
+  // (idempotent max) and strictly more informative.
+  if (msg.tag == sim::tag::kReduceRing) send_next_replica(ctx, me);
+}
+
+void CorrectedReduce::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
+  if (id != kReduceForwardTimer) return;
+  if (me == tree_.root()) {
+    root_done_ = true;
+    ctx.mark_colored(me);  // reuse coloring to record the completion time
+    if (on_root_done_) on_root_done_(ctx, accumulator_[0]);
+    return;
+  }
+  ctx.send(me, tree_.parent(me), sim::tag::kReduce,
+           accumulator_[static_cast<std::size_t>(me)]);
+}
+
+}  // namespace ct::proto

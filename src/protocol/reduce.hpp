@@ -1,0 +1,81 @@
+#pragma once
+// Corrected reduction — the §1 extension ("applying correction before
+// dissemination allows to create a reduction tree"). This instantiates the
+// idea for idempotent, commutative operators (max here; any such operator
+// works because ring backups may deliver a contribution more than once):
+//
+//  Phase 1 (correction first): every live process sends its contribution to
+//  its `distance` nearest right neighbours on the ring, so each value is
+//  replicated across `distance + 1` consecutive ring positions.
+//
+//  Phase 2 (dissemination tree in reverse): contributions flow leaf-to-root
+//  along the tree. LogP tree schedules are deterministic, so a parent knows
+//  the latest instant a live child's aggregate can arrive and forwards its
+//  own aggregate on a timer — no failure detector, mirroring the broadcast's
+//  philosophy. A dead process simply contributes nothing; values of live
+//  processes whose tree path crosses a dead ancestor still reach the root
+//  through a ring replica whose path is intact.
+//
+// Guarantee (tested): the root computes max over all live contributions if
+// for every live process x some replica holder y in {x, x+1, ..., x+distance}
+// is live with an all-live tree path to the root. With an interleaved tree
+// this holds for any `failures <= distance` placed below the root's children
+// — the same structural argument as §3.2.1's k-ary tolerance bound.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/logp.hpp"
+#include "sim/protocol.hpp"
+#include "topology/ring.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::proto {
+
+struct ReduceConfig {
+  int distance = 1;  ///< ring replication distance (phase 1)
+};
+
+class CorrectedReduce final : public sim::Protocol {
+ public:
+  /// `values[r]` is rank r's contribution. `params` must match the
+  /// simulator's LogP parameters (used to derive the phase-2 timetable).
+  CorrectedReduce(const topo::Tree& tree, const sim::LogP& params,
+                  std::vector<std::int64_t> values, ReduceConfig config);
+
+  void begin(sim::Context& ctx) override;
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id) override;
+
+  /// Root's result; valid after the run (kInt64Min when nothing arrived,
+  /// which cannot happen while the root is alive).
+  std::int64_t result() const noexcept { return accumulator_[0]; }
+  bool root_done() const noexcept { return root_done_; }
+
+  /// The instant rank r forwards its aggregate to its parent.
+  sim::Time forward_deadline(topo::Rank r) const;
+
+  /// Optional hook invoked (once) when the root's aggregate is final —
+  /// CorrectedAllReduce chains the result broadcast here.
+  void set_on_root_done(std::function<void(sim::Context&, std::int64_t)> hook) {
+    on_root_done_ = std::move(hook);
+  }
+
+ private:
+  void send_next_replica(sim::Context& ctx, topo::Rank me);
+
+  const topo::Tree& tree_;
+  sim::LogP params_;
+  topo::Ring ring_;
+  ReduceConfig config_;
+
+  std::vector<std::int64_t> accumulator_;
+  std::vector<std::int64_t> replicas_sent_;
+  std::vector<int> subtree_height_;
+  std::function<void(sim::Context&, std::int64_t)> on_root_done_;
+  bool root_done_ = false;
+};
+
+}  // namespace ct::proto

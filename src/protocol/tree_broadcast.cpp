@@ -1,0 +1,119 @@
+#include "protocol/tree_broadcast.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace ct::proto {
+
+using sim::Message;
+using topo::Rank;
+
+CorrectedTreeBroadcast::CorrectedTreeBroadcast(const topo::Tree& tree,
+                                               CorrectionConfig config,
+                                               std::int64_t payload)
+    : tree_(tree),
+      config_(config),
+      payload_(payload),
+      engine_(make_correction_engine(config, tree.num_procs())),
+      tree_colored_(static_cast<std::size_t>(tree.num_procs()), 0),
+      tree_pending_(static_cast<std::size_t>(tree.num_procs()), 0) {
+  if (engine_ && config_.start == CorrectionStart::kSynchronized &&
+      config_.sync_time <= 0) {
+    throw std::invalid_argument(
+        "synchronized correction needs sync_time > 0 "
+        "(use fault_free_dissemination_time)");
+  }
+}
+
+void CorrectedTreeBroadcast::begin(sim::Context& ctx) {
+  if (engine_ && config_.start == CorrectionStart::kSynchronized) {
+    for (Rank r = 0; r < ctx.num_procs(); ++r) {
+      ctx.set_timer(r, config_.sync_time, sim::timer::kCorrectionStart);
+    }
+  }
+  ctx.set_rank_data(tree_.root(), payload_);
+  ctx.mark_colored(tree_.root());
+  color_by_tree(ctx, tree_.root());
+}
+
+void CorrectedTreeBroadcast::color_by_tree(sim::Context& ctx, Rank me) {
+  if (tree_colored_[static_cast<std::size_t>(me)]) return;
+  tree_colored_[static_cast<std::size_t>(me)] = 1;
+  const auto children = tree_.children(me);
+  tree_pending_[static_cast<std::size_t>(me)] = static_cast<std::int32_t>(children.size());
+  if (children.empty()) {
+    dissemination_done(ctx, me);
+    return;
+  }
+  for (Rank child : children) {
+    ctx.send(me, child, sim::tag::kTree, 0);
+  }
+}
+
+void CorrectedTreeBroadcast::dissemination_done(sim::Context& ctx, Rank me) {
+  if (!engine_) return;
+  if (config_.start == CorrectionStart::kOverlapped) {
+    ctx.note_correction_start();
+    engine_->start(ctx, me);
+  } else if (ctx.now() >= config_.sync_time) {
+    // Tree message arrived after the synchronized start (caller picked a
+    // sync_time below the dissemination span): join late rather than never.
+    engine_->start(ctx, me);
+  }
+}
+
+void CorrectedTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
+  switch (msg.tag) {
+    case sim::tag::kTree:
+      // Even a process colored early by correction still forwards tree
+      // messages to its children (§3.3, overlapped correction).
+      if (!ctx.is_colored(me)) ctx.set_rank_data(me, msg.data);
+      ctx.mark_colored(me);
+      color_by_tree(ctx, me);
+      break;
+    case sim::tag::kCorrection:
+    case sim::tag::kCorrReply:
+      if (msg.tag == sim::tag::kCorrection && !ctx.is_colored(me)) {
+        ctx.set_rank_data(me, msg.data);
+      }
+      if (engine_) engine_->on_message(ctx, me, msg);
+      break;
+    default:
+      throw std::logic_error("unexpected message tag in corrected tree broadcast");
+  }
+}
+
+void CorrectedTreeBroadcast::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
+  if (msg.tag == sim::tag::kTree) {
+    if (--tree_pending_[static_cast<std::size_t>(me)] == 0) {
+      dissemination_done(ctx, me);
+    }
+    return;
+  }
+  if (engine_) engine_->on_sent(ctx, me, msg);
+}
+
+void CorrectedTreeBroadcast::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
+  if (id == sim::timer::kCorrectionStart) {
+    ctx.note_correction_start();
+    if (tree_colored_[static_cast<std::size_t>(me)]) {
+      if (engine_) engine_->start(ctx, me);
+    }
+    return;
+  }
+  if (engine_) engine_->on_timer(ctx, me, id);
+}
+
+sim::Time fault_free_dissemination_time(const topo::Tree& tree, const sim::LogP& params) {
+  sim::LogP p = params;
+  p.P = tree.num_procs();
+  sim::Simulator simulator(p, sim::FaultSet::none(p.P));
+  CorrectionConfig none;
+  none.kind = CorrectionKind::kNone;
+  CorrectedTreeBroadcast protocol(tree, none);
+  const sim::RunResult result = simulator.run(protocol);
+  return result.coloring_latency;
+}
+
+}  // namespace ct::proto

@@ -1,0 +1,56 @@
+#pragma once
+// Corrected Tree broadcast (§3.2/§3.3): tree dissemination followed by ring
+// correction. With CorrectionKind::kNone this degenerates to the classic
+// fault-agnostic tree broadcast (the "d = 0" baseline of Fig. 12).
+
+#include <memory>
+#include <vector>
+
+#include "protocol/config.hpp"
+#include "protocol/correction.hpp"
+#include "sim/logp.hpp"
+#include "sim/protocol.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::proto {
+
+class CorrectedTreeBroadcast final : public sim::Protocol {
+ public:
+  /// `tree` must outlive the protocol. For synchronized correction the
+  /// caller must set config.sync_time (usually the fault-free dissemination
+  /// time; see fault_free_dissemination_time()). `payload` is the broadcast
+  /// content word: every colored process ends up holding it in its rank
+  /// data, regardless of which phase colored it.
+  CorrectedTreeBroadcast(const topo::Tree& tree, CorrectionConfig config,
+                         std::int64_t payload = 0);
+
+  void begin(sim::Context& ctx) override;
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
+  void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id) override;
+
+  /// Replaces the broadcast content word. Only meaningful before begin()
+  /// (composite collectives compute the payload at run time and call this
+  /// right before starting the broadcast phase).
+  void set_payload(std::int64_t payload) noexcept { payload_ = payload; }
+
+ private:
+  void color_by_tree(sim::Context& ctx, topo::Rank me);
+  void dissemination_done(sim::Context& ctx, topo::Rank me);
+
+  const topo::Tree& tree_;
+  CorrectionConfig config_;
+  std::int64_t payload_;
+  std::unique_ptr<CorrectionEngine> engine_;
+
+  std::vector<char> tree_colored_;       // reached by a kTree message (or root)
+  std::vector<std::int32_t> tree_pending_;  // outstanding tree sends
+};
+
+/// Runs a fault-free simulation of the bare tree dissemination and returns
+/// its coloring latency — the natural sync_time for synchronized correction
+/// (failures only remove messages from a tree schedule, they never delay the
+/// remaining ones, so the fault-free completion time stays an upper bound).
+sim::Time fault_free_dissemination_time(const topo::Tree& tree, const sim::LogP& params);
+
+}  // namespace ct::proto

@@ -1,0 +1,268 @@
+#include "rt/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::rt {
+
+using topo::Rank;
+
+namespace {
+constexpr std::chrono::microseconds kIdleWait{50};
+}
+
+class Engine::ContextImpl final : public sim::Context {
+ public:
+  explicit ContextImpl(Rank num_procs, const std::vector<char>& failed)
+      : num_procs_(num_procs),
+        failed_(failed),
+        mailboxes_(static_cast<std::size_t>(num_procs)),
+        outbox_(static_cast<std::size_t>(num_procs)),
+        timers_(static_cast<std::size_t>(num_procs)),
+        colored_(static_cast<std::size_t>(num_procs), 0),
+        sends_(static_cast<std::size_t>(num_procs), 0),
+        rank_data_(static_cast<std::size_t>(num_procs), 0),
+        completion_ns_(static_cast<std::size_t>(num_procs), -1) {}
+
+  // --- sim::Context ---------------------------------------------------------
+
+  sim::Time now() const override {
+    if (!started_.load(std::memory_order_acquire)) return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_start_)
+        .count();
+  }
+
+  Rank num_procs() const override { return num_procs_; }
+
+  void send(Rank from, Rank to, sim::Tag tag, std::int64_t payload) override {
+    // Queued on the sender's outbox; the owning worker delivers it and then
+    // receives the on_sent callback. Delivery to failed ranks is dropped
+    // there, indistinguishable from success for the protocol.
+    outbox_[static_cast<std::size_t>(from)].push_back(Envelope{
+        sim::Message{from, to, tag, payload, rank_data_[static_cast<std::size_t>(from)]},
+        epoch_});
+  }
+
+  void set_rank_data(Rank r, std::int64_t data) override {
+    rank_data_[static_cast<std::size_t>(r)] = data;
+  }
+
+  std::int64_t rank_data(Rank r) const override {
+    return rank_data_[static_cast<std::size_t>(r)];
+  }
+
+  void set_timer(Rank on, sim::Time when, std::int64_t id) override {
+    timers_[static_cast<std::size_t>(on)].push_back({when, id});
+  }
+
+  void mark_colored(Rank r) override { colored_[static_cast<std::size_t>(r)] = 1; }
+
+  bool is_colored(Rank r) const override {
+    return colored_[static_cast<std::size_t>(r)] != 0;
+  }
+
+  void note_correction_start() override {
+    correction_started_.store(true, std::memory_order_relaxed);
+  }
+
+  // --- epoch plumbing (coordinator side) -------------------------------------
+
+  void reset_epoch(sim::Protocol* protocol, Rank live_count, std::int64_t timeout_ns) {
+    ++epoch_;
+    protocol_ = protocol;
+    timeout_ns_ = timeout_ns;
+    live_count_ = live_count;
+    completed_count_.store(0, std::memory_order_relaxed);
+    epoch_done_.store(false, std::memory_order_relaxed);
+    timed_out_.store(false, std::memory_order_relaxed);
+    correction_started_.store(false, std::memory_order_relaxed);
+    started_.store(false, std::memory_order_release);
+    for (Rank r = 0; r < num_procs_; ++r) {
+      const auto slot = static_cast<std::size_t>(r);
+      outbox_[slot].clear();
+      timers_[slot].clear();
+      mailboxes_[slot].clear();
+      colored_[slot] = 0;
+      sends_[slot] = 0;
+      rank_data_[slot] = 0;
+      completion_ns_[slot] = -1;
+    }
+  }
+
+  void start_clock() {
+    epoch_start_ = Clock::now();
+    started_.store(true, std::memory_order_release);
+  }
+
+  EpochResult collect(const std::vector<char>& failed) const {
+    EpochResult result;
+    result.timed_out = timed_out_.load(std::memory_order_relaxed);
+    for (Rank r = 0; r < num_procs_; ++r) {
+      const auto slot = static_cast<std::size_t>(r);
+      if (failed[slot]) continue;
+      result.total_messages += sends_[slot];
+      result.rank_completion_ns.push_back(completion_ns_[slot]);
+      result.completion_ns = std::max(result.completion_ns, completion_ns_[slot]);
+      if (!colored_[slot]) ++result.uncolored_live;
+    }
+    return result;
+  }
+
+  // --- worker side ------------------------------------------------------------
+
+  void worker_epoch(Rank me) {
+    const auto slot = static_cast<std::size_t>(me);
+    auto& outbox = outbox_[slot];
+    std::size_t outbox_head = 0;
+    auto& timers = timers_[slot];
+    bool completed = false;
+    Envelope envelope;
+
+    auto maybe_complete = [&] {
+      if (completed || !colored_[slot] || outbox_head < outbox.size()) return;
+      completed = true;
+      completion_ns_[slot] = now();
+      if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_count_) {
+        epoch_done_.store(true, std::memory_order_release);
+        for (auto& mailbox : mailboxes_) mailbox.kick();
+      }
+    };
+
+    while (!epoch_done_.load(std::memory_order_acquire)) {
+      bool progress = false;
+
+      if (outbox_head < outbox.size()) {
+        const Envelope out = outbox[outbox_head++];
+        if (outbox_head == outbox.size()) {
+          outbox.clear();
+          outbox_head = 0;
+        }
+        ++sends_[slot];
+        if (!failed_[static_cast<std::size_t>(out.msg.dst)]) {
+          mailboxes_[static_cast<std::size_t>(out.msg.dst)].push(out);
+        }
+        protocol_->on_sent(*this, me, out.msg);
+        progress = true;
+      } else if (mailboxes_[slot].try_pop(envelope)) {
+        if (envelope.epoch == epoch_) {
+          protocol_->on_receive(*this, me, envelope.msg);
+        }
+        progress = true;
+      } else if (fire_due_timer(me, timers)) {
+        progress = true;
+      }
+
+      maybe_complete();
+
+      if (!progress && !epoch_done_.load(std::memory_order_acquire)) {
+        if (!completed && timeout_ns_ > 0 && now() > timeout_ns_) {
+          // Give up on this epoch; count ourselves completed so the run can
+          // finish and be reported as timed out.
+          timed_out_.store(true, std::memory_order_relaxed);
+          completed = true;
+          completion_ns_[slot] = now();
+          if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+              live_count_) {
+            epoch_done_.store(true, std::memory_order_release);
+            for (auto& mailbox : mailboxes_) mailbox.kick();
+          }
+          continue;
+        }
+        if (mailboxes_[slot].pop_for(envelope, kIdleWait)) {
+          if (envelope.epoch == epoch_) {
+            protocol_->on_receive(*this, me, envelope.msg);
+          }
+          maybe_complete();
+        }
+      }
+    }
+  }
+
+ private:
+  struct Timer {
+    sim::Time when;
+    std::int64_t id;
+    bool fired = false;
+  };
+
+  bool fire_due_timer(Rank me, std::vector<Timer>& timers) {
+    const sim::Time current = now();
+    for (auto& timer : timers) {
+      if (!timer.fired && timer.when <= current) {
+        timer.fired = true;
+        protocol_->on_timer(*this, me, timer.id);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Rank num_procs_;
+  const std::vector<char>& failed_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::vector<Envelope>> outbox_;
+  std::vector<std::vector<Timer>> timers_;
+  std::vector<char> colored_;
+  std::vector<std::int64_t> sends_;
+  std::vector<std::int64_t> rank_data_;
+  std::vector<std::int64_t> completion_ns_;
+
+  sim::Protocol* protocol_ = nullptr;
+  std::int64_t epoch_ = 0;
+  std::int64_t timeout_ns_ = 0;
+  Rank live_count_ = 0;
+  Clock::time_point epoch_start_{};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> epoch_done_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<bool> correction_started_{false};
+  std::atomic<std::int32_t> completed_count_{0};
+};
+
+Engine::Engine(Rank num_procs, std::vector<char> failed)
+    : num_procs_(num_procs),
+      failed_(std::move(failed)),
+      epoch_barrier_([&] {
+        if (num_procs < 1) throw std::invalid_argument("engine needs at least one rank");
+        if (static_cast<Rank>(failed_.size()) != num_procs) {
+          throw std::invalid_argument("failed flag vector must have P entries");
+        }
+        if (failed_[0]) throw std::invalid_argument("rank 0 (the root) cannot fail");
+        live_count_ = 0;
+        for (char f : failed_) live_count_ += (f == 0);
+        return static_cast<std::ptrdiff_t>(live_count_) + 1;
+      }()) {
+  context_ = std::make_unique<ContextImpl>(num_procs_, failed_);
+  threads_.reserve(static_cast<std::size_t>(live_count_));
+  for (Rank r = 0; r < num_procs_; ++r) {
+    if (!failed_[static_cast<std::size_t>(r)]) {
+      threads_.emplace_back([this, r] { worker_main(r); });
+    }
+  }
+}
+
+Engine::~Engine() {
+  shutdown_.store(true, std::memory_order_release);
+  epoch_barrier_.arrive_and_wait();  // release workers into the shutdown check
+  threads_.clear();                  // join
+}
+
+void Engine::worker_main(Rank me) {
+  for (;;) {
+    epoch_barrier_.arrive_and_wait();  // epoch start (or shutdown)
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    context_->worker_epoch(me);
+    epoch_barrier_.arrive_and_wait();  // epoch end
+  }
+}
+
+EpochResult Engine::run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout) {
+  context_->reset_epoch(&protocol, live_count_, timeout.count());
+  protocol.begin(*context_);
+  context_->start_clock();
+  epoch_barrier_.arrive_and_wait();  // epoch start
+  epoch_barrier_.arrive_and_wait();  // epoch end
+  return context_->collect(failed_);
+}
+
+}  // namespace ct::rt

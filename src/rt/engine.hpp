@@ -1,0 +1,76 @@
+#pragma once
+// Threaded message-passing runtime — the repo's stand-in for the MPI cluster
+// of §4.4 (see DESIGN.md §1). One OS thread per live rank drives the very
+// same executor-independent Protocol state machines as the LogP simulator,
+// in wall-clock time over in-process mailboxes. "Failed" ranks get no
+// thread; messages addressed to them vanish without feedback — the paper's
+// fault emulation ("Processes 'failed' during benchmark initialization and
+// stayed as such during the whole benchmark run").
+//
+// An Engine is persistent: it spawns its threads once and then executes a
+// sequence of epochs (benchmark iterations). Within an epoch each rank
+// records its local completion time (colored + own sends drained) but keeps
+// servicing its mailbox — remote protocols may still need its replies —
+// until every live rank has completed. Per-epoch message envelopes carry the
+// epoch number so leftovers of epoch e are discarded in epoch e+1.
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rt/mailbox.hpp"
+#include "sim/protocol.hpp"
+
+namespace ct::rt {
+
+using Clock = std::chrono::steady_clock;
+
+/// Outcome of one epoch (one broadcast execution).
+struct EpochResult {
+  bool timed_out = false;
+  /// Wall time from epoch start until the last live rank completed locally.
+  std::int64_t completion_ns = 0;
+  /// Per-live-rank local completion times (ns since epoch start).
+  std::vector<std::int64_t> rank_completion_ns;
+  /// Live ranks that were never colored (protocol failure).
+  std::int32_t uncolored_live = 0;
+  std::int64_t total_messages = 0;
+};
+
+class Engine {
+ public:
+  /// `failed[r] != 0` marks rank r as crashed for the engine's lifetime.
+  /// Rank 0 must be alive (it roots every collective).
+  Engine(topo::Rank num_procs, std::vector<char> failed);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  topo::Rank num_procs() const noexcept { return num_procs_; }
+  topo::Rank live_count() const noexcept { return live_count_; }
+
+  /// Executes one epoch of `protocol` (freshly constructed by the caller)
+  /// and returns its timing. Serializes epochs internally.
+  EpochResult run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout);
+
+ private:
+  class ContextImpl;
+  void worker_main(topo::Rank me);
+
+  topo::Rank num_procs_;
+  std::vector<char> failed_;
+  topo::Rank live_count_ = 0;
+
+  std::unique_ptr<ContextImpl> context_;
+  std::barrier<> epoch_barrier_;  // live ranks + coordinator, twice per epoch
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace ct::rt

@@ -1,0 +1,29 @@
+#include "rt/harness.hpp"
+
+namespace ct::rt {
+
+HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
+                                const HarnessOptions& options) {
+  for (std::int64_t i = 0; i < options.warmup; ++i) {
+    auto protocol = factory();
+    engine.run_epoch(*protocol, options.epoch_timeout);
+  }
+
+  HarnessResult result;
+  for (std::int64_t i = 0; i < options.iterations; ++i) {
+    auto protocol = factory();
+    const EpochResult epoch = engine.run_epoch(*protocol, options.epoch_timeout);
+    ++result.iterations;
+    if (epoch.timed_out) {
+      ++result.timeouts;
+      continue;
+    }
+    if (epoch.uncolored_live > 0) ++result.incomplete;
+    result.latency_us.add(static_cast<double>(epoch.completion_ns) / 1000.0);
+    result.messages_per_process.add(static_cast<double>(epoch.total_messages) /
+                                    static_cast<double>(engine.num_procs()));
+  }
+  return result;
+}
+
+}  // namespace ct::rt

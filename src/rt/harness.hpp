@@ -1,0 +1,42 @@
+#pragma once
+// OSU-style broadcast latency harness over the threaded runtime (§4.4: "This
+// benchmark repeatedly executes MPI_Bcast and measures its runtime across
+// all the processes of the application"). A ProtocolFactory supplies a fresh
+// protocol instance per iteration; the harness reports the distribution of
+// per-iteration full-completion latencies (max over live ranks), as the
+// paper's median-latency plots do.
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "rt/engine.hpp"
+#include "support/stats.hpp"
+
+namespace ct::rt {
+
+using ProtocolFactory = std::function<std::unique_ptr<sim::Protocol>()>;
+
+struct HarnessResult {
+  support::Samples latency_us;  ///< per-iteration completion latency, µs
+  support::Samples messages_per_process;
+  std::int64_t iterations = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t incomplete = 0;  ///< iterations leaving live ranks uncolored
+
+  /// Median per-iteration latency; 0 when every iteration timed out.
+  double median_us() const { return latency_us.empty() ? 0.0 : latency_us.median(); }
+};
+
+struct HarnessOptions {
+  std::int64_t warmup = 3;
+  std::int64_t iterations = 20;
+  std::chrono::nanoseconds epoch_timeout = std::chrono::seconds(10);
+};
+
+/// Runs `options.iterations` measured epochs (after warmup) of protocols
+/// built by `factory` on `engine`.
+HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
+                                const HarnessOptions& options = {});
+
+}  // namespace ct::rt

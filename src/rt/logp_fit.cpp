@@ -1,0 +1,137 @@
+#include "rt/logp_fit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::rt {
+
+namespace {
+
+using topo::Rank;
+
+/// N ping-pong round trips between ranks 0 and 1; all other ranks idle.
+class PingPong final : public sim::Protocol {
+ public:
+  explicit PingPong(int round_trips) : rounds_(round_trips) {}
+
+  void begin(sim::Context& ctx) override {
+    for (Rank r = 2; r < ctx.num_procs(); ++r) ctx.mark_colored(r);
+    start_ns_ = ctx.now();
+    ctx.send(0, 1, sim::tag::kTree, 1);
+  }
+
+  void on_receive(sim::Context& ctx, Rank me, const sim::Message& msg) override {
+    if (msg.payload < 0) {  // done marker
+      ctx.mark_colored(me);
+      return;
+    }
+    if (me == 1) {
+      ctx.send(1, 0, sim::tag::kTree, msg.payload);  // pong
+      return;
+    }
+    if (msg.payload < rounds_) {
+      ctx.send(0, 1, sim::tag::kTree, msg.payload + 1);
+    } else {
+      end_ns_ = ctx.now();
+      ctx.send(0, 1, sim::tag::kTree, -1);
+      ctx.mark_colored(0);
+    }
+  }
+
+  void on_sent(sim::Context&, Rank, const sim::Message&) override {}
+
+  double mean_rtt_ns() const {
+    return static_cast<double>(end_ns_ - start_ns_) / static_cast<double>(rounds_);
+  }
+
+ private:
+  int rounds_;
+  sim::Time start_ns_ = 0;
+  sim::Time end_ns_ = 0;
+};
+
+/// One burst of `size` messages 0 -> 1, acknowledged once complete.
+class Burst final : public sim::Protocol {
+ public:
+  explicit Burst(int size) : size_(size) {}
+
+  void begin(sim::Context& ctx) override {
+    for (Rank r = 2; r < ctx.num_procs(); ++r) ctx.mark_colored(r);
+    start_ns_ = ctx.now();
+    for (int i = 0; i < size_; ++i) ctx.send(0, 1, sim::tag::kTree, i);
+  }
+
+  void on_receive(sim::Context& ctx, Rank me, const sim::Message& msg) override {
+    if (me == 1) {
+      if (msg.payload == size_ - 1) {
+        ctx.send(1, 0, sim::tag::kAck, 0);
+        ctx.mark_colored(1);
+      }
+      return;
+    }
+    end_ns_ = ctx.now();
+    ctx.mark_colored(0);
+  }
+
+  void on_sent(sim::Context&, Rank, const sim::Message&) override {}
+
+  double elapsed_ns() const { return static_cast<double>(end_ns_ - start_ns_); }
+
+ private:
+  int size_;
+  sim::Time start_ns_ = 0;
+  sim::Time end_ns_ = 0;
+};
+
+}  // namespace
+
+LogPFit fit_logp(Engine& engine, int round_trips, int burst_size) {
+  if (engine.live_count() < 2) {
+    throw std::invalid_argument("LogP fitting needs at least two live ranks");
+  }
+  if (round_trips < 1 || burst_size < 2) {
+    throw std::invalid_argument("fit_logp needs round_trips >= 1, burst_size >= 2");
+  }
+  const auto timeout = std::chrono::seconds(30);
+
+  // Warm-up + measurement; medians over a few repetitions tame scheduler
+  // noise on oversubscribed hosts.
+  auto ping_rtt = [&] {
+    std::vector<double> samples;
+    for (int i = 0; i < 4; ++i) {
+      PingPong probe(round_trips);
+      const EpochResult epoch = engine.run_epoch(probe, timeout);
+      if (epoch.timed_out || i == 0) continue;
+      samples.push_back(probe.mean_rtt_ns());
+    }
+    if (samples.empty()) throw std::runtime_error("LogP fitting timed out");
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  const double rtt = ping_rtt();
+
+  // Burst slope: (T(2k) - T(k)) / k.
+  auto burst_time = [&](int size) {
+    std::vector<double> samples;
+    for (int i = 0; i < 4; ++i) {
+      Burst probe(size);
+      const EpochResult epoch = engine.run_epoch(probe, timeout);
+      if (epoch.timed_out || i == 0) continue;
+      samples.push_back(probe.elapsed_ns());
+    }
+    if (samples.empty()) throw std::runtime_error("LogP fitting timed out");
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  const double t1 = burst_time(burst_size);
+  const double t2 = burst_time(2 * burst_size);
+
+  LogPFit fit;
+  fit.rtt_ns = rtt;
+  fit.o_ns = std::max(0.0, (t2 - t1) / static_cast<double>(burst_size));
+  fit.L_ns = std::max(0.0, rtt / 2.0 - 2.0 * fit.o_ns);
+  fit.l_over_o = fit.o_ns > 0 ? fit.L_ns / fit.o_ns : 0.0;
+  return fit;
+}
+
+}  // namespace ct::rt

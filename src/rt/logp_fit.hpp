@@ -1,0 +1,31 @@
+#pragma once
+// LogP parameter measurement on the threaded runtime — the calibration step
+// the paper relies on for its simulator inputs ("L = 2, o = 1 ... which
+// corresponds to the range of LogP parameters measured on real systems
+// [18, 28, 34]", citing LogfP and Kielmann et al.'s logp_mpi).
+//
+// Two micro-experiments between ranks 0 and 1:
+//  * ping-pong: round-trip time, RTT/2 = 2o + L per the model;
+//  * burst: rank 0 fires k back-to-back messages; the marginal cost of one
+//    more message estimates the port period (o, since g <= o here).
+// Solving yields o and L in nanoseconds, and o/L expressed as LogP "steps"
+// tells how this substrate compares to the paper's L/o = 2 assumption.
+
+#include <cstdint>
+
+#include "rt/engine.hpp"
+
+namespace ct::rt {
+
+struct LogPFit {
+  double rtt_ns = 0;       ///< mean ping-pong round trip
+  double o_ns = 0;         ///< estimated per-message overhead
+  double L_ns = 0;         ///< estimated wire latency (RTT/2 - 2o, floored at 0)
+  double l_over_o = 0;     ///< the simulator's L/o knob implied by this host
+};
+
+/// Measures on an engine with at least two live ranks. `round_trips` and
+/// `burst_size` trade precision for time; defaults suit a CI run.
+LogPFit fit_logp(Engine& engine, int round_trips = 200, int burst_size = 64);
+
+}  // namespace ct::rt

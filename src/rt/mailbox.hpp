@@ -1,0 +1,67 @@
+#pragma once
+// Per-rank mailbox for the threaded message-passing runtime: an unbounded
+// MPSC queue (any thread pushes, only the owning rank pops) built on a
+// mutex + condition variable. Reliable and per-sender FIFO — the same
+// point-to-point guarantees the paper assumes from TCP/InfiniBand (§5).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "sim/message.hpp"
+
+namespace ct::rt {
+
+/// A simulator Message plus the runtime epoch (benchmark iteration) it
+/// belongs to; stale-epoch messages are dropped by the receiver.
+struct Envelope {
+  sim::Message msg;
+  std::int64_t epoch = 0;
+};
+
+class Mailbox {
+ public:
+  void push(const Envelope& envelope) {
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.push_back(envelope);
+    }
+    cv_.notify_one();
+  }
+
+  bool try_pop(Envelope& out) {
+    const std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Blocks until a message is available or `timeout` elapsed; returns
+  /// whether a message was popped. Used to idle without burning the single
+  /// CPU this runtime typically shares among all ranks.
+  template <class Rep, class Period>
+  bool pop_for(Envelope& out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); })) return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Wakes a blocked pop_for (used to broadcast run-wide state changes).
+  void kick() { cv_.notify_all(); }
+
+  void clear() {
+    const std::scoped_lock lock(mutex_);
+    queue_.clear();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace ct::rt

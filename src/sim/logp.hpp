@@ -1,0 +1,88 @@
+#pragma once
+// LogP model parameters (§2.2, Culler et al. [8]).
+//
+//  L — maximum latency between any two processes,
+//  o — send/receive processing overhead (paid on both sides),
+//  g — minimum gap between consecutive sends/receives on one process,
+//  P — number of processes.
+//
+// The paper's small-message assumption gives g <= o, so a process can
+// handle messages in direct succession and g is effectively ignored; we
+// keep g in the model (the port period is max(o, g)) and validate g <= o
+// where the analysis requires it.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::sim {
+
+struct LogP {
+  Time L = 2;
+  Time o = 1;
+  Time g = 1;
+  topo::Rank P = 0;
+
+  // --- LogGP/LogGOP extension (Alexandrov et al. / [20]) -------------------
+  // The paper's analysis assumes small messages (G = O = 0, bytes = 1, the
+  // defaults — pure LogP). The simulator honours these for "what if the
+  // payload were larger" studies: per-byte wire gap G, per-byte CPU
+  // overhead O, and the uniform message size in bytes.
+  Time G = 0;
+  Time O = 0;
+  Time bytes = 1;
+
+  void validate() const {
+    if (L < 0) throw std::invalid_argument("LogP: L must be >= 0");
+    if (o < 1) throw std::invalid_argument("LogP: o must be >= 1");
+    if (g < 0) throw std::invalid_argument("LogP: g must be >= 0");
+    if (P < 1) throw std::invalid_argument("LogP: P must be >= 1");
+    if (G < 0 || O < 0) throw std::invalid_argument("LogP: G and O must be >= 0");
+    if (bytes < 1) throw std::invalid_argument("LogP: message size must be >= 1 byte");
+  }
+
+  /// CPU time to hand one message to / take it from the network.
+  Time overhead_time() const noexcept { return o + O * (bytes - 1); }
+
+  /// Wire time of one message: latency plus per-byte serialisation.
+  Time wire_time() const noexcept { return L + G * (bytes - 1); }
+
+  /// Minimum spacing between two consecutive sends (or receives) on the
+  /// same process: the larger of the per-message gap, the injection time
+  /// and the processing overhead.
+  Time port_period() const noexcept {
+    Time period = overhead_time();
+    if (g > period) period = g;
+    if (G * bytes > period) period = G * bytes;
+    return period;
+  }
+
+  /// End-to-end cost of one uncontended message: send overhead + wire
+  /// latency + receive overhead. Equals 2o + L for small messages.
+  Time message_cost() const noexcept { return 2 * overhead_time() + wire_time(); }
+};
+
+/// Optional two-level locality: the paper's model assumes "a uniform
+/// maximum latency of L", but §6 points at tuning "to the topology of the
+/// underlying network [42]". With a Locality attached, messages between
+/// ranks on the same physical node pay L_intra instead of L — which turns
+/// the §2.1 placement question into a real trade-off: striping co-located
+/// ranks far apart on the ring shrinks correction gaps but makes low-offset
+/// tree edges remote.
+struct Locality {
+  /// node_of_rank[r] = physical node hosting rank r (empty = uniform L).
+  std::vector<std::int32_t> node_of_rank;
+  /// Wire latency between ranks on one node (usually << L).
+  Time L_intra = 0;
+
+  bool uniform() const noexcept { return node_of_rank.empty(); }
+  bool same_node(topo::Rank a, topo::Rank b) const {
+    return node_of_rank.at(static_cast<std::size_t>(a)) ==
+           node_of_rank.at(static_cast<std::size_t>(b));
+  }
+};
+
+}  // namespace ct::sim

@@ -1,0 +1,44 @@
+#pragma once
+// Message record shared by the simulator and the threaded runtime. The
+// paper's broadcasts move a small opaque payload; protocols additionally
+// use `tag` to distinguish phases and `payload` for per-message metadata
+// (gossip round counters, correction coverage hints, ack aggregation).
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::sim {
+
+using Tag = std::int32_t;
+
+/// Well-known tags used by the protocols in this repo. Protocol code treats
+/// these as plain values; the executors do not interpret them.
+namespace tag {
+inline constexpr Tag kTree = 1;       ///< tree dissemination payload
+inline constexpr Tag kGossip = 2;     ///< gossip dissemination payload
+inline constexpr Tag kCorrection = 3; ///< ring correction payload
+inline constexpr Tag kCorrReply = 4;  ///< stop-reply / ack for correction
+inline constexpr Tag kAck = 5;        ///< ack-tree acknowledgment
+inline constexpr Tag kReduce = 6;     ///< reduction contribution (tree gather)
+inline constexpr Tag kReduceRing = 7; ///< ring replica of a contribution
+inline constexpr Tag kPull = 8;       ///< failure-detector baseline: data request
+inline constexpr Tag kPullReply = 9;  ///< failure-detector baseline: data response
+}  // namespace tag
+
+struct Message {
+  topo::Rank src = topo::kNoRank;
+  topo::Rank dst = topo::kNoRank;
+  Tag tag = 0;
+  /// Protocol metadata (gossip rounds, correction distances, ack flags).
+  std::int64_t payload = 0;
+  /// Data plane: the collective's payload word. Executors stamp this
+  /// automatically from the sender's registered rank data (Context::
+  /// set_rank_data), mirroring reality where every protocol message carries
+  /// the broadcast content. Receivers read it to learn the value no matter
+  /// which phase (tree, gossip or correction) colored them.
+  std::int64_t data = 0;
+};
+
+}  // namespace ct::sim

@@ -1,0 +1,83 @@
+#pragma once
+// Executor-independent protocol interface. One Protocol object implements a
+// collective over all ranks as an event-driven state machine; it is driven
+// either by the LogP discrete-event simulator (ct::sim::Simulator, virtual
+// time) or by the threaded message-passing runtime (ct::rt::Executor, wall
+// clock). This is the enabler for the paper's §4.4 claim: the very same
+// protocol logic that is analysed in simulation runs on the "cluster".
+//
+// Contract:
+//  * The executor calls begin() once; the protocol seeds initial activity
+//    (root send, timers) through the Context.
+//  * on_receive(me, msg) fires when rank `me` finished receiving `msg`
+//    (after the receive overhead in the simulator).
+//  * on_sent(me, msg) fires when rank `me`'s send port completes `msg`;
+//    protocols that decide their next message dynamically (checked
+//    correction, gossip) enqueue it here.
+//  * on_timer(me, id) fires for timers set via Context::set_timer.
+//  * Callbacks are never invoked for failed ranks.
+//  * Protocols must not assume anything about message timing beyond the
+//    ordering guarantees of the executor (reliable, per-pair FIFO).
+
+#include <cstdint>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::sim {
+
+/// Executor services available to a protocol.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual Time now() const = 0;
+  virtual topo::Rank num_procs() const = 0;
+
+  /// Enqueues a message on `from`'s send port (FIFO; the executor applies
+  /// the overhead/latency model). Sending to a failed rank is permitted and
+  /// indistinguishable from success, per §2.2.
+  virtual void send(topo::Rank from, topo::Rank to, Tag tag, std::int64_t payload) = 0;
+
+  /// One-shot timer for rank `on` at absolute time `when` (>= now()).
+  virtual void set_timer(topo::Rank on, Time when, std::int64_t id) = 0;
+
+  // --- Coloring bookkeeping (metrics + integrity/no-duplicates masking) ---
+
+  /// Marks `r` colored now (idempotent; first call records the time).
+  virtual void mark_colored(topo::Rank r) = 0;
+  virtual bool is_colored(topo::Rank r) const = 0;
+
+  /// Called by broadcast protocols when the correction phase begins, so the
+  /// executor can snapshot dissemination coloring for gap metrics. Only the
+  /// first call takes the snapshot.
+  virtual void note_correction_start() = 0;
+
+  // --- Data plane -------------------------------------------------------------
+
+  /// Registers the collective's payload word held by rank r. Every message
+  /// r subsequently sends carries it in Message::data (protocols receive
+  /// data with whatever message colors them and register it in turn).
+  virtual void set_rank_data(topo::Rank r, std::int64_t data) = 0;
+  virtual std::int64_t rank_data(topo::Rank r) const = 0;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual void begin(Context& ctx) = 0;
+  virtual void on_receive(Context& ctx, topo::Rank me, const Message& msg) = 0;
+  virtual void on_sent(Context& ctx, topo::Rank me, const Message& msg) = 0;
+  virtual void on_timer(Context& ctx, topo::Rank me, std::int64_t id);
+};
+
+/// Timer ids used by the protocols in this repo (namespaced like tags).
+namespace timer {
+inline constexpr std::int64_t kCorrectionStart = 1;
+inline constexpr std::int64_t kGossipDeadline = 2;
+inline constexpr std::int64_t kDelayExpired = 3;
+}  // namespace timer
+
+}  // namespace ct::sim

@@ -1,0 +1,393 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ct::sim {
+
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kSendStart,  // rank's send port picks up the next queued message
+  kSendDone,   // send overhead finished; port may start the next message
+  kArrival,    // message reached the receiver's input queue (after L)
+  kRecvStart,  // rank's receive port picks up the next queued arrival
+  kRecvDone,   // receive overhead finished; protocol callback fires
+  kTimer,
+};
+
+}  // namespace
+
+struct Simulator::Event {
+  Time time = 0;
+  std::int64_t seq = 0;  // insertion order; deterministic tie-break
+  EventKind kind = EventKind::kTimer;
+  topo::Rank rank = topo::kNoRank;  // acting rank (sender/receiver/timer owner)
+  Message msg;
+  std::int64_t timer_id = 0;
+
+  // Same-tick ordering: receive-side events complete before send-side ones
+  // (the paper's accounting — a process "stops sending messages ... once it
+  // receives", so a receipt at time t influences the send decision at t),
+  // and timers observe everything that happened at their tick (a
+  // synchronized-correction snapshot at t includes processes colored at t).
+  static int priority(EventKind kind) {
+    switch (kind) {
+      case EventKind::kArrival:
+        return 0;
+      case EventKind::kRecvStart:
+        return 1;
+      case EventKind::kRecvDone:
+        return 2;
+      case EventKind::kSendDone:
+        return 3;
+      case EventKind::kSendStart:
+        return 4;
+      case EventKind::kTimer:
+        return 5;
+    }
+    return 6;
+  }
+
+  // Min-heap on (time, kind priority, seq).
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    const int pa = priority(a.kind);
+    const int pb = priority(b.kind);
+    if (pa != pb) return pa > pb;
+    return a.seq > b.seq;
+  }
+};
+
+class Simulator::ContextImpl final : public Context {
+ public:
+  ContextImpl(const LogP& params, const FaultSet& faults, const Locality& locality)
+      : params_(params),
+        faults_(faults),
+        locality_(locality),
+        send_queue_(static_cast<std::size_t>(params.P)),
+        send_head_(static_cast<std::size_t>(params.P), 0),
+        send_scheduled_(static_cast<std::size_t>(params.P), 0),
+        send_next_free_(static_cast<std::size_t>(params.P), 0),
+        recv_queue_(static_cast<std::size_t>(params.P)),
+        recv_head_(static_cast<std::size_t>(params.P), 0),
+        recv_scheduled_(static_cast<std::size_t>(params.P), 0),
+        recv_next_free_(static_cast<std::size_t>(params.P), 0),
+        colored_(static_cast<std::size_t>(params.P), 0),
+        colored_at_(static_cast<std::size_t>(params.P), kTimeNever),
+        sends_per_rank_(static_cast<std::size_t>(params.P), 0),
+        rank_data_(static_cast<std::size_t>(params.P), 0) {}
+
+  // --- Context interface ----------------------------------------------------
+
+  Time now() const override { return now_; }
+  topo::Rank num_procs() const override { return params_.P; }
+
+  void send(topo::Rank from, topo::Rank to, Tag tag, std::int64_t payload) override {
+    check_rank(from);
+    check_rank(to);
+    if (!faults_.alive_at(from, now_)) return;  // dead processes stay silent
+    auto& queue = send_queue_[static_cast<std::size_t>(from)];
+    queue.push_back(Message{from, to, tag, payload,
+                            rank_data_[static_cast<std::size_t>(from)]});
+    if (!send_scheduled_[static_cast<std::size_t>(from)]) {
+      send_scheduled_[static_cast<std::size_t>(from)] = 1;
+      push_event(std::max(now_, send_next_free_[static_cast<std::size_t>(from)]),
+                 EventKind::kSendStart, from);
+    }
+  }
+
+  void set_timer(topo::Rank on, Time when, std::int64_t id) override {
+    check_rank(on);
+    if (when < now_) throw std::invalid_argument("timer set in the past");
+    Event event;
+    event.time = when;
+    event.kind = EventKind::kTimer;
+    event.rank = on;
+    event.timer_id = id;
+    push(std::move(event));
+  }
+
+  void mark_colored(topo::Rank r) override {
+    check_rank(r);
+    auto slot = static_cast<std::size_t>(r);
+    if (!colored_[slot]) {
+      colored_[slot] = 1;
+      colored_at_[slot] = now_;
+    }
+  }
+
+  bool is_colored(topo::Rank r) const override {
+    check_rank(r);
+    return colored_[static_cast<std::size_t>(r)] != 0;
+  }
+
+  void note_correction_start() override {
+    if (correction_start_ == kTimeNever) {
+      correction_start_ = now_;
+      dissemination_snapshot_ = colored_;
+    }
+  }
+
+  void set_rank_data(topo::Rank r, std::int64_t data) override {
+    check_rank(r);
+    rank_data_[static_cast<std::size_t>(r)] = data;
+  }
+
+  std::int64_t rank_data(topo::Rank r) const override {
+    check_rank(r);
+    return rank_data_[static_cast<std::size_t>(r)];
+  }
+
+  // --- Engine ----------------------------------------------------------------
+
+  RunResult drive(Protocol& protocol, const RunOptions& options) {
+    protocol.begin(*this);
+    std::int64_t processed = 0;
+    while (!events_.empty()) {
+      Event event = events_.top();
+      events_.pop();
+      if (++processed > options.max_events) {
+        throw std::runtime_error("simulation exceeded max_events (runaway protocol?)");
+      }
+      now_ = event.time;
+      dispatch(event, protocol, options);
+    }
+    return finish(options);
+  }
+
+ private:
+  void check_rank(topo::Rank r) const {
+    if (r < 0 || r >= params_.P) throw std::out_of_range("rank out of range");
+  }
+
+  void push(Event event) {
+    event.seq = next_seq_++;
+    events_.push(std::move(event));
+  }
+
+  void push_event(Time time, EventKind kind, topo::Rank rank) {
+    Event event;
+    event.time = time;
+    event.kind = kind;
+    event.rank = rank;
+    push(std::move(event));
+  }
+
+  void push_msg_event(Time time, EventKind kind, topo::Rank rank, const Message& msg) {
+    Event event;
+    event.time = time;
+    event.kind = kind;
+    event.rank = rank;
+    event.msg = msg;
+    push(std::move(event));
+  }
+
+  void trace(const RunOptions& options, TraceEvent::Kind kind, const Message& msg,
+             std::int64_t timer_id = 0) const {
+    if (options.trace) options.trace(TraceEvent{kind, now_, msg, timer_id});
+  }
+
+  void dispatch(const Event& event, Protocol& protocol, const RunOptions& options) {
+    switch (event.kind) {
+      case EventKind::kSendStart:
+        handle_send_start(event.rank, protocol, options);
+        break;
+      case EventKind::kSendDone:
+        last_activity_ = std::max(last_activity_, now_);
+        trace(options, TraceEvent::Kind::kSendDone, event.msg);
+        if (faults_.alive_at(event.rank, now_)) {
+          protocol.on_sent(*this, event.rank, event.msg);
+        }
+        break;
+      case EventKind::kArrival:
+        handle_arrival(event.msg, options);
+        break;
+      case EventKind::kRecvStart:
+        handle_recv_start(event.rank);
+        break;
+      case EventKind::kRecvDone:
+        last_activity_ = std::max(last_activity_, now_);
+        trace(options, TraceEvent::Kind::kRecvDone, event.msg);
+        if (faults_.alive_at(event.rank, now_)) {
+          protocol.on_receive(*this, event.rank, event.msg);
+        }
+        break;
+      case EventKind::kTimer:
+        trace(options, TraceEvent::Kind::kTimer, Message{}, event.timer_id);
+        if (faults_.alive_at(event.rank, now_)) {
+          protocol.on_timer(*this, event.rank, event.timer_id);
+        }
+        break;
+    }
+  }
+
+  void handle_send_start(topo::Rank rank, Protocol&, const RunOptions& options) {
+    const auto slot = static_cast<std::size_t>(rank);
+    auto& queue = send_queue_[slot];
+    auto& head = send_head_[slot];
+    if (!faults_.alive_at(rank, now_)) {
+      // Dying between enqueue and port pickup discards the queue (extension
+      // semantics; never happens in the paper's static fault model).
+      queue.clear();
+      head = 0;
+      send_scheduled_[slot] = 0;
+      return;
+    }
+    const Message msg = queue[head++];
+    if (head == queue.size()) {
+      queue.clear();
+      head = 0;
+      send_scheduled_[slot] = 0;
+    } else {
+      push_event(now_ + params_.port_period(), EventKind::kSendStart, rank);
+    }
+    send_next_free_[slot] = now_ + params_.port_period();
+    ++total_messages_;
+    ++sends_per_rank_[slot];
+    trace(options, TraceEvent::Kind::kSendStart, msg);
+    push_msg_event(now_ + params_.overhead_time(), EventKind::kSendDone, rank, msg);
+    push_msg_event(now_ + params_.overhead_time() + wire_time(msg.src, msg.dst),
+                   EventKind::kArrival, msg.dst, msg);
+  }
+
+  void handle_arrival(const Message& msg, const RunOptions& options) {
+    // The message is on the destination even if nobody is there to process
+    // it; network activity ends now either way.
+    last_activity_ = std::max(last_activity_, now_);
+    const auto slot = static_cast<std::size_t>(msg.dst);
+    if (!faults_.alive_at(msg.dst, now_)) {
+      trace(options, TraceEvent::Kind::kArrivalDropped, msg);
+      return;
+    }
+    trace(options, TraceEvent::Kind::kArrival, msg);
+    recv_queue_[slot].push_back(msg);
+    if (!recv_scheduled_[slot]) {
+      recv_scheduled_[slot] = 1;
+      push_event(std::max(now_, recv_next_free_[slot]), EventKind::kRecvStart, msg.dst);
+    }
+  }
+
+  void handle_recv_start(topo::Rank rank) {
+    const auto slot = static_cast<std::size_t>(rank);
+    auto& queue = recv_queue_[slot];
+    auto& head = recv_head_[slot];
+    if (!faults_.alive_at(rank, now_)) {
+      queue.clear();
+      head = 0;
+      recv_scheduled_[slot] = 0;
+      return;
+    }
+    const Message msg = queue[head++];
+    if (head == queue.size()) {
+      queue.clear();
+      head = 0;
+      recv_scheduled_[slot] = 0;
+    } else {
+      push_event(now_ + params_.port_period(), EventKind::kRecvStart, rank);
+    }
+    recv_next_free_[slot] = now_ + params_.port_period();
+    push_msg_event(now_ + params_.overhead_time(), EventKind::kRecvDone, rank, msg);
+  }
+
+  RunResult finish(const RunOptions& options) {
+    RunResult result;
+    result.num_procs = params_.P;
+    result.failed = faults_.failed_count();
+    result.total_messages = total_messages_;
+    result.quiescence_latency = last_activity_;
+    result.correction_start = correction_start_;
+
+    Time last_colored = 0;
+    bool any_colored = false;
+    topo::Rank uncolored_live = 0;
+    for (topo::Rank r = 0; r < params_.P; ++r) {
+      const auto slot = static_cast<std::size_t>(r);
+      const bool live = faults_.alive_at(r, last_activity_ + 1);
+      if (!live) continue;
+      if (colored_[slot]) {
+        any_colored = true;
+        last_colored = std::max(last_colored, colored_at_[slot]);
+      } else {
+        ++uncolored_live;
+      }
+    }
+    result.coloring_latency = any_colored ? last_colored : kTimeNever;
+    result.uncolored_live = uncolored_live;
+
+    if (correction_start_ != kTimeNever) {
+      result.has_dissemination_snapshot = true;
+      result.dissemination_gaps = topo::analyze_gaps(dissemination_snapshot_);
+    }
+    if (options.keep_per_rank_detail) {
+      result.colored_at = colored_at_;
+      result.sends_per_rank = sends_per_rank_;
+      result.rank_data = rank_data_;
+    }
+    return result;
+  }
+
+  Time wire_time(topo::Rank src, topo::Rank dst) const {
+    if (!locality_.uniform() && locality_.same_node(src, dst)) {
+      return locality_.L_intra + params_.G * (params_.bytes - 1);
+    }
+    return params_.wire_time();
+  }
+
+  const LogP& params_;
+  const FaultSet& faults_;
+  const Locality& locality_;
+
+  Time now_ = 0;
+  Time last_activity_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t total_messages_ = 0;
+  Time correction_start_ = kTimeNever;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+  std::vector<std::vector<Message>> send_queue_;
+  std::vector<std::size_t> send_head_;
+  std::vector<char> send_scheduled_;
+  std::vector<Time> send_next_free_;
+
+  std::vector<std::vector<Message>> recv_queue_;
+  std::vector<std::size_t> recv_head_;
+  std::vector<char> recv_scheduled_;
+  std::vector<Time> recv_next_free_;
+
+  std::vector<char> colored_;
+  std::vector<Time> colored_at_;
+  std::vector<std::int32_t> sends_per_rank_;
+  std::vector<std::int64_t> rank_data_;
+  std::vector<char> dissemination_snapshot_;
+};
+
+Simulator::Simulator(LogP params, FaultSet faults)
+    : Simulator(params, std::move(faults), Locality{}) {}
+
+Simulator::Simulator(LogP params, FaultSet faults, Locality locality)
+    : params_(params), faults_(std::move(faults)), locality_(std::move(locality)) {
+  params_.validate();
+  if (faults_.num_procs() != params_.P) {
+    throw std::invalid_argument("fault set size does not match LogP::P");
+  }
+  if (!locality_.uniform()) {
+    if (static_cast<topo::Rank>(locality_.node_of_rank.size()) != params_.P) {
+      throw std::invalid_argument("locality map size does not match LogP::P");
+    }
+    if (locality_.L_intra < 0 || locality_.L_intra > params_.L) {
+      throw std::invalid_argument("locality needs 0 <= L_intra <= L");
+    }
+  }
+}
+
+RunResult Simulator::run(Protocol& protocol, const RunOptions& options) {
+  ContextImpl context(params_, faults_, locality_);
+  return context.drive(protocol, options);
+}
+
+void Protocol::on_timer(Context&, topo::Rank, std::int64_t) {}
+
+}  // namespace ct::sim

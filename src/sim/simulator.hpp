@@ -1,0 +1,72 @@
+#pragma once
+// LogP discrete-event simulator (the paper's `flogsim` substrate, §4:
+// "we developed a discrete event simulator to study collective operations
+// with LogP-like models ... Two main features are the possibility to model
+// faults and run collectives with a dynamically changing communication
+// graph").
+//
+// Semantics implemented (matching §2.2):
+//  * A send occupies the sender's send port for o; consecutive sends on one
+//    process are at least max(o, g) apart.
+//  * The message then travels for L and reaches the receiver's input queue.
+//  * Receiving occupies the receive port for o; queued arrivals are
+//    processed FIFO. Send and receive ports of one process are independent.
+//  * Failed processes stay silent: arrivals addressed to them are dropped,
+//    their queued sends are discarded, and no callbacks fire for them. A
+//    sender cannot distinguish this from success.
+//  * Timers model protocol-internal deadlines; they cost no port time.
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/logp.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "sim/time.hpp"
+
+namespace ct::sim {
+
+/// Observable simulator events, for tracing/timeline examples.
+struct TraceEvent {
+  enum class Kind { kSendStart, kSendDone, kArrival, kArrivalDropped, kRecvDone, kTimer };
+  Kind kind;
+  Time time;
+  Message msg;          // valid except for kTimer
+  std::int64_t timer_id = 0;  // valid for kTimer
+};
+
+struct RunOptions {
+  /// Hard cap on processed events; exceeding it throws (runaway guard).
+  std::int64_t max_events = 200'000'000;
+  /// Populate RunResult::colored_at / sends_per_rank.
+  bool keep_per_rank_detail = false;
+  /// Optional event trace callback (adds overhead; for examples/tests).
+  std::function<void(const TraceEvent&)> trace;
+};
+
+class Simulator {
+ public:
+  Simulator(LogP params, FaultSet faults);
+  /// With a two-level Locality: same-node messages pay L_intra instead of L.
+  Simulator(LogP params, FaultSet faults, Locality locality);
+
+  /// Runs `protocol` to quiescence and returns the metrics. The simulator
+  /// is single-shot: construct a fresh instance (cheap) per run.
+  RunResult run(Protocol& protocol, const RunOptions& options = {});
+
+  const LogP& params() const noexcept { return params_; }
+  const FaultSet& faults() const noexcept { return faults_; }
+
+ private:
+  struct Event;
+  class ContextImpl;
+
+  LogP params_;
+  FaultSet faults_;
+  Locality locality_;
+};
+
+}  // namespace ct::sim

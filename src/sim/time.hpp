@@ -1,0 +1,17 @@
+#pragma once
+// Simulated time. The LogP analysis in the paper works in integer time
+// steps ({o, L} ⊂ Z+), so virtual time is a 64-bit integer tick count.
+// The threaded runtime reuses the same Protocol interface with ticks
+// interpreted as nanoseconds.
+
+#include <cstdint>
+#include <limits>
+
+namespace ct::sim {
+
+using Time = std::int64_t;
+
+/// Sentinel for "no such instant" (never / unset).
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+}  // namespace ct::sim

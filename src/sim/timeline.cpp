@@ -1,0 +1,77 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ct::sim {
+
+TimelineRecorder::TimelineRecorder(const LogP& params)
+    : params_(params),
+      sends_(static_cast<std::size_t>(params.P)),
+      recvs_(static_cast<std::size_t>(params.P)) {
+  params_.validate();
+}
+
+std::function<void(const TraceEvent&)> TimelineRecorder::callback() {
+  return [this](const TraceEvent& event) { record(event); };
+}
+
+void TimelineRecorder::record(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEvent::Kind::kSendStart:
+      sends_[static_cast<std::size_t>(event.msg.src)].push_back(
+          {event.time, event.time + params_.overhead_time()});
+      last_activity_ = std::max(last_activity_, event.time + params_.overhead_time());
+      break;
+    case TraceEvent::Kind::kRecvDone:
+      // The receive port was busy for the overhead ending now.
+      recvs_[static_cast<std::size_t>(event.msg.dst)].push_back(
+          {event.time - params_.overhead_time(), event.time});
+      last_activity_ = std::max(last_activity_, event.time);
+      break;
+    case TraceEvent::Kind::kArrival:
+    case TraceEvent::Kind::kArrivalDropped:
+      last_activity_ = std::max(last_activity_, event.time);
+      break;
+    default:
+      break;
+  }
+}
+
+std::size_t TimelineRecorder::send_spans(topo::Rank r) const {
+  return sends_[static_cast<std::size_t>(r)].size();
+}
+
+std::size_t TimelineRecorder::recv_spans(topo::Rank r) const {
+  return recvs_[static_cast<std::size_t>(r)].size();
+}
+
+std::string TimelineRecorder::render(Time horizon) const {
+  if (horizon < 0) horizon = last_activity_;
+  std::ostringstream out;
+
+  // Header with a time ruler every 5 steps.
+  out << "rank |";
+  for (Time t = 0; t <= horizon; ++t) out << (t % 5 == 0 ? '|' : ' ');
+  out << "\n";
+
+  for (topo::Rank r = 0; r < params_.P; ++r) {
+    std::string lane(static_cast<std::size_t>(horizon) + 1, '.');
+    auto paint = [&](const std::vector<Span>& spans, char mark) {
+      for (const Span& span : spans) {
+        for (Time t = span.begin; t < span.end && t <= horizon; ++t) {
+          char& cell = lane[static_cast<std::size_t>(t)];
+          // Send and receive overhead may overlap on one process (§2.2).
+          cell = (cell == '.') ? mark : (cell == mark ? mark : 'B');
+        }
+      }
+    };
+    paint(sends_[static_cast<std::size_t>(r)], 'S');
+    paint(recvs_[static_cast<std::size_t>(r)], 'R');
+    out << (r < 10 ? "   " : (r < 100 ? "  " : " ")) << r << " |" << lane << "\n";
+  }
+  out << "      S = sending, R = receiving, B = both, . = idle\n";
+  return out.str();
+}
+
+}  // namespace ct::sim

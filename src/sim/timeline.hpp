@@ -1,0 +1,48 @@
+#pragma once
+// Per-process timeline rendering — Figure 5a of the paper ("Timeline of a
+// Lamé tree, k = 3, P = 9") as a reusable utility. A TimelineRecorder plugs
+// into RunOptions::trace, collects the send/receive port occupancy of every
+// rank, and renders an ASCII grid: one row per process, one column per time
+// step, 'S' while the send port is busy, 'R' while the receive port is busy
+// ('B' when both overlap — §2.2 allows that).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/logp.hpp"
+#include "sim/simulator.hpp"
+
+namespace ct::sim {
+
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(const LogP& params);
+
+  /// Adapter for RunOptions::trace. The recorder must outlive the run.
+  std::function<void(const TraceEvent&)> callback();
+
+  /// ASCII rendering up to `horizon` (default: last recorded activity).
+  std::string render(Time horizon = -1) const;
+
+  /// Number of send (receive) busy intervals recorded for a rank.
+  std::size_t send_spans(topo::Rank r) const;
+  std::size_t recv_spans(topo::Rank r) const;
+
+  Time last_activity() const noexcept { return last_activity_; }
+
+ private:
+  struct Span {
+    Time begin;
+    Time end;  // exclusive
+  };
+
+  void record(const TraceEvent& event);
+
+  LogP params_;
+  std::vector<std::vector<Span>> sends_;
+  std::vector<std::vector<Span>> recvs_;
+  Time last_activity_ = 0;
+};
+
+}  // namespace ct::sim

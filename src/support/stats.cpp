@@ -1,0 +1,129 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ct::support {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Samples::merge(const Samples& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_valid_ = false;
+}
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw std::logic_error("Samples::min on empty set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw std::logic_error("Samples::max on empty set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Samples::percentile(double q) const {
+  if (values_.empty()) throw std::logic_error("Samples::percentile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile outside [0,1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+void Histogram::add(std::int64_t value) {
+  auto it = std::lower_bound(
+      bins_.begin(), bins_.end(), value,
+      [](const auto& bin, std::int64_t v) { return bin.first < v; });
+  if (it != bins_.end() && it->first == value) {
+    ++it->second;
+  } else {
+    bins_.insert(it, {value, 1});
+  }
+  ++total_;
+}
+
+std::size_t Histogram::count(std::int64_t value) const {
+  auto it = std::lower_bound(
+      bins_.begin(), bins_.end(), value,
+      [](const auto& bin, std::int64_t v) { return bin.first < v; });
+  return (it != bins_.end() && it->first == value) ? it->second : 0;
+}
+
+std::int64_t Histogram::min_value() const {
+  if (bins_.empty()) throw std::logic_error("Histogram::min_value on empty histogram");
+  return bins_.front().first;
+}
+
+std::int64_t Histogram::max_value() const {
+  if (bins_.empty()) throw std::logic_error("Histogram::max_value on empty histogram");
+  return bins_.back().first;
+}
+
+std::vector<std::pair<std::int64_t, std::size_t>> Histogram::entries() const {
+  return bins_;
+}
+
+std::string format_with_range(double mid, double lo, double hi, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << mid << " [" << lo << ", " << hi << "]";
+  return out.str();
+}
+
+}  // namespace ct::support

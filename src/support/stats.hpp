@@ -1,0 +1,87 @@
+#pragma once
+// Statistics accumulators used to aggregate replicated simulation runs into
+// the summary numbers the paper reports (means, standard deviations and
+// 5 % / 10 % / 90 % / 95 % / 99 % / 99.9 % percentiles, Table 1 style).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ct::support {
+
+/// Streaming mean / variance / extrema (Welford). O(1) memory; use for
+/// quantities where percentiles are not needed.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact-percentile sampler: stores every sample. Memory is proportional to
+/// the replication count, which is bounded in our experiments (<= 1e6).
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::size_t reserve) { values_.reserve(reserve); }
+
+  void add(double x);
+  void merge(const Samples& other);
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  double min() const;
+  double max() const;
+  /// Quantile q in [0, 1], linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin integer histogram (e.g. gap-size distributions).
+class Histogram {
+ public:
+  void add(std::int64_t value);
+  std::size_t count(std::int64_t value) const;
+  std::size_t total() const noexcept { return total_; }
+  std::int64_t min_value() const;
+  std::int64_t max_value() const;
+  /// Pairs (value, count) for all values with nonzero count, ascending.
+  std::vector<std::pair<std::int64_t, std::size_t>> entries() const;
+
+ private:
+  std::vector<std::pair<std::int64_t, std::size_t>> sorted_entries() const;
+  // Sparse representation: values are usually small but can be outliers.
+  std::vector<std::pair<std::int64_t, std::size_t>> bins_;
+  std::size_t total_ = 0;
+};
+
+/// "12.3 [4.5, 67.8]" style formatting used in bench output.
+std::string format_with_range(double mid, double lo, double hi, int precision = 1);
+
+}  // namespace ct::support

@@ -1,0 +1,81 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ct::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("row width does not match header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { separators_.push_back(rows_.size()); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) out << '+';
+    }
+    out << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::setw(static_cast<int>(width[c])) << cells[c] << ' ';
+      if (c + 1 < cells.size()) out << '|';
+    }
+    out << '\n';
+  };
+
+  print_cells(header_);
+  print_rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end() &&
+        r != 0) {
+      print_rule();
+    }
+    print_cells(rows_[r]);
+  }
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+}  // namespace ct::support

@@ -1,0 +1,41 @@
+#pragma once
+// Fixed-width table / CSV writer for bench output. Every figure/table bench
+// prints its data series through this, so output is uniform and easy to
+// post-process (CSV mode is machine-readable for plotting).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ct::support {
+
+/// Column-oriented text table. Usage:
+///   Table t({"Processes", "Latency", "Messages"});
+///   t.add_row({"1024", "42.0", "5.0"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal separator after the most recently added row.
+  void add_separator();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& out) const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices followed by a rule
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt(double value, int precision = 2);
+std::string fmt_int(long long value);
+
+}  // namespace ct::support

@@ -1,0 +1,46 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ct::support {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads != 0 ? threads
+                            : std::max<std::size_t>(1, std::thread::hardware_concurrency())) {}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min(threads_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::jthread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.clear();  // join
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ct::support

@@ -1,0 +1,29 @@
+#pragma once
+// Small fixed-size thread pool used to spread replicated simulations over
+// available cores. Replications are embarrassingly parallel (independent
+// seeds), so a static block partition is sufficient and keeps results
+// deterministic regardless of scheduling.
+
+#include <cstddef>
+#include <functional>
+
+namespace ct::support {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  std::size_t size() const noexcept { return threads_; }
+
+  /// Runs body(i) for i in [0, count), partitioned into contiguous blocks,
+  /// one per worker. Blocks until all iterations complete. Exceptions from
+  /// the body propagate (the first one observed is rethrown).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace ct::support

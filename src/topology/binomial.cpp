@@ -1,0 +1,64 @@
+// Binomial trees (§3.2.2, Fig. 4). The in-order variant numbers every
+// subtree contiguously (DFS); the interleaved variant is the Lamé tree of
+// order 1, children(r) = { r + 2^i : 2^i > r, r + 2^i < P }.
+
+#include <stdexcept>
+#include <utility>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+Tree make_binomial_inorder(Rank num_procs) {
+  if (num_procs <= 0) {
+    throw std::invalid_argument("binomial tree needs at least one process");
+  }
+  std::vector<Rank> parent(static_cast<std::size_t>(num_procs), kNoRank);
+  std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num_procs));
+
+  // A full binomial tree T_t rooted at `base` covers ranks [base, base+2^t).
+  // Its children are roots of T_{t-1}, T_{t-2}, ..., T_0 at consecutive
+  // offsets (largest subtree first, so it is numbered first and — during
+  // dissemination — receives the payload first). Ranks >= num_procs are
+  // clipped, which truncates trailing subtrees for non-power-of-two sizes.
+  std::int64_t capacity = 1;
+  while (capacity < num_procs) capacity *= 2;
+
+  // Iterative worklist of (base, capacity) subtree descriptors.
+  std::vector<std::pair<std::int64_t, std::int64_t>> work{{0, capacity}};
+  while (!work.empty()) {
+    const auto [base, cap] = work.back();
+    work.pop_back();
+    std::int64_t offset = 1;
+    for (std::int64_t sub = cap / 2; sub >= 1; sub /= 2) {
+      const std::int64_t child = base + offset;
+      if (child < num_procs) {
+        children[static_cast<std::size_t>(base)].push_back(static_cast<Rank>(child));
+        parent[static_cast<std::size_t>(child)] = static_cast<Rank>(base);
+        work.emplace_back(child, sub);
+      }
+      offset += sub;
+    }
+  }
+  return Tree("binomial-inorder", std::move(parent), std::move(children));
+}
+
+Tree make_binomial_interleaved(Rank num_procs) {
+  Tree tree = make_lame(num_procs, 1);
+  return Tree("binomial", // canonical short name used throughout the benches
+              [&] {
+                std::vector<Rank> parent(static_cast<std::size_t>(num_procs));
+                for (Rank r = 0; r < num_procs; ++r) parent[static_cast<std::size_t>(r)] = tree.parent(r);
+                return parent;
+              }(),
+              [&] {
+                std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num_procs));
+                for (Rank r = 0; r < num_procs; ++r) {
+                  auto span = tree.children(r);
+                  children[static_cast<std::size_t>(r)].assign(span.begin(), span.end());
+                }
+                return children;
+              }());
+}
+
+}  // namespace ct::topo

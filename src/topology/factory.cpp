@@ -1,0 +1,83 @@
+#include "topology/factory.hpp"
+
+#include <stdexcept>
+
+namespace ct::topo {
+
+namespace {
+
+int parse_arity(const std::string& text, std::size_t colon, int fallback) {
+  if (colon == std::string::npos) return fallback;
+  const std::string arg = text.substr(colon + 1);
+  std::size_t pos = 0;
+  const int value = std::stoi(arg, &pos);
+  if (pos != arg.size() || value < 1) {
+    throw std::invalid_argument("bad arity in tree spec '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string TreeSpec::to_string() const {
+  switch (kind) {
+    case TreeKind::kKAryInOrder:
+      return "kary-inorder:" + std::to_string(arity);
+    case TreeKind::kKAryInterleaved:
+      return "kary:" + std::to_string(arity);
+    case TreeKind::kBinomialInOrder:
+      return "binomial-inorder";
+    case TreeKind::kBinomialInterleaved:
+      return "binomial";
+    case TreeKind::kLame:
+      return "lame:" + std::to_string(arity);
+    case TreeKind::kOptimal:
+      return "optimal";
+  }
+  throw std::logic_error("unreachable tree kind");
+}
+
+TreeSpec parse_tree_spec(const std::string& text) {
+  TreeSpec spec;
+  const std::size_t colon = text.find(':');
+  const std::string base = text.substr(0, colon);
+  if (base == "binomial") {
+    spec.kind = TreeKind::kBinomialInterleaved;
+  } else if (base == "binomial-inorder") {
+    spec.kind = TreeKind::kBinomialInOrder;
+  } else if (base == "kary") {
+    spec.kind = TreeKind::kKAryInterleaved;
+    spec.arity = parse_arity(text, colon, 2);
+  } else if (base == "kary-inorder") {
+    spec.kind = TreeKind::kKAryInOrder;
+    spec.arity = parse_arity(text, colon, 2);
+  } else if (base == "lame") {
+    spec.kind = TreeKind::kLame;
+    spec.arity = parse_arity(text, colon, 2);
+  } else if (base == "optimal") {
+    spec.kind = TreeKind::kOptimal;
+  } else {
+    throw std::invalid_argument("unknown tree spec '" + text + "'");
+  }
+  return spec;
+}
+
+Tree make_tree(const TreeSpec& spec, Rank num_procs) {
+  switch (spec.kind) {
+    case TreeKind::kKAryInOrder:
+      return make_kary_inorder(num_procs, spec.arity);
+    case TreeKind::kKAryInterleaved:
+      return make_kary_interleaved(num_procs, spec.arity);
+    case TreeKind::kBinomialInOrder:
+      return make_binomial_inorder(num_procs);
+    case TreeKind::kBinomialInterleaved:
+      return make_binomial_interleaved(num_procs);
+    case TreeKind::kLame:
+      return make_lame(num_procs, spec.arity);
+    case TreeKind::kOptimal:
+      return make_optimal(num_procs, spec.o, spec.L);
+  }
+  throw std::logic_error("unreachable tree kind");
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,50 @@
+#include "topology/gaps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::topo {
+
+GapStats analyze_gaps(const std::vector<char>& colored) {
+  const auto num = static_cast<Rank>(colored.size());
+  if (num == 0) throw std::invalid_argument("empty coloring");
+
+  // Find some colored anchor to start the circular scan from.
+  Rank anchor = kNoRank;
+  for (Rank r = 0; r < num; ++r) {
+    if (colored[static_cast<std::size_t>(r)]) {
+      anchor = r;
+      break;
+    }
+  }
+  if (anchor == kNoRank) {
+    throw std::invalid_argument("gap analysis requires at least one colored process");
+  }
+
+  GapStats stats;
+  Rank run = 0;
+  for (Rank step = 1; step <= num; ++step) {
+    const Rank r = static_cast<Rank>((anchor + step) % num);
+    if (colored[static_cast<std::size_t>(r)]) {
+      if (run > 0) {
+        stats.gap_sizes.push_back(run);
+        stats.max_gap = std::max(stats.max_gap, run);
+        ++stats.gap_count;
+        stats.uncolored += run;
+        run = 0;
+      }
+    } else {
+      ++run;
+    }
+  }
+  // The scan ends back on the colored anchor, so any open run has closed.
+  return stats;
+}
+
+bool every_nth_colored(const std::vector<char>& colored, Rank stride) {
+  if (stride <= 0) throw std::invalid_argument("stride must be positive");
+  const GapStats stats = analyze_gaps(colored);
+  return stats.max_gap < stride;
+}
+
+}  // namespace ct::topo

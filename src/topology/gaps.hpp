@@ -1,0 +1,30 @@
+#pragma once
+// Gap analysis of a coloring on the correction ring (§3.1, §4.2/§4.3).
+// A gap is a maximal run of uncolored processes between two colored ones
+// (wrapping around the ring). The maximum gap size g_max bounds the
+// correction latency (Lemma 3) and is the paper's proxy for correction cost
+// (Fig. 10, Table 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+struct GapStats {
+  Rank max_gap = 0;       ///< g_max: length of the longest uncolored run.
+  std::int64_t gap_count = 0;   ///< number of maximal uncolored runs.
+  std::int64_t uncolored = 0;   ///< total uncolored processes.
+  std::vector<Rank> gap_sizes;  ///< every gap's length, in ring order.
+};
+
+/// Computes gap statistics for a coloring (colored[r] != 0 means colored).
+/// At least one process must be colored (the root always is).
+GapStats analyze_gaps(const std::vector<char>& colored);
+
+/// True if at least every `stride`-th process is colored, i.e. no gap
+/// reaches length `stride` (§3.2.1's k-ary tolerance guarantee).
+bool every_nth_colored(const std::vector<char>& colored, Rank stride);
+
+}  // namespace ct::topo

@@ -1,0 +1,45 @@
+#include "topology/hierarchical.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ct::topo {
+
+Tree make_hierarchical(Rank num_procs, Rank node_size, const TreeSpec& leader_spec) {
+  if (num_procs <= 0) throw std::invalid_argument("tree needs at least one process");
+  if (node_size <= 0) throw std::invalid_argument("node size must be positive");
+
+  const Rank num_nodes = (num_procs + node_size - 1) / node_size;
+  const Tree leader_tree = make_tree(leader_spec, num_nodes);
+
+  std::vector<Rank> parent(static_cast<std::size_t>(num_procs), kNoRank);
+  std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num_procs));
+
+  // Inter-node level: leader of node n is rank n * node_size; the leader
+  // tree's edges map node indices to leader ranks.
+  for (Rank node = 0; node < num_nodes; ++node) {
+    const Rank leader = node * node_size;
+    for (Rank child_node : leader_tree.children(node)) {
+      const Rank child_leader = child_node * node_size;
+      children[static_cast<std::size_t>(leader)].push_back(child_leader);
+      parent[static_cast<std::size_t>(child_leader)] = leader;
+    }
+  }
+
+  // Intra-node level: after forwarding to other nodes, the leader fans out
+  // to its local members (appended last so remote progress is prioritised,
+  // the standard hierarchical-collective order).
+  for (Rank node = 0; node < num_nodes; ++node) {
+    const Rank leader = node * node_size;
+    for (Rank member = leader + 1; member < leader + node_size && member < num_procs;
+         ++member) {
+      children[static_cast<std::size_t>(leader)].push_back(member);
+      parent[static_cast<std::size_t>(member)] = leader;
+    }
+  }
+
+  return Tree("hier(" + leader_spec.to_string() + ",m=" + std::to_string(node_size) + ")",
+              std::move(parent), std::move(children));
+}
+
+}  // namespace ct::topo

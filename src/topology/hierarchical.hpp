@@ -1,0 +1,27 @@
+#pragma once
+// Hierarchical (node-aware) dissemination trees — the §6 direction
+// ("Corrected Trees feature a stable communication pattern that can be
+// tuned to the topology of the underlying network [42]") made concrete for
+// the two-level Locality model: one *leader* rank per physical node forms
+// an inter-node tree; every leader then fans out to its node-local members
+// over cheap intra-node links.
+//
+// This is the locality-extreme point of the numbering trade-off: with block
+// placement all member edges are intra-node (fast dissemination), but node
+// members are contiguous on the correction ring, so a node crash leaves a
+// node_size gap — the opposite extreme of the interleaved numbering. The
+// correlated-faults ablation quantifies both ends.
+
+#include "topology/factory.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+/// Builds a two-level tree over `num_procs` ranks grouped into physical
+/// nodes of `node_size` consecutive ranks (block placement): ranks
+/// 0, node_size, 2*node_size, ... are leaders and span the inter-node tree
+/// described by `leader_spec` (relabelled onto the leader ranks); each
+/// leader sends to its node's members in rank order.
+Tree make_hierarchical(Rank num_procs, Rank node_size, const TreeSpec& leader_spec);
+
+}  // namespace ct::topo

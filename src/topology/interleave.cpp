@@ -1,0 +1,34 @@
+#include "topology/interleave.hpp"
+
+namespace ct::topo {
+
+std::string InterleaveViolation::to_string() const {
+  return "subtree rooted at " + std::to_string(subtree_root) + ": ring-adjacent pair (" +
+         std::to_string(first) + ", " + std::to_string(second) +
+         ") has common ancestor " + std::to_string(lca) +
+         " which is neither of them nor the subtree root";
+}
+
+std::optional<InterleaveViolation> find_interleave_violation(const Tree& tree) {
+  const Rank num = tree.num_procs();
+  for (Rank root = 0; root < num; ++root) {
+    // R_s preserves the relative rank order of T_s's nodes; subtree_ranks is
+    // ascending, so consecutive entries (with wrap-around) are exactly the
+    // adjacent pairs of R_s.
+    const std::vector<Rank> ranks = tree.subtree_ranks(root);
+    if (ranks.size() < 2) continue;
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      const Rank a = ranks[i];
+      const Rank b = ranks[(i + 1) % ranks.size()];
+      if (a == b) continue;
+      const Rank lca = tree.lca(a, b);
+      const bool descend = (lca == a) || (lca == b);  // one is the other's ancestor
+      if (!descend && lca != root) {
+        return InterleaveViolation{root, a, b, lca};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,36 @@
+#pragma once
+// Verifier for the paper's Definition 1 (interleaved trees):
+//
+//   A tree T_f is interleaved iff for any of its subtrees T_s and a ring R_s
+//   comprising the nodes of T_s, any adjacent pair of distinct nodes in R_s
+//   either descend from each other or their only common ancestor is
+//   root(T_s).
+//
+// Used by property tests to certify every tree family (including clipped,
+// non-power-of-two instances) and to reject in-order numberings.
+
+#include <optional>
+#include <string>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+/// A Definition-1 violation, for diagnostics.
+struct InterleaveViolation {
+  Rank subtree_root;  ///< root(T_s) of the offending subtree
+  Rank first;         ///< adjacent pair on R_s ...
+  Rank second;
+  Rank lca;           ///< ... whose LCA is neither of them nor root(T_s)
+  std::string to_string() const;
+};
+
+/// Checks Definition 1 exhaustively over all subtrees. O(sum of subtree
+/// sizes * height) — intended for tests, not hot paths.
+std::optional<InterleaveViolation> find_interleave_violation(const Tree& tree);
+
+inline bool is_interleaved(const Tree& tree) {
+  return !find_interleave_violation(tree).has_value();
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,79 @@
+// k-ary trees (§3.2.1). Both numberings span a heap-shaped complete k-ary
+// tree (all levels full except possibly the last, which fills left to right);
+// only the rank labels differ.
+
+#include <stdexcept>
+#include <utility>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+namespace {
+
+void check_args(Rank num_procs, int arity) {
+  if (num_procs <= 0) throw std::invalid_argument("k-ary tree needs at least one process");
+  if (arity < 1) throw std::invalid_argument("k-ary tree needs arity >= 1");
+}
+
+}  // namespace
+
+Tree make_kary_inorder(Rank num_procs, int arity) {
+  check_args(num_procs, arity);
+  std::vector<Rank> parent(static_cast<std::size_t>(num_procs), kNoRank);
+  std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num_procs));
+
+  // Depth-first preorder over heap indices; the visit counter is the rank.
+  // An explicit stack holds (heap_index, parent_rank); children are pushed in
+  // reverse so the first (largest) child subtree is numbered first.
+  Rank next_rank = 0;
+  std::vector<std::pair<Rank, Rank>> stack{{0, kNoRank}};
+  while (!stack.empty()) {
+    const auto [heap, parent_rank] = stack.back();
+    stack.pop_back();
+    const Rank rank = next_rank++;
+    parent[static_cast<std::size_t>(rank)] = parent_rank;
+    if (parent_rank != kNoRank) {
+      children[static_cast<std::size_t>(parent_rank)].push_back(rank);
+    }
+    for (int i = arity; i >= 1; --i) {
+      const std::int64_t child_heap =
+          static_cast<std::int64_t>(heap) * arity + i;
+      if (child_heap < num_procs) {
+        stack.emplace_back(static_cast<Rank>(child_heap), rank);
+      }
+    }
+  }
+  return Tree("kary" + std::to_string(arity) + "-inorder", std::move(parent),
+              std::move(children));
+}
+
+Tree make_kary_interleaved(Rank num_procs, int arity) {
+  check_args(num_procs, arity);
+  std::vector<Rank> parent(static_cast<std::size_t>(num_procs), kNoRank);
+  std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num_procs));
+
+  // Level boundaries: level l spans ranks [(k^l - 1)/(k-1), (k^{l+1} - 1)/(k-1))
+  // for k >= 2; for k == 1 the tree is a chain and level(r) == r.
+  // children(r) = { r + i * k^level(r) : 0 < i <= k } (paper §3.2.1).
+  std::int64_t level_begin = 0;  // first rank of the current level
+  std::int64_t level_size = 1;   // k^level
+  while (level_begin < num_procs) {
+    const std::int64_t level_end = level_begin + level_size;
+    for (std::int64_t r = level_begin; r < level_end && r < num_procs; ++r) {
+      for (int i = 1; i <= arity; ++i) {
+        const std::int64_t child = r + static_cast<std::int64_t>(i) * level_size;
+        if (child < num_procs && child >= level_end) {
+          children[static_cast<std::size_t>(r)].push_back(static_cast<Rank>(child));
+          parent[static_cast<std::size_t>(child)] = static_cast<Rank>(r);
+        }
+      }
+    }
+    level_begin = level_end;
+    level_size *= arity;
+  }
+  return Tree("kary" + std::to_string(arity) + "-interleaved", std::move(parent),
+              std::move(children));
+}
+
+}  // namespace ct::topo

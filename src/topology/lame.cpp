@@ -1,0 +1,150 @@
+// Lamé trees (§3.2.2) and latency-optimal LogP trees (§3.2.3).
+//
+// Both families share one constructive builder that replays the paper's
+// iterative construction: starting from the root, every ready-to-send
+// process creates one child per send slot; a child becomes ready-to-send
+// `child_delay` steps after the send that created it started, and a parent
+// can start its next send `parent_period` steps after the previous one.
+//   Lamé(k):      parent_period = 1, child_delay = k
+//   Optimal(o,L): parent_period = o, child_delay = 2o + L
+// Ranks are assigned in creation order, lower-ranked parents first within a
+// step — exactly the interleaved numbering of Eq. (2). The closed-form
+// children (Eq. 2) are also implemented and cross-checked in the tests.
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+namespace {
+
+Tree build_constructive(std::string name, Rank num_procs, std::int64_t parent_period,
+                        std::int64_t child_delay) {
+  if (num_procs <= 0) throw std::invalid_argument("tree needs at least one process");
+  if (parent_period < 1 || child_delay < 1) {
+    throw std::invalid_argument("tree construction delays must be positive");
+  }
+  std::vector<Rank> parent(static_cast<std::size_t>(num_procs), kNoRank);
+  std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num_procs));
+
+  // time -> ranks that perform a send starting at that time. Within one
+  // time step the paper's rule applies: "the children of the processes with
+  // lower ranks are considered to be created first", so each bucket is
+  // sorted by rank before processing.
+  std::map<std::int64_t, std::vector<Rank>> ready_at;
+  ready_at[0].push_back(0);
+  Rank next_rank = 1;
+  while (next_rank < num_procs && !ready_at.empty()) {
+    auto bucket = ready_at.begin();
+    const std::int64_t now = bucket->first;
+    std::vector<Rank> senders = std::move(bucket->second);
+    ready_at.erase(bucket);
+    std::sort(senders.begin(), senders.end());
+    for (Rank sender : senders) {
+      if (next_rank >= num_procs) break;
+      const Rank child = next_rank++;
+      parent[static_cast<std::size_t>(child)] = sender;
+      children[static_cast<std::size_t>(sender)].push_back(child);
+      ready_at[now + parent_period].push_back(sender);
+      ready_at[now + child_delay].push_back(child);
+    }
+  }
+  return Tree(std::move(name), std::move(parent), std::move(children));
+}
+
+}  // namespace
+
+Tree make_lame(Rank num_procs, int order) {
+  if (order < 1) throw std::invalid_argument("Lamé tree needs order >= 1");
+  return build_constructive("lame" + std::to_string(order), num_procs, 1, order);
+}
+
+Tree make_optimal(Rank num_procs, std::int64_t o, std::int64_t L) {
+  if (o < 1 || L < 0) throw std::invalid_argument("optimal tree needs o >= 1, L >= 0");
+  return build_constructive("optimal(o=" + std::to_string(o) + ",L=" + std::to_string(L) + ")",
+                            num_procs, o, 2 * o + L);
+}
+
+std::int64_t lame_ready_to_send(int order, std::int64_t t) {
+  if (order < 1) throw std::invalid_argument("Lamé order must be >= 1");
+  if (t < 0) return 0;
+  // Iterative evaluation with a sliding window of the last `order` values.
+  std::vector<std::int64_t> window(static_cast<std::size_t>(order), 1);
+  if (t < order) return 1;
+  std::int64_t current = 1;
+  for (std::int64_t i = order; i <= t; ++i) {
+    // R(i) = R(i-1) + R(i-order); window holds R(i-order) .. R(i-1).
+    current = window.back() + window.front();
+    window.erase(window.begin());
+    window.push_back(current);
+  }
+  return current;
+}
+
+std::int64_t optimal_ready_to_send(std::int64_t o, std::int64_t L, std::int64_t t) {
+  if (o < 1 || L < 0) throw std::invalid_argument("optimal R(t) needs o >= 1, L >= 0");
+  if (t < 0) return 0;
+  const std::int64_t base = 2 * o + L;
+  if (t < base) return 1;
+  std::vector<std::int64_t> values(static_cast<std::size_t>(t) + 1);
+  for (std::int64_t i = 0; i <= t; ++i) {
+    if (i < base) {
+      values[static_cast<std::size_t>(i)] = 1;
+    } else {
+      values[static_cast<std::size_t>(i)] =
+          values[static_cast<std::size_t>(i - o)] + values[static_cast<std::size_t>(i - base)];
+    }
+  }
+  return values[static_cast<std::size_t>(t)];
+}
+
+std::vector<Rank> lame_children_formula(Rank r, Rank num_procs, int order) {
+  // Eq. (2): { r' = r + R(i + k - 1) : i >= s', R(s') > r, r' < P }, where
+  // s' is the smallest iteration with R(s') > r.
+  std::vector<Rank> result;
+  std::int64_t s = 0;
+  while (lame_ready_to_send(order, s) <= r) ++s;
+  for (std::int64_t i = s;; ++i) {
+    const std::int64_t child = r + lame_ready_to_send(order, i + order - 1);
+    if (child >= num_procs) break;
+    if (result.empty() || result.back() != static_cast<Rank>(child)) {
+      result.push_back(static_cast<Rank>(child));
+    }
+  }
+  return result;
+}
+
+std::vector<Rank> optimal_children_formula(Rank r, Rank num_procs, std::int64_t o,
+                                           std::int64_t L) {
+  // §3.2.3: { r' = r + R(i + o + L) : i >= s', R(s') > r, r' < P }. Sends are
+  // o steps apart, so i advances in steps of o starting from the first send
+  // slot s'. The recurrence is a *slotted* description: it assumes every
+  // ready time is a multiple of o, which holds iff o divides 2o + L, i.e.
+  // L % o == 0. For misaligned parameters the constructive builder (which
+  // works in continuous integer time and is the latency-optimal tree in the
+  // simulator) is the canonical definition and this closed form does not
+  // apply.
+  if (L % o != 0) {
+    throw std::invalid_argument(
+        "the slotted optimal-tree formula requires L % o == 0; "
+        "use make_optimal for misaligned parameters");
+  }
+  std::vector<Rank> result;
+  std::int64_t s = 0;
+  while (optimal_ready_to_send(o, L, s) <= r) ++s;
+  for (std::int64_t i = s;; i += o) {
+    const std::int64_t child = r + optimal_ready_to_send(o, L, i + o + L);
+    if (child >= num_procs) break;
+    if (result.empty() || result.back() != static_cast<Rank>(child)) {
+      result.push_back(static_cast<Rank>(child));
+    }
+  }
+  return result;
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,78 @@
+#include "topology/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace ct::topo {
+
+std::vector<Rank> make_placement(Rank num_procs, Rank node_size, Placement placement,
+                                 std::uint64_t seed) {
+  if (num_procs <= 0) throw std::invalid_argument("placement needs at least one process");
+  if (node_size <= 0) throw std::invalid_argument("node size must be positive");
+
+  std::vector<Rank> rank_of_pid(static_cast<std::size_t>(num_procs));
+  switch (placement) {
+    case Placement::kBlock:
+      for (Rank pid = 0; pid < num_procs; ++pid) {
+        rank_of_pid[static_cast<std::size_t>(pid)] = pid;
+      }
+      break;
+    case Placement::kStriped: {
+      if (num_procs % node_size != 0) {
+        throw std::invalid_argument("striped placement needs node_size | P");
+      }
+      const Rank num_nodes = num_procs / node_size;
+      for (Rank pid = 0; pid < num_procs; ++pid) {
+        // Slot s on node n gets rank s * num_nodes + n: co-located ranks are
+        // num_nodes apart on the ring.
+        const Rank node = pid / node_size;
+        const Rank slot = pid % node_size;
+        rank_of_pid[static_cast<std::size_t>(pid)] = slot * num_nodes + node;
+      }
+      break;
+    }
+    case Placement::kRandom: {
+      for (Rank pid = 0; pid < num_procs; ++pid) {
+        rank_of_pid[static_cast<std::size_t>(pid)] = pid;
+      }
+      // Fisher-Yates over ranks 1..P-1; rank 0 (the root) stays on pid 0.
+      support::Xoshiro256ss rng(seed);
+      for (Rank i = num_procs - 1; i > 1; --i) {
+        const auto j = static_cast<Rank>(1 + rng.below(static_cast<std::uint64_t>(i)));
+        std::swap(rank_of_pid[static_cast<std::size_t>(i)],
+                  rank_of_pid[static_cast<std::size_t>(j)]);
+      }
+      break;
+    }
+  }
+  return rank_of_pid;
+}
+
+std::vector<Rank> node_ranks(const std::vector<Rank>& rank_of_pid, Rank node,
+                             Rank node_size) {
+  const auto num_procs = static_cast<Rank>(rank_of_pid.size());
+  const std::int64_t first = static_cast<std::int64_t>(node) * node_size;
+  if (node < 0 || first >= num_procs) throw std::out_of_range("node index out of range");
+  std::vector<Rank> ranks;
+  for (std::int64_t pid = first; pid < first + node_size && pid < num_procs; ++pid) {
+    ranks.push_back(rank_of_pid[static_cast<std::size_t>(pid)]);
+  }
+  std::sort(ranks.begin(), ranks.end());
+  return ranks;
+}
+
+const char* placement_name(Placement placement) {
+  switch (placement) {
+    case Placement::kBlock:
+      return "block";
+    case Placement::kStriped:
+      return "striped";
+    case Placement::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+}  // namespace ct::topo

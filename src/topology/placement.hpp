@@ -1,0 +1,42 @@
+#pragma once
+// Physical placement of ranks (§2.1). The paper assumes independent
+// failures and notes two ways to get them in practice despite correlated
+// hardware faults (a node crash kills all its processes):
+//
+//   "independence can be achieved by numbering tree nodes in a random
+//    manner. Alternatively, the ring used for correction can be structured
+//    in a way that nodes having correlated failure probabilities stay far
+//    away from each other."
+//
+// A Placement is a bijection pid -> rank, where consecutive pids share a
+// physical node of `node_size` processes:
+//   * kBlock   — rank = pid (the naive mapping: a node failure produces one
+//                contiguous gap of node_size on the correction ring),
+//   * kStriped — co-located processes get ranks num_nodes apart (maximum
+//                ring distance; a node failure produces node_size gaps of
+//                size 1),
+//   * kRandom  — the paper's random renumbering (seeded, rank 0 fixed so
+//                the root stays on pid 0).
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+enum class Placement { kBlock, kStriped, kRandom };
+
+/// Returns rank_of_pid: rank_of_pid[pid] is the rank running as process
+/// `pid`. Always a bijection with rank_of_pid[0] == 0. kStriped requires
+/// node_size to divide num_procs.
+std::vector<Rank> make_placement(Rank num_procs, Rank node_size, Placement placement,
+                                 std::uint64_t seed = 0);
+
+/// Ranks hosted on physical node `node` under the given placement.
+std::vector<Rank> node_ranks(const std::vector<Rank>& rank_of_pid, Rank node,
+                             Rank node_size);
+
+const char* placement_name(Placement placement);
+
+}  // namespace ct::topo

@@ -1,0 +1,36 @@
+#include "topology/ring.hpp"
+
+#include <stdexcept>
+
+namespace ct::topo {
+
+Ring::Ring(Rank num_procs) : num_procs_(num_procs) {
+  if (num_procs <= 0) throw std::invalid_argument("ring needs at least one process");
+}
+
+Rank Ring::right(Rank r, std::int64_t steps) const noexcept {
+  const std::int64_t p = num_procs_;
+  std::int64_t pos = (static_cast<std::int64_t>(r) + steps) % p;
+  if (pos < 0) pos += p;
+  return static_cast<Rank>(pos);
+}
+
+Rank Ring::left(Rank r, std::int64_t steps) const noexcept { return right(r, -steps); }
+
+Rank Ring::distance_right(Rank from, Rank to) const noexcept {
+  std::int64_t d = static_cast<std::int64_t>(to) - from;
+  if (d < 0) d += num_procs_;
+  return static_cast<Rank>(d);
+}
+
+Rank Ring::distance_left(Rank from, Rank to) const noexcept {
+  return distance_right(to, from);
+}
+
+bool Ring::between_right(Rank from, Rank mid, Rank to) const noexcept {
+  const Rank to_mid = distance_right(from, mid);
+  const Rank to_end = distance_right(from, to);
+  return to_mid > 0 && to_mid <= to_end;
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,37 @@
+#pragma once
+// The correction ring (§3.1/§3.3): ranks 0..P-1 arranged in a cycle. The
+// paper always uses the linear ring over ranks and expresses tree-to-ring
+// mappings through the tree numbering, so the ring itself is plain modular
+// arithmetic — centralised here so protocols and gap analysis agree on it.
+
+#include <cstdint>
+
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+
+class Ring {
+ public:
+  explicit Ring(Rank num_procs);
+
+  Rank num_procs() const noexcept { return num_procs_; }
+
+  /// Neighbour `steps` positions to the right (ascending ranks, wrapping).
+  Rank right(Rank r, std::int64_t steps = 1) const noexcept;
+  /// Neighbour `steps` positions to the left (descending ranks, wrapping).
+  Rank left(Rank r, std::int64_t steps = 1) const noexcept;
+
+  /// Distance walking rightwards from `from` to `to` (in [0, P)).
+  Rank distance_right(Rank from, Rank to) const noexcept;
+  /// Distance walking leftwards from `from` to `to` (in [0, P)).
+  Rank distance_left(Rank from, Rank to) const noexcept;
+
+  /// True if `mid` lies strictly between `from` (exclusive) and `to`
+  /// (inclusive) when walking rightwards from `from`.
+  bool between_right(Rank from, Rank mid, Rank to) const noexcept;
+
+ private:
+  Rank num_procs_;
+};
+
+}  // namespace ct::topo

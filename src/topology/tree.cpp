@@ -1,0 +1,128 @@
+#include "topology/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::topo {
+
+Tree::Tree(std::string name, std::vector<Rank> parent,
+           std::vector<std::vector<Rank>> children)
+    : name_(std::move(name)), parent_(std::move(parent)), children_(std::move(children)) {
+  validate_and_index();
+}
+
+void Tree::validate_and_index() {
+  const auto num = static_cast<Rank>(parent_.size());
+  if (num <= 0) throw std::invalid_argument("tree must have at least one rank");
+  if (children_.size() != parent_.size()) {
+    throw std::invalid_argument("parent/children arrays disagree on process count");
+  }
+  if (parent_[0] != kNoRank) throw std::invalid_argument("rank 0 must be the root");
+
+  // Cross-check the redundant parent/children representations.
+  std::vector<Rank> derived_parent(parent_.size(), kNoRank);
+  for (Rank r = 0; r < num; ++r) {
+    for (Rank c : children_[static_cast<std::size_t>(r)]) {
+      if (c <= 0 || c >= num) throw std::invalid_argument("child rank out of range");
+      if (derived_parent[static_cast<std::size_t>(c)] != kNoRank) {
+        throw std::invalid_argument("rank has two parents");
+      }
+      derived_parent[static_cast<std::size_t>(c)] = r;
+    }
+  }
+  for (Rank r = 1; r < num; ++r) {
+    if (derived_parent[static_cast<std::size_t>(r)] != parent_[static_cast<std::size_t>(r)]) {
+      throw std::invalid_argument("parent array does not match children lists");
+    }
+    if (parent_[static_cast<std::size_t>(r)] == kNoRank) {
+      throw std::invalid_argument("non-root rank without parent (tree not spanning)");
+    }
+  }
+
+  // Depths (and, implicitly, acyclicity: a cycle would never reach the root).
+  depth_.assign(parent_.size(), -1);
+  depth_[0] = 0;
+  height_ = 0;
+  for (Rank r = 1; r < num; ++r) {
+    // Walk up until a rank with known depth; path lengths are O(height).
+    Rank cursor = r;
+    std::vector<Rank> path;
+    while (depth_[static_cast<std::size_t>(cursor)] < 0) {
+      path.push_back(cursor);
+      cursor = parent_[static_cast<std::size_t>(cursor)];
+      if (static_cast<Rank>(path.size()) > num) {
+        throw std::invalid_argument("cycle in parent array");
+      }
+    }
+    int d = depth_[static_cast<std::size_t>(cursor)];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      depth_[static_cast<std::size_t>(*it)] = ++d;
+    }
+    height_ = std::max(height_, depth_[static_cast<std::size_t>(r)]);
+  }
+
+  // Subtree sizes, accumulated bottom-up in decreasing-depth order.
+  subtree_size_.assign(parent_.size(), 1);
+  std::vector<Rank> order(parent_.size());
+  for (Rank r = 0; r < num; ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(), [&](Rank a, Rank b) {
+    return depth_[static_cast<std::size_t>(a)] > depth_[static_cast<std::size_t>(b)];
+  });
+  for (Rank r : order) {
+    if (r == 0) continue;
+    subtree_size_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(r)])] +=
+        subtree_size_[static_cast<std::size_t>(r)];
+  }
+}
+
+std::vector<Rank> Tree::subtree_ranks(Rank r) const {
+  std::vector<Rank> result;
+  result.reserve(static_cast<std::size_t>(subtree_size(r)));
+  std::vector<Rank> stack{r};
+  while (!stack.empty()) {
+    const Rank cur = stack.back();
+    stack.pop_back();
+    result.push_back(cur);
+    for (Rank c : children(cur)) stack.push_back(c);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Rank Tree::lca(Rank a, Rank b) const {
+  while (a != b) {
+    if (depth(a) < depth(b)) std::swap(a, b);
+    a = parent(a);
+  }
+  return a;
+}
+
+Tree relabel_tree(const Tree& tree, const std::vector<Rank>& sigma) {
+  const Rank num = tree.num_procs();
+  if (static_cast<Rank>(sigma.size()) != num) {
+    throw std::invalid_argument("relabeling permutation has wrong size");
+  }
+  if (sigma[0] != 0) throw std::invalid_argument("relabeling must keep the root at 0");
+  std::vector<Rank> parent(static_cast<std::size_t>(num), kNoRank);
+  std::vector<std::vector<Rank>> children(static_cast<std::size_t>(num));
+  for (Rank r = 0; r < num; ++r) {
+    const Rank new_rank = sigma[static_cast<std::size_t>(r)];
+    if (new_rank < 0 || new_rank >= num) {
+      throw std::invalid_argument("relabeling permutation value out of range");
+    }
+    for (Rank c : tree.children(r)) {
+      const Rank new_child = sigma[static_cast<std::size_t>(c)];
+      children[static_cast<std::size_t>(new_rank)].push_back(new_child);
+      parent[static_cast<std::size_t>(new_child)] = new_rank;
+    }
+  }
+  return Tree(tree.name() + "-relabeled", std::move(parent), std::move(children));
+}
+
+int Tree::max_fanout() const noexcept {
+  std::size_t best = 0;
+  for (const auto& c : children_) best = std::max(best, c.size());
+  return static_cast<int>(best);
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,117 @@
+#pragma once
+// Dissemination trees (paper §3.2). A Tree is a rooted spanning tree over
+// ranks 0..P-1 whose parent→child edges are the sender→receiver relations of
+// the dissemination phase; rank order simultaneously defines the correction
+// ring (§3.3). The numbering scheme (in-order vs interleaved) is the paper's
+// central knob: it controls the gap structure failures leave on the ring.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ct::topo {
+
+/// Process rank. Ranks are dense, 0-based; rank 0 is the broadcast root.
+using Rank = std::int32_t;
+
+inline constexpr Rank kNoRank = -1;
+
+/// Materialised tree: parent array + per-node child lists in send order.
+/// All tree families build into this representation once; protocol code and
+/// the simulator only consume the materialised form (O(1) lookups).
+class Tree {
+ public:
+  Tree(std::string name, std::vector<Rank> parent, std::vector<std::vector<Rank>> children);
+
+  const std::string& name() const noexcept { return name_; }
+  Rank num_procs() const noexcept { return static_cast<Rank>(parent_.size()); }
+  Rank root() const noexcept { return 0; }
+
+  Rank parent(Rank r) const { return parent_.at(static_cast<std::size_t>(r)); }
+  /// Children in the order the parent sends to them during dissemination.
+  std::span<const Rank> children(Rank r) const {
+    const auto& c = children_.at(static_cast<std::size_t>(r));
+    return {c.data(), c.size()};
+  }
+
+  /// Depth of rank r (root has depth 0).
+  int depth(Rank r) const { return depth_.at(static_cast<std::size_t>(r)); }
+  /// Height of the tree: max depth over all ranks.
+  int height() const noexcept { return height_; }
+  /// Number of ranks in the subtree rooted at r (including r).
+  Rank subtree_size(Rank r) const { return subtree_size_.at(static_cast<std::size_t>(r)); }
+  /// All ranks of the subtree rooted at r, ascending.
+  std::vector<Rank> subtree_ranks(Rank r) const;
+
+  /// Lowest common ancestor of two ranks.
+  Rank lca(Rank a, Rank b) const;
+
+  /// Max number of children over all ranks.
+  int max_fanout() const noexcept;
+
+ private:
+  void validate_and_index();
+
+  std::string name_;
+  std::vector<Rank> parent_;
+  std::vector<std::vector<Rank>> children_;
+  std::vector<int> depth_;
+  std::vector<Rank> subtree_size_;
+  int height_ = 0;
+};
+
+// --- Tree families (§3.2) ---------------------------------------------------
+
+/// k-ary tree numbered by depth-first preorder ("in-order" in the paper,
+/// Fig. 3 left): every subtree occupies a contiguous rank interval, so one
+/// failure leaves one large gap on the ring.
+Tree make_kary_inorder(Rank num_procs, int arity);
+
+/// k-ary tree with interleaved numbering (§3.2.1, Fig. 3 right):
+/// children(r) = { r + i*k^level : 0 < i <= k }. A failure at level l leaves
+/// gaps of size 1 at stride k^l.
+Tree make_kary_interleaved(Rank num_procs, int arity);
+
+/// Binomial tree with contiguous-subtree (DFS) numbering (Fig. 4 left).
+Tree make_binomial_inorder(Rank num_procs);
+
+/// Interleaved binomial tree (Fig. 4 right): children(r) = { r + 2^i : 2^i > r }.
+/// Equal to the Lamé tree of order 1.
+Tree make_binomial_interleaved(Rank num_procs);
+
+/// Interleaved Lamé tree of order k (§3.2.2, Eq. 1+2). k = 1 is binomial.
+/// Latency-optimal in LogP whenever 2o + L = k.
+Tree make_lame(Rank num_procs, int order);
+
+/// Latency-optimal LogP tree (§3.2.3): T_t = T_{t-o} • T_{t-2o-L}, with
+/// interleaved numbering.
+Tree make_optimal(Rank num_procs, std::int64_t o, std::int64_t L);
+
+/// Relabels a tree through a bijection: node r becomes sigma[r] (sigma[0]
+/// must be 0 so the root keeps rank 0). Child send order is preserved.
+/// Used for the paper's §2.1 random renumbering and the multi-tree baseline
+/// (§5) — note that relabeling generally destroys the Definition-1
+/// interleaving property.
+Tree relabel_tree(const Tree& tree, const std::vector<Rank>& sigma);
+
+// --- Closed-form helpers (exposed for property tests) -----------------------
+
+/// Ready-to-send sequence R(t) of a Lamé tree of the given order (Eq. 1):
+/// R(t) = 0 for t < 0; 1 for 0 <= t < k; R(t-1) + R(t-k) otherwise.
+std::int64_t lame_ready_to_send(int order, std::int64_t t);
+
+/// Ready-to-send sequence of the optimal tree (§3.2.3):
+/// R(t) = 0 for t < 0; 1 for 0 <= t < 2o+L; R(t-o) + R(t-2o-L) otherwise.
+std::int64_t optimal_ready_to_send(std::int64_t o, std::int64_t L, std::int64_t t);
+
+/// Children of rank r by the paper's closed formula Eq. (2):
+/// { r' = r + R(i + k - 1) : i >= s', R(s') > r, r' < P }.
+std::vector<Rank> lame_children_formula(Rank r, Rank num_procs, int order);
+
+/// Children of rank r in the optimal tree by the §3.2.3 formula:
+/// { r' = r + R(i + o + L) : i >= s', R(s') > r, r' < P } with i stepping by o.
+std::vector<Rank> optimal_children_formula(Rank r, Rank num_procs, std::int64_t o,
+                                           std::int64_t L);
+
+}  // namespace ct::topo

@@ -1,0 +1,199 @@
+// Cross-module integration tests: small-scale versions of the paper's
+// qualitative claims, so every figure-level statement has a fast,
+// deterministic guard in the test suite.
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "experiment/runner.hpp"
+#include "protocol/gossip_tuning.hpp"
+#include "topology/factory.hpp"
+
+namespace ct {
+namespace {
+
+using exp::Aggregate;
+using exp::Scenario;
+using topo::Rank;
+
+Scenario tree_scenario(const std::string& tree, Rank procs,
+                       proto::CorrectionKind kind, proto::CorrectionStart start) {
+  Scenario scenario;
+  scenario.params = sim::LogP{2, 1, 1, procs};
+  scenario.tree = topo::parse_tree_spec(tree);
+  scenario.correction.kind = kind;
+  scenario.correction.start = start;
+  return scenario;
+}
+
+TEST(PaperClaims, Figure1InterleavedCorrectsFasterThanInOrder) {
+  // Fig. 1b: with failures, expected correction time of the in-order
+  // binomial tree exceeds the interleaved tree's.
+  const Rank procs = 1024;
+  Scenario interleaved = tree_scenario("binomial", procs, proto::CorrectionKind::kChecked,
+                                       proto::CorrectionStart::kSynchronized);
+  interleaved.fault_count = 5;
+  Scenario inorder = interleaved;
+  inorder.tree = topo::parse_tree_spec("binomial-inorder");
+
+  const Aggregate a = exp::run_replicated(interleaved, 60, 1);
+  const Aggregate b = exp::run_replicated(inorder, 60, 1);
+  EXPECT_LT(a.correction_time.mean(), b.correction_time.mean());
+  EXPECT_LT(a.max_gap.mean(), b.max_gap.mean());
+}
+
+TEST(PaperClaims, Figure6CorrectedTreesBeatGossipOnMessages) {
+  const Rank procs = 512;
+  const sim::LogP params{2, 1, 1, procs};
+
+  proto::CorrectionConfig checked;
+  checked.kind = proto::CorrectionKind::kChecked;
+  const proto::GossipTuneResult tuned =
+      proto::tune_gossip_for_latency(params, checked, 5, 3);
+
+  Scenario gossip;
+  gossip.params = params;
+  gossip.protocol = exp::ProtocolKind::kGossip;
+  gossip.gossip.budget = proto::GossipConfig::Budget::kTime;
+  gossip.gossip.gossip_time = tuned.gossip_time;
+  gossip.gossip.correction = checked;
+  gossip.gossip.correction.start = proto::CorrectionStart::kSynchronized;
+  gossip.gossip.correction.sync_time = tuned.gossip_time;
+
+  Scenario checked_tree = tree_scenario("binomial", procs, proto::CorrectionKind::kChecked,
+                                        proto::CorrectionStart::kSynchronized);
+  Scenario opportunistic_tree =
+      tree_scenario("binomial", procs, proto::CorrectionKind::kOptimizedOpportunistic,
+                    proto::CorrectionStart::kOverlapped);
+  opportunistic_tree.correction.distance = 1;
+
+  const Aggregate gossip_result = exp::run_replicated(gossip, 10, 5);
+  const Aggregate checked_result = exp::run_replicated(checked_tree, 10, 5);
+  const Aggregate opportunistic_result = exp::run_replicated(opportunistic_tree, 10, 5);
+  EXPECT_EQ(checked_result.not_fully_colored, 0);
+  EXPECT_EQ(opportunistic_result.not_fully_colored, 0);
+  EXPECT_EQ(gossip_result.not_fully_colored, 0);
+  // "Corrected Trees require significantly less messages for correction
+  // than Corrected Gossip" (§4.1): checked trees stay below gossip, and
+  // opportunistic(1) trees below half of it (Fig. 6's big gap).
+  EXPECT_LT(checked_result.messages_per_process.mean(),
+            gossip_result.messages_per_process.mean());
+  EXPECT_LT(2 * opportunistic_result.messages_per_process.mean(),
+            gossip_result.messages_per_process.mean());
+}
+
+TEST(PaperClaims, Figure6MessageCountIndependentOfProcessCount) {
+  // §4.1: "For the trees, average number of messages does not depend on the
+  // number of processes."
+  Scenario small = tree_scenario("binomial", 256, proto::CorrectionKind::kChecked,
+                                 proto::CorrectionStart::kSynchronized);
+  Scenario large = small;
+  large.params.P = 2048;
+  const double small_messages =
+      exp::run_replicated(small, 3, 1).messages_per_process.mean();
+  const double large_messages =
+      exp::run_replicated(large, 3, 1).messages_per_process.mean();
+  EXPECT_NEAR(small_messages, large_messages, 0.05);
+}
+
+TEST(PaperClaims, Figure7AckTreesPayDoubleLatency) {
+  const Rank procs = 2048;
+  Scenario corrected = tree_scenario("binomial", procs,
+                                     proto::CorrectionKind::kChecked,
+                                     proto::CorrectionStart::kSynchronized);
+  Scenario acked = corrected;
+  acked.protocol = exp::ProtocolKind::kAckTree;
+
+  const Aggregate corr = exp::run_replicated(corrected, 1, 1);
+  const Aggregate ack = exp::run_replicated(acked, 1, 1);
+  // The ack tree traverses the tree twice; checked correction adds only a
+  // constant (LFF_SCC = 8) to the one-way latency.
+  EXPECT_GT(ack.quiescence_latency.mean(), 1.6 * corr.coloring_latency.mean());
+  EXPECT_LT(corr.quiescence_latency.mean(), ack.quiescence_latency.mean());
+}
+
+TEST(PaperClaims, Figure8LatencyGrowsWithFaultRate) {
+  const Rank procs = 2048;
+  Scenario low = tree_scenario("binomial", procs, proto::CorrectionKind::kChecked,
+                               proto::CorrectionStart::kSynchronized);
+  low.fault_fraction = 0.0001;
+  Scenario high = low;
+  high.fault_fraction = 0.04;
+
+  const Aggregate low_result = exp::run_replicated(low, 30, 2);
+  const Aggregate high_result = exp::run_replicated(high, 30, 2);
+  EXPECT_GT(high_result.quiescence_latency.mean(), low_result.quiescence_latency.mean());
+  EXPECT_EQ(low_result.not_fully_colored, 0);
+  EXPECT_EQ(high_result.not_fully_colored, 0);
+}
+
+TEST(PaperClaims, Figure9MessagesDropWithFaultRate) {
+  // §4.3: "With more faults, the number of messages drops for all types of
+  // collectives" — dead processes are silent.
+  const Rank procs = 2048;
+  Scenario low = tree_scenario("binomial", procs, proto::CorrectionKind::kChecked,
+                               proto::CorrectionStart::kSynchronized);
+  low.fault_fraction = 0.0001;
+  Scenario high = low;
+  high.fault_fraction = 0.04;
+
+  const Aggregate low_result = exp::run_replicated(low, 20, 4);
+  const Aggregate high_result = exp::run_replicated(high, 20, 4);
+  EXPECT_LT(high_result.messages_per_process.mean(), low_result.messages_per_process.mean());
+}
+
+TEST(PaperClaims, Figure10BoundsHoldAcrossTreesAndRates) {
+  // Every observed (g_max, correction time) pair lies between the Lemma 3
+  // bounds — the content of Fig. 10.
+  const Rank procs = 1024;
+  const sim::LogP params{2, 1, 1, procs};
+  for (const char* tree : {"binomial", "kary:4", "lame:2", "optimal"}) {
+    for (double rate : {0.001, 0.02}) {
+      Scenario scenario = tree_scenario(tree, procs, proto::CorrectionKind::kChecked,
+                                        proto::CorrectionStart::kSynchronized);
+      scenario.fault_fraction = rate;
+      for (std::uint64_t rep = 0; rep < 10; ++rep) {
+        const sim::RunResult result =
+            exp::run_once(scenario, support::derive_seed(8, rep));
+        const auto gap = result.dissemination_gaps.max_gap;
+        EXPECT_GE(result.correction_time(),
+                  analysis::checked_correction_latency_lower_bound(params, gap))
+            << tree << " rate " << rate;
+        EXPECT_LE(result.correction_time(),
+                  analysis::checked_correction_latency_upper_bound(params, gap))
+            << tree << " rate " << rate;
+      }
+    }
+  }
+}
+
+TEST(PaperClaims, ReproducibleEndToEnd) {
+  // "All our simulations are fully reproducible as we keep the random
+  // generator seed of every experiment."
+  Scenario scenario = tree_scenario("lame:2", 512, proto::CorrectionKind::kChecked,
+                                    proto::CorrectionStart::kSynchronized);
+  scenario.fault_fraction = 0.01;
+  const Aggregate a = exp::run_replicated(scenario, 10, 1234);
+  const Aggregate b = exp::run_replicated(scenario, 10, 1234);
+  EXPECT_EQ(a.quiescence_latency.values(), b.quiescence_latency.values());
+  EXPECT_EQ(a.messages_per_process.values(), b.messages_per_process.values());
+}
+
+TEST(PaperClaims, BinomialDegradesMoreThanOptimalUnderFaults) {
+  // §4.3: "binomial trees have a tendency to degrade more with an increased
+  // failure rate" (higher latency variance / larger gaps).
+  const Rank procs = 4096;
+  Scenario binomial = tree_scenario("binomial", procs, proto::CorrectionKind::kChecked,
+                                    proto::CorrectionStart::kSynchronized);
+  binomial.fault_fraction = 0.04;
+  Scenario optimal = binomial;
+  optimal.tree = topo::parse_tree_spec("optimal");
+
+  const Aggregate binomial_result = exp::run_replicated(binomial, 40, 6);
+  const Aggregate optimal_result = exp::run_replicated(optimal, 40, 6);
+  EXPECT_GE(binomial_result.max_gap.percentile(0.95),
+            optimal_result.max_gap.percentile(0.95));
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,146 @@
+// Randomized configuration fuzzing: hundreds of random (tree, correction,
+// LogP, fault pattern) combinations, each checked for the invariants that
+// must hold regardless of configuration:
+//   * the simulation terminates within an event budget (no livelock),
+//   * no exceptions escape the protocol machinery,
+//   * colored processes hold the root's payload (integrity),
+//   * correction kinds with a guarantee (checked / failure-proof) color
+//     every live process,
+//   * quiescence >= coloring, message counts are sane.
+// Seeded and deterministic: a failure prints the recipe to replay it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ct.hpp"  // umbrella header compile check
+#include "experiment/runner.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "support/rng.hpp"
+#include "topology/factory.hpp"
+
+namespace ct {
+namespace {
+
+using topo::Rank;
+
+struct FuzzConfig {
+  sim::LogP params;
+  topo::TreeSpec tree;
+  proto::CorrectionConfig correction;
+  Rank fault_count = 0;
+
+  std::string describe() const {
+    return "P=" + std::to_string(params.P) + " L=" + std::to_string(params.L) +
+           " o=" + std::to_string(params.o) + " g=" + std::to_string(params.g) +
+           " tree=" + tree.to_string() + " corr=" + correction.to_string() +
+           " faults=" + std::to_string(fault_count);
+  }
+};
+
+FuzzConfig random_config(support::Xoshiro256ss& rng) {
+  FuzzConfig config;
+  config.params.o = rng.range(1, 3);
+  config.params.L = rng.range(0, 6);
+  config.params.g = rng.range(0, config.params.o + 2);
+  config.params.P = static_cast<Rank>(rng.range(2, 400));
+
+  static const char* kTrees[] = {"binomial",         "binomial-inorder", "kary:2",
+                                 "kary:3",           "kary:4",           "kary-inorder:2",
+                                 "lame:2",           "lame:3",           "optimal"};
+  config.tree = topo::parse_tree_spec(kTrees[rng.below(std::size(kTrees))]);
+
+  static const proto::CorrectionKind kKinds[] = {
+      proto::CorrectionKind::kNone,
+      proto::CorrectionKind::kOpportunistic,
+      proto::CorrectionKind::kOptimizedOpportunistic,
+      proto::CorrectionKind::kChecked,
+      proto::CorrectionKind::kFailureProof,
+      proto::CorrectionKind::kDelayed,
+  };
+  config.correction.kind = kKinds[rng.below(std::size(kKinds))];
+  config.correction.start = rng.chance(0.5) ? proto::CorrectionStart::kSynchronized
+                                            : proto::CorrectionStart::kOverlapped;
+  config.correction.distance = static_cast<int>(rng.range(1, 10));
+  config.correction.directions = rng.chance(0.8)
+                                     ? proto::CorrectionDirections::kBoth
+                                     : proto::CorrectionDirections::kLeftOnly;
+  config.correction.delay = rng.range(1, 4) * config.params.message_cost();
+  config.correction.redundancy = static_cast<int>(rng.range(1, 3));
+
+  config.fault_count = static_cast<Rank>(rng.below(
+      static_cast<std::uint64_t>(std::max<Rank>(1, config.params.P / 5))));
+  return config;
+}
+
+bool has_full_coloring_guarantee(const FuzzConfig& config) {
+  // Checked and failure-proof guarantee full coloring for any number of
+  // pre-broadcast failures — but only when covering both ring directions.
+  return (config.correction.kind == proto::CorrectionKind::kChecked ||
+          config.correction.kind == proto::CorrectionKind::kFailureProof) &&
+         config.correction.directions == proto::CorrectionDirections::kBoth;
+}
+
+TEST(ProtocolFuzz, InvariantsHoldOverRandomConfigurations) {
+  constexpr int kIterations = 300;
+  constexpr std::int64_t kPayload = 0xF00D;
+
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    support::Xoshiro256ss rng(support::derive_seed(0xF022, iteration));
+    const FuzzConfig config = random_config(rng);
+    SCOPED_TRACE("iteration " + std::to_string(iteration) + ": " + config.describe());
+
+    const topo::Tree tree = topo::make_tree(config.tree, config.params.P);
+    proto::CorrectionConfig correction = config.correction;
+    if (correction.kind != proto::CorrectionKind::kNone &&
+        correction.start == proto::CorrectionStart::kSynchronized) {
+      correction.sync_time = proto::fault_free_dissemination_time(tree, config.params);
+      if (correction.sync_time <= 0) {
+        correction.start = proto::CorrectionStart::kOverlapped;  // P too small
+      }
+    }
+
+    const sim::FaultSet faults =
+        config.fault_count > 0
+            ? sim::FaultSet::random_count(config.params.P, config.fault_count, rng)
+            : sim::FaultSet::none(config.params.P);
+
+    proto::CorrectedTreeBroadcast broadcast(tree, correction, kPayload);
+    sim::Simulator simulator(config.params, faults);
+    sim::RunOptions options;
+    options.max_events = 20'000'000;  // termination budget
+    options.keep_per_rank_detail = true;
+
+    sim::RunResult result;
+    ASSERT_NO_THROW(result = simulator.run(broadcast, options));
+
+    // Structural sanity.
+    EXPECT_LE(result.coloring_latency, result.quiescence_latency);
+    EXPECT_GE(result.total_messages, 0);
+    EXPECT_LE(result.uncolored_live, config.params.P - 1);
+
+    // Integrity: every colored process holds the payload, uncolored ones
+    // never invented one.
+    for (Rank r = 0; r < config.params.P; ++r) {
+      const auto slot = static_cast<std::size_t>(r);
+      if (result.colored_at[slot] != sim::kTimeNever) {
+        EXPECT_EQ(result.rank_data[slot], kPayload) << "rank " << r;
+      } else {
+        EXPECT_EQ(result.rank_data[slot], 0) << "rank " << r;
+      }
+    }
+
+    // Liveness guarantees by kind.
+    if (has_full_coloring_guarantee(config)) {
+      EXPECT_TRUE(result.fully_colored());
+    }
+    if (config.fault_count == 0) {
+      // Fault-free: every kind colors everyone (correction not even needed).
+      EXPECT_TRUE(result.fully_colored());
+      EXPECT_GE(result.total_messages, config.params.P - 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ct

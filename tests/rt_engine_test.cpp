@@ -1,0 +1,203 @@
+// Threaded message-passing runtime: the same Protocol objects as the
+// simulator, in wall-clock time. Keep rank counts small — the suite shares
+// one CPU with everything else.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocol/ack_tree.hpp"
+#include "protocol/gossip_broadcast.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "rt/harness.hpp"
+#include "topology/factory.hpp"
+
+namespace ct::rt {
+namespace {
+
+using topo::Rank;
+
+std::vector<char> no_failures(Rank procs) {
+  return std::vector<char>(static_cast<std::size_t>(procs), 0);
+}
+
+proto::CorrectionConfig opportunistic(int distance) {
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kOptimizedOpportunistic;
+  config.start = proto::CorrectionStart::kOverlapped;
+  config.distance = distance;
+  return config;
+}
+
+TEST(RtEngine, FaultFreeBroadcastColorsEveryone) {
+  const Rank procs = 16;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  Engine engine(procs, no_failures(procs));
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast protocol(tree, config);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+  EXPECT_EQ(result.total_messages, procs - 1);
+  EXPECT_GT(result.completion_ns, 0);
+}
+
+TEST(RtEngine, FaultAgnosticTreeLosesSubtreesCorrectionRecoversThem) {
+  const Rank procs = 24;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  failed[1] = 1;  // rank 1 roots a large subtree
+  Engine engine(procs, failed);
+
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast bare(tree, none);
+  const EpochResult bare_result = engine.run_epoch(bare, std::chrono::seconds(20));
+  EXPECT_GT(bare_result.uncolored_live, 0);  // descendants of 1 missed
+
+  proto::CorrectedTreeBroadcast corrected(tree, opportunistic(4));
+  const EpochResult corrected_result = engine.run_epoch(corrected, std::chrono::seconds(20));
+  EXPECT_FALSE(corrected_result.timed_out);
+  EXPECT_EQ(corrected_result.uncolored_live, 0);
+}
+
+TEST(RtEngine, CheckedCorrectionWorksOnTheRuntime) {
+  const Rank procs = 16;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  failed[2] = failed[9] = 1;
+  Engine engine(procs, failed);
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kOverlapped;
+  proto::CorrectedTreeBroadcast protocol(tree, config);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+}
+
+TEST(RtEngine, EpochsAreIsolated) {
+  // Repeated epochs must not leak messages or coloring across iterations.
+  const Rank procs = 12;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  Engine engine(procs, no_failures(procs));
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    proto::CorrectedTreeBroadcast protocol(tree, opportunistic(2));
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+    EXPECT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+  }
+}
+
+TEST(RtEngine, RoundBasedGossipRunsOnRuntime) {
+  const Rank procs = 16;
+  Engine engine(procs, no_failures(procs));
+  proto::GossipConfig config;
+  config.budget = proto::GossipConfig::Budget::kRounds;
+  config.gossip_rounds = 6;
+  config.correction = opportunistic(4);
+  config.seed = 5;
+  proto::CorrectedGossipBroadcast protocol(procs, config);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+}
+
+TEST(RtEngine, TimesOutWhenProtocolCannotComplete) {
+  // A bare tree with a failed inner node leaves ranks uncolored forever;
+  // the engine must report a timeout instead of hanging.
+  const Rank procs = 8;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  failed[1] = 1;
+  Engine engine(procs, failed);
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast protocol(tree, none);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::milliseconds(300));
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(RtEngine, ValidatesConstruction) {
+  EXPECT_THROW(Engine(4, std::vector<char>{1, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(Engine(4, std::vector<char>{0, 0}), std::invalid_argument);
+}
+
+TEST(RtHarness, MeasuresIterations) {
+  const Rank procs = 12;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  Engine engine(procs, no_failures(procs));
+  const ProtocolFactory factory = [&]() -> std::unique_ptr<sim::Protocol> {
+    return std::make_unique<proto::CorrectedTreeBroadcast>(tree, opportunistic(2));
+  };
+  HarnessOptions options;
+  options.warmup = 1;
+  options.iterations = 6;
+  const HarnessResult result = measure_broadcast(engine, factory, options);
+  EXPECT_EQ(result.iterations, 6);
+  EXPECT_EQ(result.timeouts, 0);
+  EXPECT_EQ(result.incomplete, 0);
+  EXPECT_EQ(result.latency_us.count(), 6u);
+  EXPECT_GT(result.median_us(), 0.0);
+  // Opportunistic d=2 both directions: tree + at most 4 correction messages
+  // per process.
+  EXPECT_LE(result.messages_per_process.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace ct::rt
+
+// NOTE: appended suite — collectives and calibration on the runtime.
+#include "protocol/allreduce.hpp"
+#include "rt/logp_fit.hpp"
+
+namespace ct::rt {
+namespace {
+
+TEST(RtCollectives, AllReduceDeliversMaxToAllLiveRanks) {
+  const Rank procs = 16;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  // The reduce phase schedules timers from the LogP timetable; on the
+  // runtime a "step" is a nanosecond, so scale the model so deadlines give
+  // threads real time (1 step = 50 us).
+  sim::LogP params{2 * 50'000, 50'000, 50'000, procs};
+  std::vector<char> failed = no_failures(procs);
+  failed[3] = 1;
+  Engine engine(procs, failed);
+
+  std::vector<std::int64_t> values;
+  std::int64_t live_max = 0;
+  for (Rank r = 0; r < procs; ++r) {
+    values.push_back(r * 7 % 23);
+    if (!failed[static_cast<std::size_t>(r)]) live_max = std::max(live_max, values.back());
+  }
+  proto::AllReduceConfig config;
+  config.reduce.distance = 2;
+  config.correction = opportunistic(4);
+  proto::CorrectedAllReduce allreduce(tree, params, values, config);
+  const EpochResult result = engine.run_epoch(allreduce, std::chrono::seconds(30));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+  EXPECT_TRUE(allreduce.reduction_done());
+  EXPECT_EQ(allreduce.result(), live_max);
+}
+
+TEST(RtLogPFit, ProducesPlausibleParameters) {
+  Engine engine(2, no_failures(2));
+  const LogPFit fit = fit_logp(engine, /*round_trips=*/50, /*burst_size=*/32);
+  EXPECT_GT(fit.rtt_ns, 0.0);
+  EXPECT_GE(fit.o_ns, 0.0);
+  EXPECT_GE(fit.L_ns, 0.0);
+  // The model identity RTT/2 = 2o + L holds by construction of the fit.
+  EXPECT_NEAR(fit.rtt_ns / 2.0, 2.0 * fit.o_ns + fit.L_ns, fit.rtt_ns);
+}
+
+TEST(RtLogPFit, Validation) {
+  Engine engine(2, no_failures(2));
+  EXPECT_THROW(fit_logp(engine, 0, 32), std::invalid_argument);
+  EXPECT_THROW(fit_logp(engine, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ct::rt

@@ -1,0 +1,203 @@
+// Ring arithmetic, gap analysis, and the Definition-1 interleaving verifier.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topology/factory.hpp"
+#include "topology/gaps.hpp"
+#include "topology/interleave.hpp"
+#include "topology/ring.hpp"
+
+namespace ct::topo {
+namespace {
+
+// --- Ring ----------------------------------------------------------------------
+
+TEST(Ring, NeighboursWrapAround) {
+  const Ring ring(8);
+  EXPECT_EQ(ring.right(7), 0);
+  EXPECT_EQ(ring.left(0), 7);
+  EXPECT_EQ(ring.right(3, 10), 5);
+  EXPECT_EQ(ring.left(3, 10), 1);
+  EXPECT_EQ(ring.right(2, -1), 1);  // negative steps go the other way
+}
+
+TEST(Ring, Distances) {
+  const Ring ring(10);
+  EXPECT_EQ(ring.distance_right(2, 5), 3);
+  EXPECT_EQ(ring.distance_right(5, 2), 7);
+  EXPECT_EQ(ring.distance_left(2, 5), 7);
+  EXPECT_EQ(ring.distance_left(5, 2), 3);
+  EXPECT_EQ(ring.distance_right(4, 4), 0);
+}
+
+TEST(Ring, BetweenRight) {
+  const Ring ring(10);
+  EXPECT_TRUE(ring.between_right(8, 1, 3));   // 8 -> 9 -> 0 -> 1 -> 2 -> 3
+  EXPECT_TRUE(ring.between_right(8, 3, 3));   // inclusive end
+  EXPECT_FALSE(ring.between_right(8, 8, 3));  // exclusive start
+  EXPECT_FALSE(ring.between_right(8, 5, 3));
+}
+
+TEST(Ring, SingleProcessDegenerates) {
+  const Ring ring(1);
+  EXPECT_EQ(ring.right(0), 0);
+  EXPECT_EQ(ring.left(0, 5), 0);
+  EXPECT_THROW(Ring(0), std::invalid_argument);
+}
+
+// --- Gap analysis ----------------------------------------------------------------
+
+std::vector<char> coloring(std::initializer_list<int> colored_ranks, Rank procs) {
+  std::vector<char> c(static_cast<std::size_t>(procs), 0);
+  for (int r : colored_ranks) c[static_cast<std::size_t>(r)] = 1;
+  return c;
+}
+
+TEST(Gaps, FullyColoredHasNoGaps) {
+  std::vector<char> all(16, 1);
+  const GapStats stats = analyze_gaps(all);
+  EXPECT_EQ(stats.max_gap, 0);
+  EXPECT_EQ(stats.gap_count, 0);
+  EXPECT_EQ(stats.uncolored, 0);
+}
+
+TEST(Gaps, SingleInteriorGap) {
+  const GapStats stats = analyze_gaps(coloring({0, 1, 2, 6, 7}, 8));
+  EXPECT_EQ(stats.max_gap, 3);  // {3,4,5}
+  EXPECT_EQ(stats.gap_count, 1);
+  EXPECT_EQ(stats.uncolored, 3);
+}
+
+TEST(Gaps, WrapAroundGapIsOneRun) {
+  // Uncolored {6,7,0-is-colored?...}: colored {1,2,3}, uncolored {4,...,0}.
+  const GapStats stats = analyze_gaps(coloring({1, 2, 3}, 8));
+  EXPECT_EQ(stats.max_gap, 5);  // {4,5,6,7,0}
+  EXPECT_EQ(stats.gap_count, 1);
+}
+
+TEST(Gaps, MultipleGapsSizes) {
+  const GapStats stats = analyze_gaps(coloring({0, 2, 3, 7}, 10));
+  // gaps: {1}, {4,5,6}, {8,9}
+  EXPECT_EQ(stats.max_gap, 3);
+  EXPECT_EQ(stats.gap_count, 3);
+  EXPECT_EQ(stats.uncolored, 6);
+  std::int64_t sum = 0;
+  for (Rank g : stats.gap_sizes) sum += g;
+  EXPECT_EQ(sum, stats.uncolored);
+}
+
+TEST(Gaps, RequiresAColoredProcess) {
+  std::vector<char> none(4, 0);
+  EXPECT_THROW(analyze_gaps(none), std::invalid_argument);
+  EXPECT_THROW(analyze_gaps({}), std::invalid_argument);
+}
+
+TEST(Gaps, EveryNthColored) {
+  // Every 2nd process colored: max gap 1.
+  std::vector<char> alternating(12, 0);
+  for (std::size_t i = 0; i < 12; i += 2) alternating[i] = 1;
+  EXPECT_TRUE(every_nth_colored(alternating, 2));
+  EXPECT_FALSE(every_nth_colored(alternating, 1));
+  EXPECT_THROW(every_nth_colored(alternating, 0), std::invalid_argument);
+}
+
+TEST(Gaps, InOrderFailureMakesOneBigGap) {
+  // Fig. 1a/3: failing rank 4 of the in-order binary tree (P = 7) leaves the
+  // contiguous gap {5, 6}; in the interleaved tree failing rank 2 leaves two
+  // gaps of size 1.
+  const Tree inorder = make_kary_inorder(7, 2);
+  std::vector<char> colored_inorder(7, 1);
+  colored_inorder[4] = 0;  // the failed process itself stays uncolored
+  for (Rank r : inorder.subtree_ranks(4)) colored_inorder[static_cast<std::size_t>(r)] = 0;
+  const GapStats in_stats = analyze_gaps(colored_inorder);
+  EXPECT_EQ(in_stats.max_gap, 3);
+  EXPECT_EQ(in_stats.gap_count, 1);
+
+  const Tree interleaved = make_kary_interleaved(7, 2);
+  std::vector<char> colored_inter(7, 1);
+  for (Rank r : interleaved.subtree_ranks(2)) colored_inter[static_cast<std::size_t>(r)] = 0;
+  const GapStats inter_stats = analyze_gaps(colored_inter);
+  EXPECT_EQ(inter_stats.max_gap, 1);
+  EXPECT_EQ(inter_stats.gap_count, 3);  // {2}, {4}, {6}
+}
+
+// --- Definition 1 verifier --------------------------------------------------------
+
+class InterleavedFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InterleavedFamilyTest, SatisfiesDefinition1) {
+  // The paper claims interleaving "also for incomplete trees" — test both
+  // full and clipped sizes.
+  for (Rank procs : {1, 2, 7, 8, 16, 31, 32, 57, 64, 100}) {
+    const Tree tree = make_tree(parse_tree_spec(GetParam()), procs);
+    const auto violation = find_interleave_violation(tree);
+    EXPECT_FALSE(violation.has_value())
+        << GetParam() << " P=" << procs << ": " << violation->to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, InterleavedFamilyTest,
+                         ::testing::Values("binomial", "kary:2", "kary:3", "kary:4",
+                                           "lame:2", "lame:3", "lame:5", "optimal"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == ':') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Interleave, InOrderTreesViolateDefinition1) {
+  EXPECT_FALSE(is_interleaved(make_binomial_inorder(8)));
+  EXPECT_FALSE(is_interleaved(make_kary_inorder(7, 2)));
+  EXPECT_FALSE(is_interleaved(make_kary_inorder(40, 3)));
+  const auto violation = find_interleave_violation(make_binomial_inorder(8));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_FALSE(violation->to_string().empty());
+}
+
+TEST(Interleave, TrivialTreesAreInterleaved) {
+  EXPECT_TRUE(is_interleaved(make_binomial_inorder(1)));
+  EXPECT_TRUE(is_interleaved(make_binomial_inorder(2)));
+  // A star: all pairs share only the root.
+  EXPECT_TRUE(is_interleaved(Tree("star", {kNoRank, 0, 0, 0}, {{1, 2, 3}, {}, {}, {}})));
+  // A chain: every adjacent pair descends from one another.
+  EXPECT_TRUE(is_interleaved(Tree("chain", {kNoRank, 0, 1, 2}, {{1}, {2}, {3}, {}})));
+}
+
+TEST(Interleave, PaperExampleSubtreePairs) {
+  // §3.2 worked example on Fig. 4 (right): for the subtree rooted at 1 the
+  // ring pairs are (1,3), (3,5), (5,7), (7,1) and all satisfy the rule.
+  const Tree tree = make_binomial_interleaved(8);
+  EXPECT_EQ(tree.subtree_ranks(1), (std::vector<Rank>{1, 3, 5, 7}));
+  EXPECT_EQ(tree.lca(3, 5), 1);
+  EXPECT_EQ(tree.lca(5, 7), 1);
+  // ... while e.g. (5,6) and (6,7), adjacent on the FULL ring, descend from
+  // different children of the root — allowed because root(T_f) = 0.
+  EXPECT_EQ(tree.lca(5, 6), 0);
+  EXPECT_EQ(tree.lca(6, 7), 0);
+  EXPECT_TRUE(is_interleaved(tree));
+}
+
+TEST(Interleave, ViolationDiagnosticsAreConsistent) {
+  // For a known-violating tree, the reported witness must itself satisfy
+  // the verifier's claims: the pair is inside the named subtree and its LCA
+  // is a proper inner node distinct from both ranks and the subtree root.
+  const Tree tree = make_kary_inorder(15, 2);
+  const auto violation = find_interleave_violation(tree);
+  ASSERT_TRUE(violation.has_value());
+  // The reported pair really is adjacent in its subtree's ring and really
+  // violates the rule.
+  const auto ranks = tree.subtree_ranks(violation->subtree_root);
+  EXPECT_NE(std::find(ranks.begin(), ranks.end(), violation->first), ranks.end());
+  EXPECT_NE(std::find(ranks.begin(), ranks.end(), violation->second), ranks.end());
+  EXPECT_EQ(tree.lca(violation->first, violation->second), violation->lca);
+  EXPECT_NE(violation->lca, violation->subtree_root);
+  EXPECT_NE(violation->lca, violation->first);
+  EXPECT_NE(violation->lca, violation->second);
+}
+
+}  // namespace
+}  // namespace ct::topo

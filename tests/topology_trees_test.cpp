@@ -1,0 +1,436 @@
+// Tree construction tests: the exact structures from the paper's Figures
+// 3-5, the closed-form/constructive cross-checks for Lamé and optimal trees
+// (Eq. 1 + Eq. 2), and structural invariants for every family over a sweep
+// of process counts (including non-powers: "our node numbering scheme
+// maintains the interleaving ... also for incomplete trees").
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "topology/factory.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::topo {
+namespace {
+
+std::vector<Rank> children_of(const Tree& tree, Rank r) {
+  auto span = tree.children(r);
+  return {span.begin(), span.end()};
+}
+
+// --- Tree base class ----------------------------------------------------------
+
+TEST(Tree, ValidatesSpanningStructure) {
+  // 0 -> 1 -> 2 chain.
+  Tree chain("chain", {kNoRank, 0, 1}, {{1}, {2}, {}});
+  EXPECT_EQ(chain.num_procs(), 3);
+  EXPECT_EQ(chain.parent(2), 1);
+  EXPECT_EQ(chain.depth(2), 2);
+  EXPECT_EQ(chain.height(), 2);
+  EXPECT_EQ(chain.subtree_size(0), 3);
+  EXPECT_EQ(chain.subtree_size(1), 2);
+}
+
+TEST(Tree, RejectsInconsistentParents) {
+  // children say parent(2) == 0, parent array says 1.
+  EXPECT_THROW(Tree("bad", {kNoRank, 0, 1}, {{1, 2}, {}, {}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsTwoParents) {
+  EXPECT_THROW(Tree("bad", {kNoRank, 0, 0}, {{1, 2}, {2}, {}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsNonRootedRankZero) {
+  EXPECT_THROW(Tree("bad", {0, kNoRank}, {{}, {0}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsOrphan) {
+  EXPECT_THROW(Tree("bad", {kNoRank, kNoRank}, {{}, {}}), std::invalid_argument);
+}
+
+TEST(Tree, LcaAndSubtreeRanks) {
+  const Tree tree = make_binomial_interleaved(8);
+  // 0 -> {1,2,4}, 1 -> {3,5}, 2 -> {6}, 3 -> {7}
+  EXPECT_EQ(tree.lca(3, 5), 1);
+  EXPECT_EQ(tree.lca(7, 5), 1);
+  EXPECT_EQ(tree.lca(6, 4), 0);
+  EXPECT_EQ(tree.lca(3, 3), 3);
+  EXPECT_EQ(tree.subtree_ranks(1), (std::vector<Rank>{1, 3, 5, 7}));
+  EXPECT_EQ(tree.subtree_ranks(2), (std::vector<Rank>{2, 6}));
+}
+
+// --- Exact structures from the paper -------------------------------------------
+
+TEST(KAry, Figure3InOrderBinary) {
+  // Fig. 3 left: binary in-order tree, P = 7. Depth-first numbering; the
+  // failure of process 4 leaves the contiguous gap {5, 6}.
+  const Tree tree = make_kary_inorder(7, 2);
+  EXPECT_EQ(children_of(tree, 0), (std::vector<Rank>{1, 4}));
+  EXPECT_EQ(children_of(tree, 1), (std::vector<Rank>{2, 3}));
+  EXPECT_EQ(children_of(tree, 4), (std::vector<Rank>{5, 6}));
+  EXPECT_TRUE(children_of(tree, 5).empty());
+}
+
+TEST(KAry, Figure3InterleavedBinary) {
+  // Fig. 3 right: process 4 is a child of 2 while its ring neighbours 3 and
+  // 5 are children of 1.
+  const Tree tree = make_kary_interleaved(7, 2);
+  EXPECT_EQ(children_of(tree, 0), (std::vector<Rank>{1, 2}));
+  EXPECT_EQ(children_of(tree, 1), (std::vector<Rank>{3, 5}));
+  EXPECT_EQ(children_of(tree, 2), (std::vector<Rank>{4, 6}));
+  EXPECT_EQ(tree.parent(4), 2);
+  EXPECT_EQ(tree.parent(3), 1);
+  EXPECT_EQ(tree.parent(5), 1);
+}
+
+TEST(Binomial, Figure4Interleaved) {
+  // Fig. 4 right: children(r) = { r + 2^i : 2^i > r }.
+  const Tree tree = make_binomial_interleaved(8);
+  EXPECT_EQ(children_of(tree, 0), (std::vector<Rank>{1, 2, 4}));
+  EXPECT_EQ(children_of(tree, 1), (std::vector<Rank>{3, 5}));
+  EXPECT_EQ(children_of(tree, 2), (std::vector<Rank>{6}));
+  EXPECT_EQ(children_of(tree, 3), (std::vector<Rank>{7}));
+  EXPECT_TRUE(children_of(tree, 4).empty());
+}
+
+TEST(Binomial, Figure4InOrderHasContiguousSubtrees) {
+  const Tree tree = make_binomial_inorder(8);
+  // Every subtree occupies a contiguous rank interval (the defining
+  // property that makes failures produce one large gap).
+  for (Rank r = 0; r < tree.num_procs(); ++r) {
+    const auto ranks = tree.subtree_ranks(r);
+    EXPECT_EQ(ranks.back() - ranks.front() + 1, static_cast<Rank>(ranks.size()))
+        << "subtree of " << r << " is not contiguous";
+  }
+  EXPECT_EQ(tree.height(), 3);
+}
+
+TEST(Lame, Figure5OrderThree) {
+  // Lamé tree k = 3, P = 9 (Fig. 5): from Eq. 2, children(0) = {1,2,3,4,6},
+  // children(1) = {5,7}, children(2) = {8}.
+  const Tree tree = make_lame(9, 3);
+  EXPECT_EQ(children_of(tree, 0), (std::vector<Rank>{1, 2, 3, 4, 6}));
+  EXPECT_EQ(children_of(tree, 1), (std::vector<Rank>{5, 7}));
+  EXPECT_EQ(children_of(tree, 2), (std::vector<Rank>{8}));
+  for (Rank r = 3; r < 9; ++r) EXPECT_TRUE(children_of(tree, r).empty());
+}
+
+// --- Ready-to-send sequences (Eq. 1 and the optimal-tree recurrence) ----------
+
+TEST(ReadyToSend, BinomialDoubles) {
+  for (std::int64_t t = 0; t <= 20; ++t) {
+    EXPECT_EQ(lame_ready_to_send(1, t), std::int64_t{1} << t);
+  }
+  EXPECT_EQ(lame_ready_to_send(1, -1), 0);
+}
+
+TEST(ReadyToSend, OrderThreeIsNarayana) {
+  // R(t) = R(t-1) + R(t-3) with R(0..2) = 1: OEIS A000930.
+  const std::vector<std::int64_t> expected{1, 1, 1, 2, 3, 4, 6, 9, 13, 19, 28};
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    EXPECT_EQ(lame_ready_to_send(3, static_cast<std::int64_t>(t)), expected[t]);
+  }
+}
+
+TEST(ReadyToSend, OrderTwoIsFibonacciLike) {
+  for (std::int64_t t = 2; t <= 30; ++t) {
+    EXPECT_EQ(lame_ready_to_send(2, t),
+              lame_ready_to_send(2, t - 1) + lame_ready_to_send(2, t - 2));
+  }
+}
+
+TEST(ReadyToSend, OptimalRecurrence) {
+  const std::int64_t o = 2;
+  const std::int64_t L = 3;
+  for (std::int64_t t = 2 * o + L; t <= 40; ++t) {
+    EXPECT_EQ(optimal_ready_to_send(o, L, t),
+              optimal_ready_to_send(o, L, t - o) +
+                  optimal_ready_to_send(o, L, t - 2 * o - L));
+  }
+  EXPECT_EQ(optimal_ready_to_send(o, L, -5), 0);
+  EXPECT_EQ(optimal_ready_to_send(o, L, 0), 1);
+}
+
+TEST(ReadyToSend, LameMatchesOptimalWhenKEquals2oPlusL) {
+  // §3.2.3: a Lamé tree is optimal when 2o + L = k; with o = 1 both
+  // sequences advance one send per step, so R coincides.
+  for (std::int64_t t = 0; t <= 25; ++t) {
+    EXPECT_EQ(lame_ready_to_send(3, t), optimal_ready_to_send(1, 1, t));
+    EXPECT_EQ(lame_ready_to_send(4, t), optimal_ready_to_send(1, 2, t));
+  }
+}
+
+// --- Constructive builder vs closed formula (Eq. 2) ---------------------------
+
+class LameFormulaTest : public ::testing::TestWithParam<std::tuple<int, Rank>> {};
+
+TEST_P(LameFormulaTest, ConstructiveMatchesFormula) {
+  const auto [order, procs] = GetParam();
+  const Tree tree = make_lame(procs, order);
+  for (Rank r = 0; r < procs; ++r) {
+    EXPECT_EQ(children_of(tree, r), lame_children_formula(r, procs, order))
+        << "rank " << r << " order " << order << " P " << procs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSizes, LameFormulaTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7),
+                       ::testing::Values<Rank>(1, 2, 3, 9, 16, 17, 64, 100, 257)));
+
+class OptimalFormulaTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, Rank>> {};
+
+TEST_P(OptimalFormulaTest, ConstructiveMatchesFormula) {
+  const auto [o, L, procs] = GetParam();
+  const Tree tree = make_optimal(procs, o, L);
+  for (Rank r = 0; r < procs; ++r) {
+    EXPECT_EQ(children_of(tree, r), optimal_children_formula(r, procs, o, L))
+        << "rank " << r << " o " << o << " L " << L << " P " << procs;
+  }
+}
+
+// The slotted closed form requires L % o == 0 (see optimal_children_formula);
+// the aligned grid below plus an explicit misalignment check cover both sides.
+const std::vector<std::tuple<std::int64_t, std::int64_t, Rank>> kAlignedOptimalCases{
+    {1, 0, 33},  {1, 1, 128}, {1, 2, 128}, {1, 5, 128}, {2, 0, 128}, {2, 2, 128},
+    {2, 4, 33},  {3, 3, 128}, {3, 6, 100}, {1, 2, 1},   {1, 2, 2},   {2, 2, 8}};
+
+INSTANTIATE_TEST_SUITE_P(ParamsAndSizes, OptimalFormulaTest,
+                         ::testing::ValuesIn(kAlignedOptimalCases));
+
+TEST(OptimalFormula, RejectsMisalignedParameters) {
+  EXPECT_THROW(optimal_children_formula(0, 16, 2, 1), std::invalid_argument);
+  EXPECT_THROW(optimal_children_formula(0, 16, 2, 5), std::invalid_argument);
+  // The constructive builder still handles misaligned parameters.
+  EXPECT_NO_THROW(make_optimal(64, 2, 1));
+  EXPECT_NO_THROW(make_optimal(64, 2, 5));
+}
+
+TEST(Optimal, EqualsLameWhenParametersAlign) {
+  // o = 1, L = k - 2 makes the optimal tree a Lamé tree of order k.
+  for (int k : {2, 3, 5}) {
+    const Tree lame = make_lame(200, k);
+    const Tree optimal = make_optimal(200, 1, k - 2);
+    for (Rank r = 0; r < 200; ++r) {
+      EXPECT_EQ(children_of(lame, r), children_of(optimal, r)) << "k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, InterleavedEqualsLameOrderOne) {
+  const Tree binomial = make_binomial_interleaved(100);
+  const Tree lame = make_lame(100, 1);
+  for (Rank r = 0; r < 100; ++r) {
+    EXPECT_EQ(children_of(binomial, r), children_of(lame, r));
+  }
+}
+
+TEST(Binomial, InterleavedChildrenArePowersOfTwoOffsets) {
+  const Tree tree = make_binomial_interleaved(300);
+  for (Rank r = 0; r < 300; ++r) {
+    for (Rank c : tree.children(r)) {
+      const Rank delta = c - r;
+      EXPECT_EQ(delta & (delta - 1), 0) << "offset not a power of two";
+      EXPECT_GT(delta, r) << "2^i > r violated";  // 2^i > r (paper §3.2.2)
+    }
+  }
+}
+
+// --- Structural invariants for all families -----------------------------------
+
+struct FamilyCase {
+  std::string spec;
+  Rank procs;
+};
+
+class TreeInvariantsTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(TreeInvariantsTest, SpanningAcyclicAndOrdered) {
+  const auto& param = GetParam();
+  const Tree tree = make_tree(parse_tree_spec(param.spec), param.procs);
+  EXPECT_EQ(tree.num_procs(), param.procs);
+
+  // Every rank appears exactly once across all child lists plus the root.
+  std::set<Rank> seen{0};
+  Rank total = 1;
+  for (Rank r = 0; r < param.procs; ++r) {
+    Rank previous = kNoRank;
+    for (Rank c : tree.children(r)) {
+      EXPECT_TRUE(seen.insert(c).second) << "duplicate child " << c;
+      EXPECT_GT(c, r) << "interleaved numbering assigns children after parents";
+      EXPECT_GT(c, previous) << "children must be in ascending send order";
+      previous = c;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, param.procs);
+
+  // Subtree sizes sum correctly and depth is consistent with parents.
+  Rank size_sum = 0;
+  for (Rank r = 0; r < param.procs; ++r) {
+    size_sum += tree.subtree_size(r) > 0;
+    if (r != 0) {
+      EXPECT_EQ(tree.depth(r), tree.depth(tree.parent(r)) + 1);
+    }
+  }
+  EXPECT_EQ(size_sum, param.procs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, TreeInvariantsTest,
+    ::testing::Values(FamilyCase{"binomial", 64}, FamilyCase{"binomial", 100},
+                      FamilyCase{"binomial-inorder", 64},
+                      FamilyCase{"binomial-inorder", 77}, FamilyCase{"kary:2", 127},
+                      FamilyCase{"kary:4", 85}, FamilyCase{"kary:4", 200},
+                      FamilyCase{"kary-inorder:3", 40}, FamilyCase{"lame:2", 97},
+                      FamilyCase{"lame:3", 128}, FamilyCase{"optimal", 96},
+                      FamilyCase{"binomial", 1}, FamilyCase{"lame:2", 2}),
+    [](const auto& info) {
+      std::string name = info.param.spec + "_" + std::to_string(info.param.procs);
+      for (char& ch : name) {
+        if (ch == ':' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(KAry, InterleavedLevelsFillInRankOrder) {
+  // Level l spans ranks [(k^l-1)/(k-1), (k^{l+1}-1)/(k-1)); children of a
+  // level-l rank are exactly k^l apart (§3.2.1).
+  for (int k : {2, 3, 4}) {
+    const Tree tree = make_kary_interleaved(500, k);
+    std::int64_t level_begin = 0;
+    std::int64_t level_size = 1;
+    while (level_begin < 500) {
+      for (std::int64_t r = level_begin;
+           r < std::min<std::int64_t>(level_begin + level_size, 500); ++r) {
+        int i = 1;
+        for (Rank c : tree.children(static_cast<Rank>(r))) {
+          EXPECT_EQ(c, r + i * level_size) << "k=" << k << " r=" << r;
+          ++i;
+        }
+      }
+      level_begin += level_size;
+      level_size *= k;
+    }
+  }
+}
+
+TEST(KAry, ChainForArityOne) {
+  const Tree tree = make_kary_interleaved(5, 1);
+  for (Rank r = 0; r + 1 < 5; ++r) {
+    EXPECT_EQ(children_of(tree, r), (std::vector<Rank>{static_cast<Rank>(r + 1)}));
+  }
+  EXPECT_EQ(tree.height(), 4);
+}
+
+TEST(Factory, RoundTripsSpecs) {
+  for (const char* spec :
+       {"binomial", "binomial-inorder", "kary:4", "kary-inorder:3", "lame:2",
+        "optimal"}) {
+    EXPECT_EQ(parse_tree_spec(spec).to_string(), spec);
+  }
+}
+
+TEST(Factory, RejectsUnknownAndMalformed) {
+  EXPECT_THROW(parse_tree_spec("mystery"), std::invalid_argument);
+  EXPECT_THROW(parse_tree_spec("kary:0"), std::invalid_argument);
+  EXPECT_THROW(parse_tree_spec("kary:x"), std::invalid_argument);
+}
+
+TEST(Factory, BuildsNamedTrees) {
+  const Tree tree = make_tree(parse_tree_spec("kary:4"), 100);
+  EXPECT_EQ(tree.name(), "kary4-interleaved");
+  EXPECT_EQ(tree.num_procs(), 100);
+}
+
+TEST(TreeErrors, RejectBadArguments) {
+  EXPECT_THROW(make_kary_inorder(0, 2), std::invalid_argument);
+  EXPECT_THROW(make_kary_interleaved(8, 0), std::invalid_argument);
+  EXPECT_THROW(make_lame(8, 0), std::invalid_argument);
+  EXPECT_THROW(make_optimal(8, 0, 2), std::invalid_argument);
+  EXPECT_THROW(make_binomial_inorder(-1), std::invalid_argument);
+}
+
+TEST(TreeShapes, HeightOrdering) {
+  // §4.3: "slower trees have larger height and lower average fan-out at the
+  // same process count" — binomial is the slowest of the three (Fig. 7),
+  // optimal the fastest.
+  const Rank procs = 4096;
+  const Tree binomial = make_binomial_interleaved(procs);
+  const Tree lame2 = make_lame(procs, 2);
+  const Tree optimal = make_optimal(procs, 1, 2);
+  EXPECT_GE(binomial.height(), lame2.height());
+  EXPECT_GE(lame2.height(), optimal.height());
+  // ... while maximum fan-out (the root's) goes the other way around.
+  EXPECT_LE(binomial.max_fanout(), lame2.max_fanout());
+  EXPECT_LE(lame2.max_fanout(), optimal.max_fanout());
+}
+
+}  // namespace
+}  // namespace ct::topo
+
+// NOTE: appended suite — hierarchical (node-aware) trees.
+#include "topology/hierarchical.hpp"
+
+namespace ct::topo {
+namespace {
+
+TEST(Hierarchical, LeadersSpanTheInterNodeTree) {
+  // 4 nodes x 4 ranks, binomial leader tree over nodes {0,1,2,3}:
+  // leaders 0,4,8,12; node tree 0 -> {1,2}, 1 -> {3} maps to 0 -> {4,8},
+  // 4 -> {12}.
+  const Tree tree = make_hierarchical(16, 4, parse_tree_spec("binomial"));
+  EXPECT_EQ(tree.num_procs(), 16);
+  EXPECT_EQ(tree.parent(4), 0);
+  EXPECT_EQ(tree.parent(8), 0);
+  EXPECT_EQ(tree.parent(12), 4);
+  // Members hang off their leader.
+  for (Rank member : {1, 2, 3}) EXPECT_EQ(tree.parent(member), 0);
+  for (Rank member : {5, 6, 7}) EXPECT_EQ(tree.parent(member), 4);
+  for (Rank member : {13, 14, 15}) EXPECT_EQ(tree.parent(member), 12);
+  // Remote children come before local members in the send order.
+  const auto root_children = tree.children(0);
+  ASSERT_EQ(root_children.size(), 5u);
+  EXPECT_EQ(root_children[0], 4);
+  EXPECT_EQ(root_children[1], 8);
+  EXPECT_EQ(root_children[2], 1);
+}
+
+TEST(Hierarchical, HandlesPartialLastNode) {
+  const Tree tree = make_hierarchical(14, 4, parse_tree_spec("binomial"));
+  EXPECT_EQ(tree.num_procs(), 14);
+  EXPECT_EQ(tree.parent(13), 12);   // partial node {12, 13}
+  EXPECT_EQ(tree.subtree_size(0), 14);
+}
+
+TEST(Hierarchical, NodeCrashLeavesBlockGap) {
+  // The locality-extreme numbering: a node failure produces one
+  // node_size-sized gap (the opposite of interleaving).
+  const Tree tree = make_hierarchical(32, 4, parse_tree_spec("binomial"));
+  std::vector<char> colored(32, 1);
+  for (Rank r : tree.subtree_ranks(8)) colored[static_cast<std::size_t>(r)] = 0;
+  // Leader 8's subtree includes at least its own node block {8..11}.
+  for (Rank r = 8; r < 12; ++r) EXPECT_EQ(colored[static_cast<std::size_t>(r)], 0);
+}
+
+TEST(Hierarchical, Validation) {
+  EXPECT_THROW(make_hierarchical(0, 4, parse_tree_spec("binomial")),
+               std::invalid_argument);
+  EXPECT_THROW(make_hierarchical(16, 0, parse_tree_spec("binomial")),
+               std::invalid_argument);
+  // Degenerate cases: one node (pure star below rank 0), node_size 1
+  // (pure leader tree).
+  EXPECT_EQ(make_hierarchical(8, 8, parse_tree_spec("binomial")).max_fanout(), 7);
+  const Tree pure = make_hierarchical(8, 1, parse_tree_spec("binomial"));
+  const Tree binomial = make_binomial_interleaved(8);
+  for (Rank r = 0; r < 8; ++r) {
+    EXPECT_EQ(pure.parent(r), binomial.parent(r));
+  }
+}
+
+}  // namespace
+}  // namespace ct::topo
