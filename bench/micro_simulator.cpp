@@ -15,43 +15,100 @@ namespace {
 
 using namespace ct;
 
-void BM_SimulateBroadcast(benchmark::State& state) {
-  const auto procs = static_cast<topo::Rank>(state.range(0));
-  const topo::Tree tree = topo::make_binomial_interleaved(procs);
-  const sim::LogP params{2, 1, 1, procs};
+proto::CorrectionConfig checked_sync_config(const topo::Tree& tree,
+                                            const sim::LogP& params) {
   proto::CorrectionConfig config;
   config.kind = proto::CorrectionKind::kChecked;
   config.start = proto::CorrectionStart::kSynchronized;
   config.sync_time = proto::fault_free_dissemination_time(tree, params);
-  std::int64_t messages = 0;
+  return config;
+}
+
+void run_broadcast_benchmark(benchmark::State& state, sim::QueueKind queue) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  const sim::LogP params{2, 1, 1, procs};
+  const proto::CorrectionConfig config = checked_sync_config(tree, params);
+  sim::RunOptions options;
+  options.queue = queue;
+  sim::Workspace workspace;
+  // Per-iteration accumulation: totals must cover every iteration (not the
+  // last run scaled by iterations()) or items/sec misreports whenever runs
+  // vary; counters are also safe under threaded benchmark runs, unlike the
+  // SetLabel string this replaces.
+  std::int64_t total_messages = 0;
+  std::int64_t total_events = 0;
   for (auto _ : state) {
     proto::CorrectedTreeBroadcast protocol(tree, config);
     sim::Simulator simulator(params, sim::FaultSet::none(procs));
-    messages = simulator.run(protocol).total_messages;
-    benchmark::DoNotOptimize(messages);
+    const sim::RunResult result = simulator.run(protocol, options, workspace);
+    total_messages += result.total_messages;
+    total_events += result.events_processed;
+    benchmark::DoNotOptimize(result.total_messages);
   }
-  state.SetItemsProcessed(state.iterations() * messages);
-  state.SetLabel("messages/iter=" + std::to_string(messages));
+  state.SetItemsProcessed(total_messages);
+  state.counters["events/s"] = benchmark::Counter(static_cast<double>(total_events),
+                                                  benchmark::Counter::kIsRate);
+  state.counters["msgs/run"] = benchmark::Counter(
+      state.iterations() ? static_cast<double>(total_messages) /
+                               static_cast<double>(state.iterations())
+                         : 0.0);
+}
+
+void BM_SimulateBroadcast(benchmark::State& state) {
+  run_broadcast_benchmark(state, sim::QueueKind::kCalendar);
 }
 BENCHMARK(BM_SimulateBroadcast)->Arg(1024)->Arg(8192)->Arg(65536);
+
+// Fallback engine, for queue A/B comparisons on identical runs.
+void BM_SimulateBroadcastHeapQueue(benchmark::State& state) {
+  run_broadcast_benchmark(state, sim::QueueKind::kBinaryHeap);
+}
+BENCHMARK(BM_SimulateBroadcastHeapQueue)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_SimulateWithFaults(benchmark::State& state) {
   const topo::Rank procs = 8192;
   const topo::Tree tree = topo::make_binomial_interleaved(procs);
   const sim::LogP params{2, 1, 1, procs};
-  proto::CorrectionConfig config;
-  config.kind = proto::CorrectionKind::kChecked;
-  config.start = proto::CorrectionStart::kSynchronized;
-  config.sync_time = proto::fault_free_dissemination_time(tree, params);
+  const proto::CorrectionConfig config = checked_sync_config(tree, params);
   support::Xoshiro256ss rng(7);
+  sim::Workspace workspace;
+  std::int64_t total_events = 0;
   for (auto _ : state) {
     proto::CorrectedTreeBroadcast protocol(tree, config);
     sim::Simulator simulator(
         params, sim::FaultSet::random_fraction(procs, 0.02, rng));
-    benchmark::DoNotOptimize(simulator.run(protocol).quiescence_latency);
+    const sim::RunResult result = simulator.run(protocol, {}, workspace);
+    total_events += result.events_processed;
+    benchmark::DoNotOptimize(result.quiescence_latency);
   }
+  state.counters["events/s"] = benchmark::Counter(static_cast<double>(total_events),
+                                                  benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateWithFaults);
+
+// The sweep path the figure benches live on: run_replicated (workspace
+// reuse, deterministic aggregation) over a faulty corrected-tree scenario.
+// items/sec == replications/sec.
+void BM_SweepThroughput(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  exp::Scenario scenario;
+  scenario.params = sim::LogP{2, 1, 1, procs};
+  scenario.protocol = exp::ProtocolKind::kCorrectedTree;
+  scenario.tree.kind = topo::TreeKind::kBinomialInterleaved;
+  scenario.correction.kind = proto::CorrectionKind::kChecked;
+  scenario.correction.start = proto::CorrectionStart::kSynchronized;
+  scenario.fault_fraction = 0.02;
+  const std::size_t reps = 16;
+  std::uint64_t sweep = 0;
+  for (auto _ : state) {
+    const exp::Aggregate aggregate = exp::run_replicated(scenario, reps, 42 + sweep++);
+    benchmark::DoNotOptimize(aggregate.runs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(reps));
+}
+BENCHMARK(BM_SweepThroughput)->Arg(1024)->Arg(8192);
 
 void BM_TreeConstructive(benchmark::State& state) {
   const auto procs = static_cast<topo::Rank>(state.range(0));

@@ -81,7 +81,7 @@ Prepared prepare(const Scenario& input) {
 }
 
 sim::RunResult run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
-                            const sim::RunOptions& options) {
+                            const sim::RunOptions& options, sim::Workspace& workspace) {
   const Scenario& scenario = prepared.scenario;
   support::Xoshiro256ss rng(rep_seed);
   sim::Simulator simulator(scenario.params, make_faults(scenario, rng));
@@ -89,17 +89,17 @@ sim::RunResult run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
   switch (scenario.protocol) {
     case ProtocolKind::kCorrectedTree: {
       proto::CorrectedTreeBroadcast protocol(*prepared.tree, scenario.correction);
-      return simulator.run(protocol, options);
+      return simulator.run(protocol, options, workspace);
     }
     case ProtocolKind::kAckTree: {
       proto::AckTreeBroadcast protocol(*prepared.tree);
-      return simulator.run(protocol, options);
+      return simulator.run(protocol, options, workspace);
     }
     case ProtocolKind::kGossip: {
       proto::GossipConfig config = scenario.gossip;
       config.seed = support::derive_seed(rep_seed, 0x60551b);
       proto::CorrectedGossipBroadcast protocol(scenario.params.P, config);
-      return simulator.run(protocol, options);
+      return simulator.run(protocol, options, workspace);
     }
   }
   throw std::logic_error("unreachable protocol kind");
@@ -109,7 +109,8 @@ sim::RunResult run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
 
 sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,
                         const sim::RunOptions& options) {
-  return run_prepared(prepare(scenario), rep_seed, options);
+  sim::Workspace workspace;
+  return run_prepared(prepare(scenario), rep_seed, options, workspace);
 }
 
 Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
@@ -118,20 +119,32 @@ Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64
 
   if (!pool || pool->size() <= 1 || reps < 2) {
     Aggregate aggregate;
+    sim::Workspace workspace;  // reused across every replication
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      aggregate.add(run_prepared(prepared, support::derive_seed(seed, rep), {}));
+      aggregate.add(run_prepared(prepared, support::derive_seed(seed, rep), {}, workspace));
     }
     return aggregate;
   }
 
-  // One partial aggregate per worker block; merged in block order so the
-  // result is identical to the serial run.
+  // Work-stealing over fixed chunks: chunk k always covers the same rep
+  // range, each chunk is accumulated worker-locally (one Aggregate on the
+  // worker's stack — adjacent partial[] blocks would false-share cache
+  // lines) and written exactly once, and partials merge in k order — so the
+  // result is byte-identical to the serial loop no matter which worker ran
+  // which chunk. One Workspace per worker amortises simulator allocations.
   const std::size_t workers = pool->size();
-  const std::size_t chunk = (reps + workers - 1) / workers;
+  const std::size_t chunk = support::ThreadPool::default_chunk(reps, workers);
   std::vector<Aggregate> partial((reps + chunk - 1) / chunk);
-  pool->parallel_for(reps, [&](std::size_t rep) {
-    partial[rep / chunk].add(run_prepared(prepared, support::derive_seed(seed, rep), {}));
-  });
+  std::vector<sim::Workspace> workspaces(workers);
+  pool->parallel_for_chunks(
+      reps, chunk, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        Aggregate local;
+        for (std::size_t rep = begin; rep < end; ++rep) {
+          local.add(run_prepared(prepared, support::derive_seed(seed, rep), {},
+                                 workspaces[worker]));
+        }
+        partial[begin / chunk] = std::move(local);
+      });
   Aggregate aggregate;
   for (const Aggregate& part : partial) aggregate.merge(part);
   return aggregate;

@@ -62,7 +62,10 @@ struct Aggregate {
 
 /// Runs `reps` replications of `scenario`; replication i uses the RNG
 /// stream derive_seed(seed, i) for faults (and gossip). Deterministic for a
-/// fixed (scenario, reps, seed) regardless of the pool size.
+/// fixed (scenario, reps, seed) regardless of the pool size: chunks are
+/// stolen dynamically but partial aggregates merge in fixed chunk order, so
+/// the result is byte-identical to the serial loop. Each worker reuses one
+/// sim::Workspace across its replications.
 Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
                          const support::ThreadPool* pool = nullptr);
 

@@ -1,0 +1,320 @@
+#pragma once
+// Event-queue engines behind ct::sim::Simulator. Two interchangeable
+// implementations with one contract:
+//
+//   push(Event)          — enqueue; Event::seq must already be stamped.
+//   empty()              — any event left?
+//   front()              — reference to the minimum event under the total
+//                          order (time, lane priority, seq). The reference
+//                          stays valid across pushes made while the event is
+//                          being dispatched (see invariant below).
+//   pop_front()          — consume what front() returned.
+//
+// front()/pop_front() must be called in strictly alternating pairs.
+//
+// CalendarQueue (the default) is a classic calendar queue specialised for
+// LogP ticks: a power-of-two ring of per-tick buckets, each bucket holding
+// one FIFO lane per EventKind. All LogP offsets (overhead, port period,
+// wire time) and near protocol timers land in the ring at O(1) push/pop
+// with zero comparator calls; far-future timers spill into a small binary
+// min-heap overflow tier and are merged back by (time, lane, seq), so the
+// total order is bit-identical to a global binary heap.
+//
+// Dispatch-safety invariant (why front()'s reference survives dispatch):
+// handling an event of lane X at tick T only ever enqueues events of lanes
+// != X at tick T (later ticks are unrestricted), with one exception — a
+// protocol timer re-arming a timer for the current instant — and the timer
+// callback receives its arguments by value before any push can happen. So
+// the lane vector a dispatched event lives in is never reallocated while a
+// reference into it is held. Simulator::dispatch relies on this; keep the
+// two in sync.
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+#include "topology/tree.hpp"
+
+namespace ct::sim::detail {
+
+enum class EventKind : std::uint8_t {
+  kSendStart,  // rank's send port picks up the next queued message
+  kSendDone,   // send overhead finished; port may start the next message
+  kArrival,    // message reached the receiver's input queue (after L)
+  kRecvStart,  // rank's receive port picks up the next queued arrival
+  kRecvDone,   // receive overhead finished; protocol callback fires
+  kTimer,
+};
+
+// Same-tick ordering: receive-side events complete before send-side ones
+// (the paper's accounting — a process "stops sending messages ... once it
+// receives", so a receipt at time t influences the send decision at t),
+// and timers observe everything that happened at their tick (a
+// synchronized-correction snapshot at t includes processes colored at t).
+inline constexpr int kNumLanes = 6;
+inline constexpr int priority(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kArrival:
+      return 0;
+    case EventKind::kRecvStart:
+      return 1;
+    case EventKind::kRecvDone:
+      return 2;
+    case EventKind::kSendDone:
+      return 3;
+    case EventKind::kSendStart:
+      return 4;
+    case EventKind::kTimer:
+      return 5;
+  }
+  return kNumLanes;
+}
+
+struct Event {
+  Time time = 0;
+  std::int64_t seq = 0;  // insertion order; deterministic tie-break
+  EventKind kind = EventKind::kTimer;
+  topo::Rank rank = topo::kNoRank;  // acting rank (sender/receiver/timer owner)
+  Message msg;
+  std::int64_t timer_id = 0;
+
+  // Min-heap on (time, kind priority, seq).
+  friend bool operator>(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    const int pa = priority(a.kind);
+    const int pb = priority(b.kind);
+    if (pa != pb) return pa > pb;
+    return a.seq > b.seq;
+  }
+};
+
+/// Plain binary min-heap over Events with a reusable backing vector.
+/// Used standalone as the fallback queue (RunOptions::queue == kBinaryHeap)
+/// and as the CalendarQueue's far-future overflow tier.
+class EventMinHeap {
+ public:
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  const Event& top() const noexcept { return heap_.front(); }
+
+  void push(Event event) {
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  /// Removes and returns the minimum (by value; the heap sift would move it
+  /// anyway). Callers keep it in stable storage while dispatching.
+  Event pop_top() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Event event = heap_.back();
+    heap_.pop_back();
+    return event;
+  }
+
+  void clear() noexcept { heap_.clear(); }  // keeps capacity
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// Fallback queue: the heap plus front()/pop_front() staging, so the drive
+/// loop can dispatch without copy-constructing an Event per pop (the event
+/// is moved once into a reused scratch slot, never reallocated under the
+/// dispatcher's feet).
+class EventHeapQueue {
+ public:
+  void reset() noexcept {
+    heap_.clear();
+    staged_ = false;
+  }
+
+  void push(Event event) { heap_.push(event); }
+
+  bool empty() const noexcept { return !staged_ && heap_.empty(); }
+
+  const Event& front() {
+    if (!staged_) {
+      scratch_ = heap_.pop_top();
+      staged_ = true;
+    }
+    return scratch_;
+  }
+
+  void pop_front() noexcept { staged_ = false; }
+
+ private:
+  EventMinHeap heap_;
+  Event scratch_;
+  bool staged_ = false;
+};
+
+/// Calendar queue: ring of per-tick buckets x priority lanes + overflow heap.
+class CalendarQueue {
+ public:
+  /// Ring slots are clamped to [kMinSlots, kMaxSlots]; events farther than
+  /// the ring covers are still correct, they just take the overflow heap.
+  static constexpr std::size_t kMinSlots = 512;     // covers protocol timers
+  static constexpr std::size_t kMaxSlots = 1 << 16; // LogGP byte-cost sweeps
+
+  /// Prepares for a run starting at tick 0. `horizon` is the largest push
+  /// offset the LogP model produces (port period / overhead + wire time);
+  /// the ring is sized to cover it where feasible. Must only be called on
+  /// an empty queue (Workspace hard-clears after an aborted run).
+  void reset(Time horizon) {
+    std::size_t want = std::bit_ceil(static_cast<std::size_t>(
+        std::clamp<Time>(horizon + 1, static_cast<Time>(kMinSlots),
+                         static_cast<Time>(kMaxSlots))));
+    if (want != ring_.size()) {
+      ring_.assign(want, Bucket{});
+      live_bits_.assign((want + 63) / 64, 0);
+      mask_ = want - 1;
+    }
+    assert(ring_count_ == 0 && overflow_.empty() && !staged_);
+    cursor_ = 0;
+  }
+
+  /// Empties a queue in an arbitrary (mid-run, post-throw) state.
+  void hard_clear() noexcept {
+    for (Bucket& bucket : ring_) {
+      if (bucket.live == 0) continue;
+      for (Lane& lane : bucket.lanes) {
+        lane.items.clear();
+        lane.head = 0;
+      }
+      bucket.live = 0;
+    }
+    std::fill(live_bits_.begin(), live_bits_.end(), 0);
+    ring_count_ = 0;
+    overflow_.clear();
+    staged_ = false;
+    cursor_ = 0;
+  }
+
+  void push(Event event) {
+    assert(event.time >= cursor_);
+    if (event.time - cursor_ >= static_cast<Time>(ring_.size())) {
+      overflow_.push(event);
+      return;
+    }
+    const std::size_t idx = static_cast<std::size_t>(event.time) & mask_;
+    Bucket& bucket = ring_[idx];
+    if (bucket.live++ == 0) set_live(idx);
+    bucket.lanes[static_cast<std::size_t>(priority(event.kind))].items.push_back(event);
+    ++ring_count_;
+  }
+
+  bool empty() const noexcept {
+    return !staged_ && ring_count_ == 0 && overflow_.empty();
+  }
+
+  const Event& front() {
+    if (staged_) return scratch_;
+    // Ring candidate: earliest live bucket, then its lowest-priority lane.
+    // The scan restarts from lane 0 every pop because dispatching a
+    // higher-lane event may enqueue a lower-lane event at the same tick
+    // (e.g. a timer callback starting a send "now").
+    const Lane* ring_lane = nullptr;
+    Time ring_time = kTimeNever;
+    int ring_pri = kNumLanes;
+    if (ring_count_ > 0) {
+      const std::size_t idx = next_live_bucket(static_cast<std::size_t>(cursor_) & mask_);
+      Bucket& bucket = ring_[idx];
+      for (int lane = 0; lane < kNumLanes; ++lane) {
+        const Lane& candidate = bucket.lanes[static_cast<std::size_t>(lane)];
+        if (candidate.head < candidate.items.size()) {
+          ring_lane = &candidate;
+          ring_time = candidate.items[candidate.head].time;
+          ring_pri = lane;
+          pop_bucket_ = idx;
+          pop_lane_ = lane;
+          break;
+        }
+      }
+      assert(ring_lane != nullptr);
+    }
+    // Merge with the overflow tier under the exact (time, lane, seq) order.
+    if (!overflow_.empty()) {
+      const Event& over = overflow_.top();
+      const int over_pri = priority(over.kind);
+      const bool overflow_wins =
+          ring_lane == nullptr || over.time < ring_time ||
+          (over.time == ring_time &&
+           (over_pri < ring_pri ||
+            (over_pri == ring_pri && over.seq < ring_lane->items[ring_lane->head].seq)));
+      if (overflow_wins) {
+        scratch_ = overflow_.pop_top();
+        staged_ = true;
+        cursor_ = scratch_.time;
+        return scratch_;
+      }
+    }
+    cursor_ = ring_time;
+    return ring_lane->items[ring_lane->head];
+  }
+
+  void pop_front() noexcept {
+    if (staged_) {
+      staged_ = false;
+      return;
+    }
+    Bucket& bucket = ring_[pop_bucket_];
+    Lane& lane = bucket.lanes[static_cast<std::size_t>(pop_lane_)];
+    if (++lane.head == lane.items.size()) {
+      lane.items.clear();  // keeps capacity for the next burst
+      lane.head = 0;
+    }
+    if (--bucket.live == 0) clear_live(pop_bucket_);
+    --ring_count_;
+  }
+
+ private:
+  struct Lane {
+    std::vector<Event> items;
+    std::size_t head = 0;
+  };
+  struct Bucket {
+    std::array<Lane, kNumLanes> lanes;
+    std::uint32_t live = 0;
+  };
+
+  void set_live(std::size_t idx) noexcept { live_bits_[idx >> 6] |= 1ull << (idx & 63); }
+  void clear_live(std::size_t idx) noexcept { live_bits_[idx >> 6] &= ~(1ull << (idx & 63)); }
+
+  /// First live bucket index cyclically at or after `start`. All ring
+  /// events lie in [cursor_, cursor_ + ring size), so cyclic index order
+  /// from the cursor is exactly time order.
+  std::size_t next_live_bucket(std::size_t start) const noexcept {
+    const std::size_t words = live_bits_.size();
+    std::size_t w = start >> 6;
+    std::uint64_t word = live_bits_[w] >> (start & 63);
+    if (word != 0) return start + static_cast<std::size_t>(std::countr_zero(word));
+    for (std::size_t step = 1; step <= words; ++step) {
+      std::size_t ww = w + step;
+      if (ww >= words) ww -= words;
+      if (live_bits_[ww] != 0) {
+        return (ww << 6) + static_cast<std::size_t>(std::countr_zero(live_bits_[ww]));
+      }
+    }
+    assert(false && "next_live_bucket on empty ring");
+    return 0;
+  }
+
+  std::vector<Bucket> ring_;
+  std::vector<std::uint64_t> live_bits_;  // one bit per bucket: live != 0
+  std::size_t mask_ = 0;
+  std::size_t ring_count_ = 0;
+  Time cursor_ = 0;  // time of the most recent front(); never decreases
+
+  EventMinHeap overflow_;  // events beyond the ring window (far timers)
+  Event scratch_;          // stable storage for a staged overflow event
+  bool staged_ = false;
+  std::size_t pop_bucket_ = 0;
+  int pop_lane_ = 0;
+};
+
+}  // namespace ct::sim::detail

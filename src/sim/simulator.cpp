@@ -4,80 +4,84 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/event_queue.hpp"
+
 namespace ct::sim {
 
-namespace {
+using detail::Event;
+using detail::EventKind;
 
-enum class EventKind : std::uint8_t {
-  kSendStart,  // rank's send port picks up the next queued message
-  kSendDone,   // send overhead finished; port may start the next message
-  kArrival,    // message reached the receiver's input queue (after L)
-  kRecvStart,  // rank's receive port picks up the next queued arrival
-  kRecvDone,   // receive overhead finished; protocol callback fires
-  kTimer,
+/// Per-rank engine state, lazily reset via the epoch stamp: a run bumps the
+/// workspace epoch once (O(1)) and every access re-initialises a stale
+/// entry on first touch, so untouched ranks never cost a write. One entry
+/// is 48 bytes — port state, coloring and data plane share a cache line.
+struct RankState {
+  std::uint64_t epoch = 0;
+  Time send_next_free = 0;
+  Time recv_next_free = 0;
+  Time colored_at = kTimeNever;
+  std::int64_t data = 0;
+  std::int32_t sends = 0;
+  std::uint8_t send_scheduled = 0;
+  std::uint8_t recv_scheduled = 0;
+  std::uint8_t colored = 0;
 };
 
-}  // namespace
+struct Workspace::State {
+  std::uint64_t epoch = 0;
+  /// Set while a run is in flight; a run that ends by exception leaves it
+  /// set, and the next prepare() hard-clears the self-draining structures.
+  bool dirty = false;
 
-struct Simulator::Event {
-  Time time = 0;
-  std::int64_t seq = 0;  // insertion order; deterministic tie-break
-  EventKind kind = EventKind::kTimer;
-  topo::Rank rank = topo::kNoRank;  // acting rank (sender/receiver/timer owner)
-  Message msg;
-  std::int64_t timer_id = 0;
+  std::vector<RankState> ranks;
+  std::vector<std::vector<Message>> send_queue;
+  std::vector<std::size_t> send_head;
+  std::vector<std::vector<Message>> recv_queue;
+  std::vector<std::size_t> recv_head;
+  std::vector<char> snapshot;  // dissemination-snapshot scratch
 
-  // Same-tick ordering: receive-side events complete before send-side ones
-  // (the paper's accounting — a process "stops sending messages ... once it
-  // receives", so a receipt at time t influences the send decision at t),
-  // and timers observe everything that happened at their tick (a
-  // synchronized-correction snapshot at t includes processes colored at t).
-  static int priority(EventKind kind) {
-    switch (kind) {
-      case EventKind::kArrival:
-        return 0;
-      case EventKind::kRecvStart:
-        return 1;
-      case EventKind::kRecvDone:
-        return 2;
-      case EventKind::kSendDone:
-        return 3;
-      case EventKind::kSendStart:
-        return 4;
-      case EventKind::kTimer:
-        return 5;
+  detail::CalendarQueue calendar;
+  detail::EventHeapQueue heap;
+
+  void prepare(topo::Rank num_procs, Time horizon, QueueKind queue) {
+    const auto n = static_cast<std::size_t>(num_procs);
+    if (ranks.size() < n) ranks.resize(n);
+    if (send_queue.size() < n) {
+      send_queue.resize(n);
+      send_head.resize(n, 0);
+      recv_queue.resize(n);
+      recv_head.resize(n, 0);
     }
-    return 6;
-  }
-
-  // Min-heap on (time, kind priority, seq).
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    const int pa = priority(a.kind);
-    const int pb = priority(b.kind);
-    if (pa != pb) return pa > pb;
-    return a.seq > b.seq;
+    if (dirty) {
+      for (std::size_t i = 0; i < send_queue.size(); ++i) {
+        send_queue[i].clear();
+        send_head[i] = 0;
+        recv_queue[i].clear();
+        recv_head[i] = 0;
+      }
+      calendar.hard_clear();
+      heap.reset();
+    }
+    ++epoch;
+    if (queue == QueueKind::kCalendar) {
+      calendar.reset(horizon);
+    } else {
+      heap.reset();
+    }
+    dirty = true;
   }
 };
+
+namespace {
+/// Value read for ranks whose workspace entry predates the current run.
+constexpr RankState kFreshRank{};
+}  // namespace
 
 class Simulator::ContextImpl final : public Context {
  public:
-  ContextImpl(const LogP& params, const FaultSet& faults, const Locality& locality)
-      : params_(params),
-        faults_(faults),
-        locality_(locality),
-        send_queue_(static_cast<std::size_t>(params.P)),
-        send_head_(static_cast<std::size_t>(params.P), 0),
-        send_scheduled_(static_cast<std::size_t>(params.P), 0),
-        send_next_free_(static_cast<std::size_t>(params.P), 0),
-        recv_queue_(static_cast<std::size_t>(params.P)),
-        recv_head_(static_cast<std::size_t>(params.P), 0),
-        recv_scheduled_(static_cast<std::size_t>(params.P), 0),
-        recv_next_free_(static_cast<std::size_t>(params.P), 0),
-        colored_(static_cast<std::size_t>(params.P), 0),
-        colored_at_(static_cast<std::size_t>(params.P), kTimeNever),
-        sends_per_rank_(static_cast<std::size_t>(params.P), 0),
-        rank_data_(static_cast<std::size_t>(params.P), 0) {}
+  ContextImpl(const LogP& params, const FaultSet& faults, const Locality& locality,
+              Workspace::State& ws)
+      : params_(params), faults_(faults), locality_(locality), ws_(ws) {}
 
   // --- Context interface ----------------------------------------------------
 
@@ -88,13 +92,12 @@ class Simulator::ContextImpl final : public Context {
     check_rank(from);
     check_rank(to);
     if (!faults_.alive_at(from, now_)) return;  // dead processes stay silent
-    auto& queue = send_queue_[static_cast<std::size_t>(from)];
-    queue.push_back(Message{from, to, tag, payload,
-                            rank_data_[static_cast<std::size_t>(from)]});
-    if (!send_scheduled_[static_cast<std::size_t>(from)]) {
-      send_scheduled_[static_cast<std::size_t>(from)] = 1;
-      push_event(std::max(now_, send_next_free_[static_cast<std::size_t>(from)]),
-                 EventKind::kSendStart, from);
+    RankState& rs = rank(from);
+    ws_.send_queue[static_cast<std::size_t>(from)].push_back(
+        Message{from, to, tag, payload, rs.data});
+    if (!rs.send_scheduled) {
+      rs.send_scheduled = 1;
+      push_event(std::max(now_, rs.send_next_free), EventKind::kSendStart, from);
     }
   }
 
@@ -106,65 +109,105 @@ class Simulator::ContextImpl final : public Context {
     event.kind = EventKind::kTimer;
     event.rank = on;
     event.timer_id = id;
-    push(std::move(event));
+    push(event);
   }
 
   void mark_colored(topo::Rank r) override {
     check_rank(r);
-    auto slot = static_cast<std::size_t>(r);
-    if (!colored_[slot]) {
-      colored_[slot] = 1;
-      colored_at_[slot] = now_;
+    RankState& rs = rank(r);
+    if (!rs.colored) {
+      rs.colored = 1;
+      rs.colored_at = now_;
     }
   }
 
   bool is_colored(topo::Rank r) const override {
     check_rank(r);
-    return colored_[static_cast<std::size_t>(r)] != 0;
+    return rank_ro(r).colored != 0;
   }
 
   void note_correction_start() override {
     if (correction_start_ == kTimeNever) {
       correction_start_ = now_;
-      dissemination_snapshot_ = colored_;
+      const auto n = static_cast<std::size_t>(params_.P);
+      ws_.snapshot.resize(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        ws_.snapshot[r] = static_cast<char>(rank_ro(static_cast<topo::Rank>(r)).colored);
+      }
+      has_snapshot_ = true;
     }
   }
 
   void set_rank_data(topo::Rank r, std::int64_t data) override {
     check_rank(r);
-    rank_data_[static_cast<std::size_t>(r)] = data;
+    rank(r).data = data;
   }
 
   std::int64_t rank_data(topo::Rank r) const override {
     check_rank(r);
-    return rank_data_[static_cast<std::size_t>(r)];
+    return rank_ro(r).data;
   }
 
   // --- Engine ----------------------------------------------------------------
 
   RunResult drive(Protocol& protocol, const RunOptions& options) {
+    use_calendar_ = options.queue == QueueKind::kCalendar;
     protocol.begin(*this);
     std::int64_t processed = 0;
-    while (!events_.empty()) {
-      Event event = events_.top();
-      events_.pop();
-      if (++processed > options.max_events) {
+    if (use_calendar_) {
+      drive_loop(ws_.calendar, protocol, options, processed);
+    } else {
+      drive_loop(ws_.heap, protocol, options, processed);
+    }
+    RunResult result = finish(options);
+    result.events_processed = processed;
+    ws_.dirty = false;  // clean exit: workspace structures self-drained
+    return result;
+  }
+
+ private:
+  template <class Queue>
+  void drive_loop(Queue& queue, Protocol& protocol, const RunOptions& options,
+                  std::int64_t& processed) {
+    const std::int64_t max_events = options.max_events;
+    while (!queue.empty()) {
+      const Event& event = queue.front();
+      if (++processed > max_events) {
         throw std::runtime_error("simulation exceeded max_events (runaway protocol?)");
       }
       now_ = event.time;
       dispatch(event, protocol, options);
+      queue.pop_front();
     }
-    return finish(options);
   }
 
- private:
   void check_rank(topo::Rank r) const {
     if (r < 0 || r >= params_.P) throw std::out_of_range("rank out of range");
   }
 
+  /// Mutable per-rank state; lazily re-initialised on first touch this run.
+  RankState& rank(topo::Rank r) {
+    RankState& rs = ws_.ranks[static_cast<std::size_t>(r)];
+    if (rs.epoch != ws_.epoch) {
+      rs = kFreshRank;
+      rs.epoch = ws_.epoch;
+    }
+    return rs;
+  }
+
+  /// Read-only view: stale entries read as fresh without being stamped.
+  const RankState& rank_ro(topo::Rank r) const {
+    const RankState& rs = ws_.ranks[static_cast<std::size_t>(r)];
+    return rs.epoch == ws_.epoch ? rs : kFreshRank;
+  }
+
   void push(Event event) {
     event.seq = next_seq_++;
-    events_.push(std::move(event));
+    if (use_calendar_) {
+      ws_.calendar.push(event);
+    } else {
+      ws_.heap.push(event);
+    }
   }
 
   void push_event(Time time, EventKind kind, topo::Rank rank) {
@@ -172,7 +215,7 @@ class Simulator::ContextImpl final : public Context {
     event.time = time;
     event.kind = kind;
     event.rank = rank;
-    push(std::move(event));
+    push(event);
   }
 
   void push_msg_event(Time time, EventKind kind, topo::Rank rank, const Message& msg) {
@@ -181,7 +224,7 @@ class Simulator::ContextImpl final : public Context {
     event.kind = kind;
     event.rank = rank;
     event.msg = msg;
-    push(std::move(event));
+    push(event);
   }
 
   void trace(const RunOptions& options, TraceEvent::Kind kind, const Message& msg,
@@ -189,10 +232,15 @@ class Simulator::ContextImpl final : public Context {
     if (options.trace) options.trace(TraceEvent{kind, now_, msg, timer_id});
   }
 
+  // NOTE: `event` may reference storage inside the active queue; the lane a
+  // dispatched event lives in is never reallocated during its own dispatch
+  // (see the invariant in event_queue.hpp), and the one same-tick-same-lane
+  // case (timer re-arming a timer for `now`) passes its arguments by value
+  // before the push can happen.
   void dispatch(const Event& event, Protocol& protocol, const RunOptions& options) {
     switch (event.kind) {
       case EventKind::kSendStart:
-        handle_send_start(event.rank, protocol, options);
+        handle_send_start(event.rank, options);
         break;
       case EventKind::kSendDone:
         last_activity_ = std::max(last_activity_, now_);
@@ -223,31 +271,32 @@ class Simulator::ContextImpl final : public Context {
     }
   }
 
-  void handle_send_start(topo::Rank rank, Protocol&, const RunOptions& options) {
-    const auto slot = static_cast<std::size_t>(rank);
-    auto& queue = send_queue_[slot];
-    auto& head = send_head_[slot];
-    if (!faults_.alive_at(rank, now_)) {
+  void handle_send_start(topo::Rank r, const RunOptions& options) {
+    const auto slot = static_cast<std::size_t>(r);
+    RankState& rs = rank(r);
+    auto& queue = ws_.send_queue[slot];
+    auto& head = ws_.send_head[slot];
+    if (!faults_.alive_at(r, now_)) {
       // Dying between enqueue and port pickup discards the queue (extension
       // semantics; never happens in the paper's static fault model).
       queue.clear();
       head = 0;
-      send_scheduled_[slot] = 0;
+      rs.send_scheduled = 0;
       return;
     }
     const Message msg = queue[head++];
     if (head == queue.size()) {
       queue.clear();
       head = 0;
-      send_scheduled_[slot] = 0;
+      rs.send_scheduled = 0;
     } else {
-      push_event(now_ + params_.port_period(), EventKind::kSendStart, rank);
+      push_event(now_ + params_.port_period(), EventKind::kSendStart, r);
     }
-    send_next_free_[slot] = now_ + params_.port_period();
+    rs.send_next_free = now_ + params_.port_period();
     ++total_messages_;
-    ++sends_per_rank_[slot];
+    ++rs.sends;
     trace(options, TraceEvent::Kind::kSendStart, msg);
-    push_msg_event(now_ + params_.overhead_time(), EventKind::kSendDone, rank, msg);
+    push_msg_event(now_ + params_.overhead_time(), EventKind::kSendDone, r, msg);
     push_msg_event(now_ + params_.overhead_time() + wire_time(msg.src, msg.dst),
                    EventKind::kArrival, msg.dst, msg);
   }
@@ -262,33 +311,35 @@ class Simulator::ContextImpl final : public Context {
       return;
     }
     trace(options, TraceEvent::Kind::kArrival, msg);
-    recv_queue_[slot].push_back(msg);
-    if (!recv_scheduled_[slot]) {
-      recv_scheduled_[slot] = 1;
-      push_event(std::max(now_, recv_next_free_[slot]), EventKind::kRecvStart, msg.dst);
+    RankState& rs = rank(msg.dst);
+    ws_.recv_queue[slot].push_back(msg);
+    if (!rs.recv_scheduled) {
+      rs.recv_scheduled = 1;
+      push_event(std::max(now_, rs.recv_next_free), EventKind::kRecvStart, msg.dst);
     }
   }
 
-  void handle_recv_start(topo::Rank rank) {
-    const auto slot = static_cast<std::size_t>(rank);
-    auto& queue = recv_queue_[slot];
-    auto& head = recv_head_[slot];
-    if (!faults_.alive_at(rank, now_)) {
+  void handle_recv_start(topo::Rank r) {
+    const auto slot = static_cast<std::size_t>(r);
+    RankState& rs = rank(r);
+    auto& queue = ws_.recv_queue[slot];
+    auto& head = ws_.recv_head[slot];
+    if (!faults_.alive_at(r, now_)) {
       queue.clear();
       head = 0;
-      recv_scheduled_[slot] = 0;
+      rs.recv_scheduled = 0;
       return;
     }
     const Message msg = queue[head++];
     if (head == queue.size()) {
       queue.clear();
       head = 0;
-      recv_scheduled_[slot] = 0;
+      rs.recv_scheduled = 0;
     } else {
-      push_event(now_ + params_.port_period(), EventKind::kRecvStart, rank);
+      push_event(now_ + params_.port_period(), EventKind::kRecvStart, r);
     }
-    recv_next_free_[slot] = now_ + params_.port_period();
-    push_msg_event(now_ + params_.overhead_time(), EventKind::kRecvDone, rank, msg);
+    rs.recv_next_free = now_ + params_.port_period();
+    push_msg_event(now_ + params_.overhead_time(), EventKind::kRecvDone, r, msg);
   }
 
   RunResult finish(const RunOptions& options) {
@@ -303,12 +354,12 @@ class Simulator::ContextImpl final : public Context {
     bool any_colored = false;
     topo::Rank uncolored_live = 0;
     for (topo::Rank r = 0; r < params_.P; ++r) {
-      const auto slot = static_cast<std::size_t>(r);
       const bool live = faults_.alive_at(r, last_activity_ + 1);
       if (!live) continue;
-      if (colored_[slot]) {
+      const RankState& rs = rank_ro(r);
+      if (rs.colored) {
         any_colored = true;
-        last_colored = std::max(last_colored, colored_at_[slot]);
+        last_colored = std::max(last_colored, rs.colored_at);
       } else {
         ++uncolored_live;
       }
@@ -316,14 +367,21 @@ class Simulator::ContextImpl final : public Context {
     result.coloring_latency = any_colored ? last_colored : kTimeNever;
     result.uncolored_live = uncolored_live;
 
-    if (correction_start_ != kTimeNever) {
+    if (has_snapshot_) {
       result.has_dissemination_snapshot = true;
-      result.dissemination_gaps = topo::analyze_gaps(dissemination_snapshot_);
+      result.dissemination_gaps = topo::analyze_gaps(ws_.snapshot);
     }
     if (options.keep_per_rank_detail) {
-      result.colored_at = colored_at_;
-      result.sends_per_rank = sends_per_rank_;
-      result.rank_data = rank_data_;
+      const auto n = static_cast<std::size_t>(params_.P);
+      result.colored_at.resize(n);
+      result.sends_per_rank.resize(n);
+      result.rank_data.resize(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        const RankState& rs = rank_ro(static_cast<topo::Rank>(r));
+        result.colored_at[r] = rs.colored_at;
+        result.sends_per_rank[r] = rs.sends;
+        result.rank_data[r] = rs.data;
+      }
     }
     return result;
   }
@@ -338,31 +396,21 @@ class Simulator::ContextImpl final : public Context {
   const LogP& params_;
   const FaultSet& faults_;
   const Locality& locality_;
+  Workspace::State& ws_;
 
   Time now_ = 0;
   Time last_activity_ = 0;
   std::int64_t next_seq_ = 0;
   std::int64_t total_messages_ = 0;
   Time correction_start_ = kTimeNever;
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-
-  std::vector<std::vector<Message>> send_queue_;
-  std::vector<std::size_t> send_head_;
-  std::vector<char> send_scheduled_;
-  std::vector<Time> send_next_free_;
-
-  std::vector<std::vector<Message>> recv_queue_;
-  std::vector<std::size_t> recv_head_;
-  std::vector<char> recv_scheduled_;
-  std::vector<Time> recv_next_free_;
-
-  std::vector<char> colored_;
-  std::vector<Time> colored_at_;
-  std::vector<std::int32_t> sends_per_rank_;
-  std::vector<std::int64_t> rank_data_;
-  std::vector<char> dissemination_snapshot_;
+  bool has_snapshot_ = false;
+  bool use_calendar_ = true;
 };
+
+Workspace::Workspace() : state_(std::make_unique<State>()) {}
+Workspace::~Workspace() = default;
+Workspace::Workspace(Workspace&&) noexcept = default;
+Workspace& Workspace::operator=(Workspace&&) noexcept = default;
 
 Simulator::Simulator(LogP params, FaultSet faults)
     : Simulator(params, std::move(faults), Locality{}) {}
@@ -384,7 +432,18 @@ Simulator::Simulator(LogP params, FaultSet faults, Locality locality)
 }
 
 RunResult Simulator::run(Protocol& protocol, const RunOptions& options) {
-  ContextImpl context(params_, faults_, locality_);
+  Workspace workspace;
+  return run(protocol, options, workspace);
+}
+
+RunResult Simulator::run(Protocol& protocol, const RunOptions& options,
+                         Workspace& workspace) {
+  // Largest push offset the model produces: the next send/receive slot
+  // (port period) or a message's full flight (overhead + wire time).
+  const Time horizon =
+      std::max(params_.port_period(), params_.overhead_time() + params_.wire_time()) + 1;
+  workspace.state().prepare(params_.P, horizon, options.queue);
+  ContextImpl context(params_, faults_, locality_, workspace.state());
   return context.drive(protocol, options);
 }
 

@@ -15,9 +15,17 @@
 //    their queued sends are discarded, and no callbacks fire for them. A
 //    sender cannot distinguish this from success.
 //  * Timers model protocol-internal deadlines; they cost no port time.
+//
+// Engine hot path: events live in a calendar queue (per-tick buckets with
+// fixed priority lanes, src/sim/event_queue.hpp) giving O(1) push/pop; a
+// binary-heap fallback is selectable per run and replays the identical
+// (time, lane, seq) total order, which the determinism tests assert. All
+// O(P) per-run state can live in a caller-provided Workspace so Monte-Carlo
+// sweeps reuse allocations across replications instead of paying ~14 vector
+// allocations per run.
 
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "sim/faults.hpp"
@@ -38,13 +46,51 @@ struct TraceEvent {
   std::int64_t timer_id = 0;  // valid for kTimer
 };
 
+/// Event-queue engine selection. Results are bit-identical either way; the
+/// heap exists as a fallback and as the reference order for tests.
+enum class QueueKind : std::uint8_t {
+  kCalendar,    ///< calendar/bucket queue, O(1) per event (default)
+  kBinaryHeap,  ///< binary min-heap, O(log n) per event
+};
+
 struct RunOptions {
   /// Hard cap on processed events; exceeding it throws (runaway guard).
   std::int64_t max_events = 200'000'000;
   /// Populate RunResult::colored_at / sends_per_rank.
   bool keep_per_rank_detail = false;
+  /// Event-queue engine (see QueueKind).
+  QueueKind queue = QueueKind::kCalendar;
   /// Optional event trace callback (adds overhead; for examples/tests).
   std::function<void(const TraceEvent&)> trace;
+};
+
+/// Reusable per-run simulator state: the event queue(s), per-rank port and
+/// coloring state, and the send/receive queues. One Workspace serves any
+/// sequence of runs (any P, any protocol, either queue engine) on one
+/// thread at a time; sweeps keep one per worker. Reuse contract:
+///  * Between runs the workspace keeps only allocations (vector/bucket
+///    capacity) — no run-visible state. Per-rank scalars are invalidated by
+///    an epoch stamp in O(1) and lazily re-initialised on first touch, so
+///    seeded runs are bit-identical with a fresh or a reused workspace.
+///  * A run that exits by exception leaves the workspace dirty; the next
+///    run detects this and hard-clears before starting (slower, still
+///    correct).
+///  * A moved-from Workspace must not be passed to Simulator::run.
+class Workspace {
+ public:
+  Workspace();
+  ~Workspace();
+  Workspace(Workspace&&) noexcept;
+  Workspace& operator=(Workspace&&) noexcept;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// @internal Engine-side state, defined in simulator.cpp.
+  struct State;
+  State& state() noexcept { return *state_; }
+
+ private:
+  std::unique_ptr<State> state_;
 };
 
 class Simulator {
@@ -57,11 +103,14 @@ class Simulator {
   /// is single-shot: construct a fresh instance (cheap) per run.
   RunResult run(Protocol& protocol, const RunOptions& options = {});
 
+  /// Same, but with caller-owned per-run state. Replicated sweeps pass one
+  /// Workspace per worker thread to amortise allocations across runs.
+  RunResult run(Protocol& protocol, const RunOptions& options, Workspace& workspace);
+
   const LogP& params() const noexcept { return params_; }
   const FaultSet& faults() const noexcept { return faults_; }
 
  private:
-  struct Event;
   class ContextImpl;
 
   LogP params_;

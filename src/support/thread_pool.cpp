@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -12,30 +13,51 @@ ThreadPool::ThreadPool(std::size_t threads)
     : threads_(threads != 0 ? threads
                             : std::max<std::size_t>(1, std::thread::hardware_concurrency())) {}
 
+std::size_t ThreadPool::default_chunk(std::size_t count, std::size_t workers) noexcept {
+  if (workers <= 1) return std::max<std::size_t>(count, 1);
+  return std::max<std::size_t>(1, count / (workers * 8));
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) const {
+  parallel_for_chunks(count, 0,
+                      [&body](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) const {
   if (count == 0) return;
-  const std::size_t workers = std::min(threads_, count);
+  if (chunk == 0) chunk = default_chunk(count, threads_);
+  const std::size_t blocks = (count + chunk - 1) / chunk;
+  const std::size_t workers = std::min(threads_, blocks);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      body(0, b * chunk, std::min((b + 1) * chunk, count));
+    }
     return;
   }
 
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<std::jthread> pool;
   pool.reserve(workers);
-  const std::size_t chunk = (count + workers - 1) / workers;
   for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(begin + chunk, count);
-    if (begin >= end) break;
-    pool.emplace_back([&, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+    pool.emplace_back([&, w] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) break;
+        try {
+          body(w, b * chunk, std::min((b + 1) * chunk, count));
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }

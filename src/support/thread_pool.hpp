@@ -1,8 +1,11 @@
 #pragma once
 // Small fixed-size thread pool used to spread replicated simulations over
 // available cores. Replications are embarrassingly parallel (independent
-// seeds), so a static block partition is sufficient and keeps results
-// deterministic regardless of scheduling.
+// seeds); scheduling is work-stealing off a shared atomic counter in
+// fixed-size chunks, so one fault-heavy block no longer stalls the whole
+// sweep the way a static partition did. Chunk boundaries are a pure
+// function of (count, chunk), which lets callers keep deterministic
+// block-ordered reductions regardless of which worker ran which chunk.
 
 #include <cstddef>
 #include <functional>
@@ -16,11 +19,26 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return threads_; }
 
-  /// Runs body(i) for i in [0, count), partitioned into contiguous blocks,
-  /// one per worker. Blocks until all iterations complete. Exceptions from
-  /// the body propagate (the first one observed is rethrown).
+  /// Runs body(i) for i in [0, count). Iterations are grabbed in chunks of
+  /// auto-selected size by whichever worker is free. Blocks until all
+  /// iterations complete. Exceptions from the body propagate (the first
+  /// one observed is rethrown; remaining chunks are abandoned).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body) const;
+
+  /// Work-stealing core: runs body(worker, begin, end) for consecutive
+  /// chunks [k*chunk, min((k+1)*chunk, count)), k = 0, 1, ... Each chunk is
+  /// executed by exactly one worker (`worker` < size()); chunk k is always
+  /// the same index range, so per-chunk partial results merged in k order
+  /// are identical to a serial pass. chunk == 0 selects default_chunk().
+  void parallel_for_chunks(
+      std::size_t count, std::size_t chunk,
+      const std::function<void(std::size_t worker, std::size_t begin, std::size_t end)>&
+          body) const;
+
+  /// Default steal-granularity: ~8 grabs per worker, so a slow chunk (e.g.
+  /// a fault-heavy replication block) overlaps the rest of the sweep.
+  static std::size_t default_chunk(std::size_t count, std::size_t workers) noexcept;
 
  private:
   std::size_t threads_;

@@ -1,0 +1,194 @@
+// Perf-trajectory reporter: measures the simulator hot paths end to end and
+// emits a machine-readable BENCH_*.json (events/sec, reps/sec, peak RSS) so
+// successive PRs can be compared number against number. See EXPERIMENTS.md
+// ("Engine throughput reports").
+//
+// Usage:
+//   bench_report [--out FILE] [--smoke]
+//
+//   --out FILE   write the JSON report to FILE (default BENCH_report.json)
+//   --smoke      one short iteration of everything — wired into ctest
+//                (label bench-smoke) so the reporter cannot rot
+//
+// CT_PROCS / CT_REPS / CT_SEED env overrides apply to the sweep section.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "protocol/tree_broadcast.hpp"
+#include "sim/simulator.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ct;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BroadcastResult {
+  topo::Rank procs = 0;
+  const char* queue = "calendar";
+  int iterations = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double messages_per_sec = 0.0;
+  std::int64_t events_per_run = 0;
+  std::int64_t messages_per_run = 0;
+};
+
+/// Fault-free corrected-tree broadcast, the BM_SimulateBroadcast workload:
+/// repeat until `min_seconds` of wall clock (at least `min_iters` runs).
+BroadcastResult measure_broadcast(topo::Rank procs, sim::QueueKind queue,
+                                  double min_seconds, int min_iters) {
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  const sim::LogP params{2, 1, 1, procs};
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kSynchronized;
+  config.sync_time = proto::fault_free_dissemination_time(tree, params);
+  sim::RunOptions options;
+  options.queue = queue;
+  sim::Workspace workspace;
+
+  BroadcastResult out;
+  out.procs = procs;
+  out.queue = queue == sim::QueueKind::kCalendar ? "calendar" : "binary-heap";
+  std::int64_t events = 0;
+  std::int64_t messages = 0;
+  const auto start = Clock::now();
+  while (out.iterations < min_iters || seconds_since(start) < min_seconds) {
+    proto::CorrectedTreeBroadcast protocol(tree, config);
+    sim::Simulator simulator(params, sim::FaultSet::none(procs));
+    const sim::RunResult result = simulator.run(protocol, options, workspace);
+    events += result.events_processed;
+    messages += result.total_messages;
+    ++out.iterations;
+  }
+  out.wall_seconds = seconds_since(start);
+  out.events_per_sec = static_cast<double>(events) / out.wall_seconds;
+  out.messages_per_sec = static_cast<double>(messages) / out.wall_seconds;
+  out.events_per_run = events / out.iterations;
+  out.messages_per_run = messages / out.iterations;
+  return out;
+}
+
+struct SweepResult {
+  topo::Rank procs = 0;
+  std::size_t reps = 0;
+  std::uint64_t seed = 0;
+  std::size_t pool_workers = 0;
+  double fault_fraction = 0.0;
+  double wall_seconds = 0.0;
+  double reps_per_sec = 0.0;
+  double mean_quiescence = 0.0;
+};
+
+/// The Monte-Carlo path behind every figure: run_replicated over a faulty
+/// corrected-tree scenario, thread pool and per-worker workspaces engaged.
+SweepResult measure_sweep(topo::Rank procs, std::size_t reps, std::uint64_t seed) {
+  exp::Scenario scenario;
+  scenario.params = sim::LogP{2, 1, 1, procs};
+  scenario.protocol = exp::ProtocolKind::kCorrectedTree;
+  scenario.tree.kind = topo::TreeKind::kBinomialInterleaved;
+  scenario.correction.kind = proto::CorrectionKind::kChecked;
+  scenario.correction.start = proto::CorrectionStart::kSynchronized;
+  scenario.fault_fraction = 0.02;
+
+  const support::ThreadPool pool;  // hardware concurrency
+  SweepResult out;
+  out.procs = procs;
+  out.reps = reps;
+  out.seed = seed;
+  out.pool_workers = pool.size();
+  out.fault_fraction = scenario.fault_fraction;
+  const auto start = Clock::now();
+  const exp::Aggregate aggregate = exp::run_replicated(scenario, reps, seed, &pool);
+  out.wall_seconds = seconds_since(start);
+  out.reps_per_sec = static_cast<double>(reps) / out.wall_seconds;
+  out.mean_quiescence = aggregate.quiescence_latency.mean();
+  return out;
+}
+
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // linux: KiB
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_report.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_report [--out FILE] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  const double min_seconds = smoke ? 0.0 : 2.0;
+  const int min_iters = smoke ? 1 : 3;
+  std::vector<BroadcastResult> broadcasts;
+  const std::vector<topo::Rank> sizes =
+      smoke ? std::vector<topo::Rank>{256} : std::vector<topo::Rank>{1024, 8192, 65536};
+  for (topo::Rank procs : sizes) {
+    broadcasts.push_back(
+        measure_broadcast(procs, sim::QueueKind::kCalendar, min_seconds, min_iters));
+  }
+  // Fallback-queue comparison at the largest size (A/B on identical runs).
+  broadcasts.push_back(measure_broadcast(sizes.back(), sim::QueueKind::kBinaryHeap,
+                                         min_seconds, min_iters));
+
+  const exp::Scale scale = exp::default_scale(smoke ? 256 : 8192, smoke ? 4 : 1000);
+  const SweepResult sweep = measure_sweep(scale.procs, scale.reps, scale.seed);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"generated_by\": \"tools/bench_report\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"broadcast\": [\n");
+  for (std::size_t i = 0; i < broadcasts.size(); ++i) {
+    const BroadcastResult& b = broadcasts[i];
+    std::fprintf(out,
+                 "    {\"procs\": %d, \"queue\": \"%s\", \"iterations\": %d, "
+                 "\"wall_seconds\": %.3f, \"events_per_sec\": %.0f, "
+                 "\"messages_per_sec\": %.0f, \"events_per_run\": %lld, "
+                 "\"messages_per_run\": %lld}%s\n",
+                 b.procs, b.queue, b.iterations, b.wall_seconds, b.events_per_sec,
+                 b.messages_per_sec, static_cast<long long>(b.events_per_run),
+                 static_cast<long long>(b.messages_per_run),
+                 i + 1 < broadcasts.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"sweep\": {\"procs\": %d, \"reps\": %zu, \"seed\": %llu, "
+               "\"fault_fraction\": %.3f, \"pool_workers\": %zu, "
+               "\"wall_seconds\": %.3f, \"reps_per_sec\": %.3f, "
+               "\"mean_quiescence\": %.4f},\n",
+               sweep.procs, sweep.reps, static_cast<unsigned long long>(sweep.seed),
+               sweep.fault_fraction, sweep.pool_workers, sweep.wall_seconds,
+               sweep.reps_per_sec, sweep.mean_quiescence);
+  std::fprintf(out, "  \"peak_rss_mb\": %.1f\n}\n", peak_rss_mb());
+  std::fclose(out);
+
+  std::printf("bench_report: wrote %s (sweep %.1f reps/s, peak RSS %.1f MB)\n",
+              out_path.c_str(), sweep.reps_per_sec, peak_rss_mb());
+  return 0;
+}
