@@ -110,6 +110,33 @@ void BM_SweepThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepThroughput)->Arg(1024)->Arg(8192);
 
+// Topology-build cost: the CSR Tree constructor (nested children flattened
+// into offsets + child list, depth/subtree indexing, validation) — tracked
+// alongside engine throughput so the per-scenario build stays negligible
+// next to the replications that share the tree.
+void BM_TreeConstruct(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  for (auto _ : state) {
+    const topo::Tree tree = topo::make_binomial_interleaved(procs);
+    benchmark::DoNotOptimize(tree.num_procs());
+  }
+}
+BENCHMARK(BM_TreeConstruct)->Arg(8192)->Arg(65536);
+
+// Fault-sampling on the sweep path: resampling into a ReplicaPlan's reused
+// FaultSet — an O(faults) touch per replication instead of an O(P)
+// allocation (compare BM_FaultSampling, the allocating factory).
+void BM_FaultSample(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  support::Xoshiro256ss rng(1);
+  sim::FaultSet reused;
+  for (auto _ : state) {
+    sim::FaultSet::sample_fraction_into(reused, procs, 0.02, rng);
+    benchmark::DoNotOptimize(reused.failed_count());
+  }
+}
+BENCHMARK(BM_FaultSample)->Arg(8192)->Arg(65536);
+
 void BM_TreeConstructive(benchmark::State& state) {
   const auto procs = static_cast<topo::Rank>(state.range(0));
   for (auto _ : state) {

@@ -45,14 +45,16 @@ void Aggregate::merge(const Aggregate& other) {
 
 namespace {
 
-sim::FaultSet make_faults(const Scenario& scenario, support::Xoshiro256ss& rng) {
+void sample_faults(const Scenario& scenario, support::Xoshiro256ss& rng,
+                   sim::FaultSet& out) {
   if (scenario.fault_count > 0) {
-    return sim::FaultSet::random_count(scenario.params.P, scenario.fault_count, rng);
+    sim::FaultSet::sample_count_into(out, scenario.params.P, scenario.fault_count, rng);
+  } else if (scenario.fault_fraction > 0.0) {
+    sim::FaultSet::sample_fraction_into(out, scenario.params.P, scenario.fault_fraction,
+                                        rng);
+  } else {
+    sim::FaultSet::sample_none_into(out, scenario.params.P);
   }
-  if (scenario.fault_fraction > 0.0) {
-    return sim::FaultSet::random_fraction(scenario.params.P, scenario.fault_fraction, rng);
-  }
-  return sim::FaultSet::none(scenario.params.P);
 }
 
 /// Scenario with tree & sync_time resolved; the tree is shared across
@@ -80,26 +82,32 @@ Prepared prepare(const Scenario& input) {
   return prepared;
 }
 
-sim::RunResult run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
-                            const sim::RunOptions& options, sim::Workspace& workspace) {
+const sim::RunResult& run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
+                                   const sim::RunOptions& options, ReplicaPlan& plan) {
   const Scenario& scenario = prepared.scenario;
   support::Xoshiro256ss rng(rep_seed);
-  sim::Simulator simulator(scenario.params, make_faults(scenario, rng));
+  sample_faults(scenario, rng, plan.faults);
+  sim::Simulator simulator(scenario.params, &plan.faults);
 
   switch (scenario.protocol) {
     case ProtocolKind::kCorrectedTree: {
-      proto::CorrectedTreeBroadcast protocol(*prepared.tree, scenario.correction);
-      return simulator.run(protocol, options, workspace);
+      proto::CorrectedTreeBroadcast protocol(*prepared.tree, scenario.correction,
+                                             /*payload=*/0, &plan.tree, &plan.correction);
+      simulator.run(protocol, options, plan.workspace, plan.result);
+      return plan.result;
     }
     case ProtocolKind::kAckTree: {
-      proto::AckTreeBroadcast protocol(*prepared.tree);
-      return simulator.run(protocol, options, workspace);
+      proto::AckTreeBroadcast protocol(*prepared.tree, &plan.ack);
+      simulator.run(protocol, options, plan.workspace, plan.result);
+      return plan.result;
     }
     case ProtocolKind::kGossip: {
       proto::GossipConfig config = scenario.gossip;
       config.seed = support::derive_seed(rep_seed, 0x60551b);
-      proto::CorrectedGossipBroadcast protocol(scenario.params.P, config);
-      return simulator.run(protocol, options, workspace);
+      proto::CorrectedGossipBroadcast protocol(scenario.params.P, config, &plan.gossip,
+                                               &plan.correction);
+      simulator.run(protocol, options, plan.workspace, plan.result);
+      return plan.result;
     }
   }
   throw std::logic_error("unreachable protocol kind");
@@ -109,8 +117,13 @@ sim::RunResult run_prepared(const Prepared& prepared, std::uint64_t rep_seed,
 
 sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,
                         const sim::RunOptions& options) {
-  sim::Workspace workspace;
-  return run_prepared(prepare(scenario), rep_seed, options, workspace);
+  ReplicaPlan plan;
+  return run_prepared(prepare(scenario), rep_seed, options, plan);
+}
+
+const sim::RunResult& run_once(const Scenario& scenario, std::uint64_t rep_seed,
+                               const sim::RunOptions& options, ReplicaPlan& plan) {
+  return run_prepared(prepare(scenario), rep_seed, options, plan);
 }
 
 Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
@@ -119,9 +132,9 @@ Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64
 
   if (!pool || pool->size() <= 1 || reps < 2) {
     Aggregate aggregate;
-    sim::Workspace workspace;  // reused across every replication
+    ReplicaPlan plan;  // reused across every replication
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      aggregate.add(run_prepared(prepared, support::derive_seed(seed, rep), {}, workspace));
+      aggregate.add(run_prepared(prepared, support::derive_seed(seed, rep), {}, plan));
     }
     return aggregate;
   }
@@ -131,17 +144,18 @@ Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64
   // worker's stack — adjacent partial[] blocks would false-share cache
   // lines) and written exactly once, and partials merge in k order — so the
   // result is byte-identical to the serial loop no matter which worker ran
-  // which chunk. One Workspace per worker amortises simulator allocations.
+  // which chunk. One ReplicaPlan per worker amortises simulator, fault-set
+  // and protocol-scratch allocations.
   const std::size_t workers = pool->size();
   const std::size_t chunk = support::ThreadPool::default_chunk(reps, workers);
   std::vector<Aggregate> partial((reps + chunk - 1) / chunk);
-  std::vector<sim::Workspace> workspaces(workers);
+  std::vector<ReplicaPlan> plans(workers);
   pool->parallel_for_chunks(
       reps, chunk, [&](std::size_t worker, std::size_t begin, std::size_t end) {
         Aggregate local;
         for (std::size_t rep = begin; rep < end; ++rep) {
-          local.add(run_prepared(prepared, support::derive_seed(seed, rep), {},
-                                 workspaces[worker]));
+          local.add(
+              run_prepared(prepared, support::derive_seed(seed, rep), {}, plans[worker]));
         }
         partial[begin / chunk] = std::move(local);
       });

@@ -9,8 +9,10 @@
 #include <optional>
 #include <string>
 
+#include "protocol/ack_tree.hpp"
 #include "protocol/config.hpp"
 #include "protocol/gossip_broadcast.hpp"
+#include "protocol/tree_broadcast.hpp"
 #include "sim/logp.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +46,23 @@ struct Scenario {
   bool auto_sync_time = true;
 };
 
+/// Reusable per-worker buffers for a replication stream. One plan serves any
+/// sequence of replications (any scenario, any P) on one thread at a time;
+/// `run_replicated` keeps one per pool worker next to its `sim::Workspace`.
+/// Reusing a plan is bit-identical to constructing fresh state per
+/// replication: every member follows the epoch-invalidation contract
+/// documented in protocol/scratch.hpp, so a rep's setup touches O(faults)
+/// slots instead of allocating ~10 O(P) buffers.
+struct ReplicaPlan {
+  sim::Workspace workspace;
+  sim::FaultSet faults;               // resampled into per rep
+  proto::TreeScratch tree;            // CorrectedTreeBroadcast per-rank state
+  proto::AckScratch ack;              // AckTreeBroadcast per-rank state
+  proto::CorrectionScratch correction;  // CorrectionEngine per-rank state
+  proto::GossipScratch gossip;        // CorrectedGossipBroadcast per-rank state
+  sim::RunResult result;              // detail vectors recycled across reps
+};
+
 /// Aggregated metrics over all replications of one scenario.
 struct Aggregate {
   support::Samples coloring_latency;
@@ -65,13 +84,20 @@ struct Aggregate {
 /// fixed (scenario, reps, seed) regardless of the pool size: chunks are
 /// stolen dynamically but partial aggregates merge in fixed chunk order, so
 /// the result is byte-identical to the serial loop. Each worker reuses one
-/// sim::Workspace across its replications.
+/// ReplicaPlan (workspace, fault set, protocol scratches, result buffers)
+/// across its replications.
 Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
                          const support::ThreadPool* pool = nullptr);
 
 /// Single replication, exposed for tests and detailed inspection.
 sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,
                         const sim::RunOptions& options = {});
+
+/// Single replication into a caller-held plan (the sweep hot path); returns
+/// plan.result. Reusing the same plan across calls is bit-identical to the
+/// plain overload.
+const sim::RunResult& run_once(const Scenario& scenario, std::uint64_t rep_seed,
+                               const sim::RunOptions& options, ReplicaPlan& plan);
 
 /// Global experiment scale knobs, honoring CT_PROCS / CT_REPS / CT_SEED env
 /// overrides used by the bench suite (see DESIGN.md).

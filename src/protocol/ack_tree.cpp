@@ -7,10 +7,8 @@ namespace ct::proto {
 using sim::Message;
 using topo::Rank;
 
-AckTreeBroadcast::AckTreeBroadcast(const topo::Tree& tree)
-    : tree_(tree),
-      pending_acks_(static_cast<std::size_t>(tree.num_procs()), 0),
-      started_(static_cast<std::size_t>(tree.num_procs()), 0) {}
+AckTreeBroadcast::AckTreeBroadcast(const topo::Tree& tree, AckScratch* scratch)
+    : tree_(tree), state_(owned_scratch_, scratch, tree.num_procs()) {}
 
 void AckTreeBroadcast::begin(sim::Context& ctx) {
   ctx.mark_colored(tree_.root());
@@ -18,10 +16,11 @@ void AckTreeBroadcast::begin(sim::Context& ctx) {
 }
 
 void AckTreeBroadcast::color(sim::Context& ctx, Rank me) {
-  if (started_[static_cast<std::size_t>(me)]) return;
-  started_[static_cast<std::size_t>(me)] = 1;
+  AckCell& cell = state_[me];
+  if (cell.started) return;
+  cell.started = 1;
   const auto children = tree_.children(me);
-  pending_acks_[static_cast<std::size_t>(me)] = static_cast<std::int32_t>(children.size());
+  cell.pending_acks = static_cast<std::int32_t>(children.size());
   if (children.empty()) {
     // Leaf: acknowledge immediately (the root of a single-process tree is
     // trivially acknowledged).
@@ -48,7 +47,7 @@ void AckTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Message& msg
       color(ctx, me);
       break;
     case sim::tag::kAck:
-      if (--pending_acks_[static_cast<std::size_t>(me)] == 0) {
+      if (--state_[me].pending_acks == 0) {
         ack_received(ctx, me);
       }
       break;

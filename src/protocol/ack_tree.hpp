@@ -8,16 +8,27 @@
 // fault-AGNOSTIC: a failed subtree means the root never completes — exactly
 // the behaviour the paper's introduction ascribes to current MPI libraries.
 
-#include <vector>
+#include <memory>
 
+#include "protocol/scratch.hpp"
 #include "sim/protocol.hpp"
 #include "topology/tree.hpp"
 
 namespace ct::proto {
 
+/// Per-rank ack-tree state (see scratch.hpp for the reuse contract).
+struct AckCell {
+  std::uint64_t epoch = 0;
+  std::int32_t pending_acks = 0;
+  std::uint8_t started = 0;
+};
+using AckScratch = RankScratch<AckCell>;
+
 class AckTreeBroadcast final : public sim::Protocol {
  public:
-  explicit AckTreeBroadcast(const topo::Tree& tree);
+  /// The optional scratch recycles per-rank state across replications
+  /// (ReplicaPlan); it must outlive the protocol when given.
+  explicit AckTreeBroadcast(const topo::Tree& tree, AckScratch* scratch = nullptr);
 
   void begin(sim::Context& ctx) override;
   void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
@@ -31,8 +42,8 @@ class AckTreeBroadcast final : public sim::Protocol {
   void ack_received(sim::Context& ctx, topo::Rank me);
 
   const topo::Tree& tree_;
-  std::vector<std::int32_t> pending_acks_;
-  std::vector<char> started_;
+  std::unique_ptr<AckScratch> owned_scratch_;  // when no caller scratch given
+  RankScratchView<AckCell> state_;
   bool root_acknowledged_ = false;
 };
 

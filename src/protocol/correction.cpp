@@ -38,6 +38,38 @@ std::int64_t reply_distance(std::int64_t payload) {
 }
 bool reply_participant(std::int64_t payload) { return (payload & 1) != 0; }
 
+/// Epoch-gated view over one of CorrectionScratch's state vectors: binds to
+/// the caller's scratch (or a privately owned one), bumps the epoch so every
+/// entry from previous runs reads as freshly value-initialised, and lazily
+/// re-stamps entries on first touch.
+template <class State>
+class EngineStates {
+ public:
+  EngineStates(std::unique_ptr<CorrectionScratch>& owned, CorrectionScratch* scratch,
+               std::vector<State> CorrectionScratch::* member, Rank num_procs) {
+    CorrectionScratch& store =
+        scratch ? *scratch : *(owned = std::make_unique<CorrectionScratch>());
+    epoch_ = ++store.epoch;
+    vec_ = &(store.*member);
+    if (vec_->size() < static_cast<std::size_t>(num_procs)) {
+      vec_->resize(static_cast<std::size_t>(num_procs));
+    }
+  }
+
+  State& operator[](Rank r) {
+    State& s = (*vec_)[static_cast<std::size_t>(r)];
+    if (s.epoch != epoch_) {
+      s = State{};
+      s.epoch = epoch_;
+    }
+    return s;
+  }
+
+ private:
+  std::vector<State>* vec_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Opportunistic correction (plain and optimized, §3.1 + §3.3).
 // ---------------------------------------------------------------------------
@@ -45,17 +77,17 @@ bool reply_participant(std::int64_t payload) { return (payload & 1) != 0; }
 class OpportunisticEngine final : public CorrectionEngine {
  public:
   OpportunisticEngine(Rank num_procs, int distance, bool optimized,
-                      CorrectionDirections directions)
+                      CorrectionDirections directions, CorrectionScratch* scratch)
       : CorrectionEngine(num_procs),
         distance_(distance),
         optimized_(optimized),
         both_(directions == CorrectionDirections::kBoth),
-        state_(static_cast<std::size_t>(num_procs)) {
+        state_(owned_, scratch, &CorrectionScratch::opportunistic, num_procs) {
     if (distance < 0) throw std::invalid_argument("correction distance must be >= 0");
   }
 
   void start(sim::Context& ctx, Rank me) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (s.active) return;
     s.active = true;
     s.next_left = true;  // first message goes left (Lemma 2 convention)
@@ -66,7 +98,7 @@ class OpportunisticEngine final : public CorrectionEngine {
     if (msg.tag != sim::tag::kCorrection) return;
     ctx.mark_colored(me);
     if (!optimized_) return;
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (!s.active) return;
     // §3.3 optimization: a message from j at distance `dist` proves that j
     // covers [j-d, j-1] with its left messages (and, in both-directions
@@ -94,15 +126,8 @@ class OpportunisticEngine final : public CorrectionEngine {
   }
 
  private:
-  struct State {
-    bool active = false;
-    bool next_left = true;
-    std::int64_t left_next = 1;
-    std::int64_t right_next = 1;
-  };
-
   void send_next(sim::Context& ctx, Rank me) {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     const std::int64_t limit =
         std::min<std::int64_t>(distance_, ring_.num_procs() - 1);
     const int tries = both_ ? 2 : 1;
@@ -122,7 +147,8 @@ class OpportunisticEngine final : public CorrectionEngine {
   int distance_;
   bool optimized_;
   bool both_;
-  std::vector<State> state_;
+  std::unique_ptr<CorrectionScratch> owned_;
+  EngineStates<detail::OpportunisticState> state_;
 };
 
 // ---------------------------------------------------------------------------
@@ -131,13 +157,13 @@ class OpportunisticEngine final : public CorrectionEngine {
 
 class CheckedEngine final : public CorrectionEngine {
  public:
-  CheckedEngine(Rank num_procs, CorrectionDirections directions)
+  CheckedEngine(Rank num_procs, CorrectionDirections directions, CorrectionScratch* scratch)
       : CorrectionEngine(num_procs),
         both_(directions == CorrectionDirections::kBoth),
-        state_(static_cast<std::size_t>(num_procs)) {}
+        state_(owned_, scratch, &CorrectionScratch::checked, num_procs) {}
 
   void start(sim::Context& ctx, Rank me) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (s.active) return;
     s.active = true;
     s.next_left = true;
@@ -148,7 +174,7 @@ class CheckedEngine final : public CorrectionEngine {
   void on_message(sim::Context& ctx, Rank me, const Message& msg) override {
     if (msg.tag != sim::tag::kCorrection) return;
     ctx.mark_colored(me);
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (!s.active) return;
     const std::int64_t dist = msg.payload < 0 ? -msg.payload : msg.payload;
     if (msg.payload < 0) {
@@ -170,7 +196,7 @@ class CheckedEngine final : public CorrectionEngine {
 
   void on_sent(sim::Context& ctx, Rank me, const Message& msg) override {
     if (msg.tag != sim::tag::kCorrection) return;
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     const std::int64_t dist = msg.payload < 0 ? -msg.payload : msg.payload;
     if (msg.payload < 0) {
       if (dist >= s.left_stop_dist) s.left_stop = true;
@@ -181,19 +207,8 @@ class CheckedEngine final : public CorrectionEngine {
   }
 
  private:
-  struct State {
-    bool active = false;
-    bool next_left = true;
-    std::int64_t left_next = 1;
-    std::int64_t right_next = 1;
-    bool left_stop = false;
-    bool right_stop = false;
-    std::int64_t left_stop_dist = std::numeric_limits<std::int64_t>::max();
-    std::int64_t right_stop_dist = std::numeric_limits<std::int64_t>::max();
-  };
-
   void send_next(sim::Context& ctx, Rank me) {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     const std::int64_t limit = ring_.num_procs() - 1;  // full wrap = done
     for (int attempt = 0; attempt < 2; ++attempt) {
       const bool left = s.next_left;
@@ -210,7 +225,8 @@ class CheckedEngine final : public CorrectionEngine {
   }
 
   bool both_;
-  std::vector<State> state_;
+  std::unique_ptr<CorrectionScratch> owned_;
+  EngineStates<detail::CheckedState> state_;
 };
 
 // ---------------------------------------------------------------------------
@@ -221,16 +237,17 @@ class CheckedEngine final : public CorrectionEngine {
 
 class FailureProofEngine final : public CorrectionEngine {
  public:
-  FailureProofEngine(Rank num_procs, int redundancy, CorrectionDirections directions)
+  FailureProofEngine(Rank num_procs, int redundancy, CorrectionDirections directions,
+                     CorrectionScratch* scratch)
       : CorrectionEngine(num_procs),
         redundancy_(redundancy),
         both_(directions == CorrectionDirections::kBoth),
-        state_(static_cast<std::size_t>(num_procs)) {
+        state_(owned_, scratch, &CorrectionScratch::failure_proof, num_procs) {
     if (redundancy < 1) throw std::invalid_argument("redundancy must be >= 1");
   }
 
   void start(sim::Context& ctx, Rank me) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (s.participant) return;
     s.participant = true;
     s.probe_left = true;
@@ -239,7 +256,7 @@ class FailureProofEngine final : public CorrectionEngine {
   }
 
   void on_message(sim::Context& ctx, Rank me, const Message& msg) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (msg.tag == sim::tag::kCorrection) {
       const bool was_colored = ctx.is_colored(me);
       ctx.mark_colored(me);
@@ -277,33 +294,19 @@ class FailureProofEngine final : public CorrectionEngine {
 
   void on_sent(sim::Context& ctx, Rank me, const Message& msg) override {
     if (msg.tag == sim::tag::kCorrection) {
-      auto& s = state_[static_cast<std::size_t>(me)];
+      auto& s = state_[me];
       s.in_flight = false;
       maybe_send(ctx, me);
     } else if (msg.tag == sim::tag::kCorrReply) {
       // Replies share the send port; resume probing if one was pending.
-      auto& s = state_[static_cast<std::size_t>(me)];
+      auto& s = state_[me];
       if (!s.in_flight) maybe_send(ctx, me);
     }
   }
 
  private:
-  struct State {
-    bool participant = false;
-    bool probe_left = false;
-    bool probe_right = false;
-    bool in_flight = false;
-    bool next_left = true;
-    std::int64_t left_next = 1;
-    std::int64_t right_next = 1;
-    bool left_stop = false;
-    bool right_stop = false;
-    int left_replies = 0;
-    int right_replies = 0;
-  };
-
   void maybe_send(sim::Context& ctx, Rank me) {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (s.in_flight) return;
     const std::int64_t limit = ring_.num_procs() - 1;
     for (int attempt = 0; attempt < 2; ++attempt) {
@@ -324,7 +327,8 @@ class FailureProofEngine final : public CorrectionEngine {
 
   int redundancy_;
   bool both_;
-  std::vector<State> state_;
+  std::unique_ptr<CorrectionScratch> owned_;
+  EngineStates<detail::FailureProofState> state_;
 };
 
 // ---------------------------------------------------------------------------
@@ -334,15 +338,15 @@ class FailureProofEngine final : public CorrectionEngine {
 
 class DelayedEngine final : public CorrectionEngine {
  public:
-  DelayedEngine(Rank num_procs, sim::Time delay)
+  DelayedEngine(Rank num_procs, sim::Time delay, CorrectionScratch* scratch)
       : CorrectionEngine(num_procs),
         delay_(delay),
-        state_(static_cast<std::size_t>(num_procs)) {
+        state_(owned_, scratch, &CorrectionScratch::delayed, num_procs) {
     if (delay < 0) throw std::invalid_argument("delayed correction needs delay >= 0");
   }
 
   void start(sim::Context& ctx, Rank me) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (s.participant) return;
     s.participant = true;
     if (ring_.num_procs() < 2) return;
@@ -351,7 +355,7 @@ class DelayedEngine final : public CorrectionEngine {
   }
 
   void on_message(sim::Context& ctx, Rank me, const Message& msg) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (msg.tag == sim::tag::kCorrection) {
       ctx.mark_colored(me);
       if (msg.payload < 0) {
@@ -370,7 +374,7 @@ class DelayedEngine final : public CorrectionEngine {
   }
 
   void on_sent(sim::Context& ctx, Rank me, const Message& msg) override {
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (msg.tag != sim::tag::kCorrection || !s.probing) return;
     if (!s.got_from_right && s.right_next <= ring_.num_procs() - 1) {
       const std::int64_t dist = s.right_next++;
@@ -380,7 +384,7 @@ class DelayedEngine final : public CorrectionEngine {
 
   void on_timer(sim::Context& ctx, Rank me, std::int64_t id) override {
     if (id != sim::timer::kDelayExpired) return;
-    auto& s = state_[static_cast<std::size_t>(me)];
+    auto& s = state_[me];
     if (!s.participant || s.got_from_right || s.probing) return;
     s.probing = true;
     if (s.right_next <= ring_.num_procs() - 1) {
@@ -390,37 +394,34 @@ class DelayedEngine final : public CorrectionEngine {
   }
 
  private:
-  struct State {
-    bool participant = false;
-    bool got_from_right = false;
-    bool probing = false;
-    std::int64_t right_next = 1;
-  };
-
   sim::Time delay_;
-  std::vector<State> state_;
+  std::unique_ptr<CorrectionScratch> owned_;
+  EngineStates<detail::DelayedState> state_;
 };
 
 }  // namespace
 
 std::unique_ptr<CorrectionEngine> make_correction_engine(const CorrectionConfig& config,
-                                                         Rank num_procs) {
+                                                         Rank num_procs,
+                                                         CorrectionScratch* scratch) {
   switch (config.kind) {
     case CorrectionKind::kNone:
       return nullptr;
     case CorrectionKind::kOpportunistic:
       return std::make_unique<OpportunisticEngine>(num_procs, config.distance,
-                                                   /*optimized=*/false, config.directions);
+                                                   /*optimized=*/false, config.directions,
+                                                   scratch);
     case CorrectionKind::kOptimizedOpportunistic:
       return std::make_unique<OpportunisticEngine>(num_procs, config.distance,
-                                                   /*optimized=*/true, config.directions);
+                                                   /*optimized=*/true, config.directions,
+                                                   scratch);
     case CorrectionKind::kChecked:
-      return std::make_unique<CheckedEngine>(num_procs, config.directions);
+      return std::make_unique<CheckedEngine>(num_procs, config.directions, scratch);
     case CorrectionKind::kFailureProof:
       return std::make_unique<FailureProofEngine>(num_procs, config.redundancy,
-                                                  config.directions);
+                                                  config.directions, scratch);
     case CorrectionKind::kDelayed:
-      return std::make_unique<DelayedEngine>(num_procs, config.delay);
+      return std::make_unique<DelayedEngine>(num_procs, config.delay, scratch);
   }
   throw std::logic_error("unreachable correction kind");
 }

@@ -34,6 +34,8 @@
 // correction sends (no-duplicates masking; §2.1) — the failure-proof relay
 // behaviour is the single, documented exception.
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -43,6 +45,74 @@
 #include "topology/ring.hpp"
 
 namespace ct::proto {
+
+namespace detail {
+
+// Per-rank engine state, one POD per engine kind. Every struct leads with an
+// epoch stamp so a reused state vector is invalidated in O(1) per run (bump
+// the scratch epoch) and entries are lazily value-reset on first touch —
+// the exact mechanism of sim::Workspace's RankState. The non-epoch defaults
+// below are the protocol-visible initial state; the lazy reset reproduces
+// them verbatim, so a reused vector is indistinguishable from a fresh one.
+
+struct OpportunisticState {
+  std::uint64_t epoch = 0;
+  bool active = false;
+  bool next_left = true;
+  std::int64_t left_next = 1;
+  std::int64_t right_next = 1;
+};
+
+struct CheckedState {
+  std::uint64_t epoch = 0;
+  bool active = false;
+  bool next_left = true;
+  std::int64_t left_next = 1;
+  std::int64_t right_next = 1;
+  bool left_stop = false;
+  bool right_stop = false;
+  std::int64_t left_stop_dist = std::numeric_limits<std::int64_t>::max();
+  std::int64_t right_stop_dist = std::numeric_limits<std::int64_t>::max();
+};
+
+struct FailureProofState {
+  std::uint64_t epoch = 0;
+  bool participant = false;
+  bool probe_left = false;
+  bool probe_right = false;
+  bool in_flight = false;
+  bool next_left = true;
+  std::int64_t left_next = 1;
+  std::int64_t right_next = 1;
+  bool left_stop = false;
+  bool right_stop = false;
+  int left_replies = 0;
+  int right_replies = 0;
+};
+
+struct DelayedState {
+  std::uint64_t epoch = 0;
+  bool participant = false;
+  bool got_from_right = false;
+  bool probing = false;
+  std::int64_t right_next = 1;
+};
+
+}  // namespace detail
+
+/// Reusable per-rank state buffers for the correction engines. A
+/// make_correction_engine call binds the engine to the vector matching its
+/// kind (growing it to P on first use) and bumps `epoch`, invalidating
+/// whatever the previous run left behind without touching the O(P) entries.
+/// exp::ReplicaPlan keeps one scratch per pool worker; each replication
+/// constructs one engine, so the four vectors never conflict.
+struct CorrectionScratch {
+  std::uint64_t epoch = 0;
+  std::vector<detail::OpportunisticState> opportunistic;
+  std::vector<detail::CheckedState> checked;
+  std::vector<detail::FailureProofState> failure_proof;
+  std::vector<detail::DelayedState> delayed;
+};
 
 class CorrectionEngine {
  public:
@@ -66,8 +136,12 @@ class CorrectionEngine {
 };
 
 /// Builds the engine described by `config` for a P-process ring. Returns
-/// nullptr for CorrectionKind::kNone.
+/// nullptr for CorrectionKind::kNone. With `scratch` non-null the engine
+/// borrows its per-rank state vector from there (the caller keeps the
+/// scratch alive for the engine's lifetime); otherwise it owns a private
+/// one — behaviour is bit-identical either way.
 std::unique_ptr<CorrectionEngine> make_correction_engine(const CorrectionConfig& config,
-                                                         topo::Rank num_procs);
+                                                         topo::Rank num_procs,
+                                                         CorrectionScratch* scratch = nullptr);
 
 }  // namespace ct::proto

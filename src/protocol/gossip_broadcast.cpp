@@ -7,14 +7,14 @@ namespace ct::proto {
 using sim::Message;
 using topo::Rank;
 
-CorrectedGossipBroadcast::CorrectedGossipBroadcast(Rank num_procs, GossipConfig config)
+CorrectedGossipBroadcast::CorrectedGossipBroadcast(Rank num_procs, GossipConfig config,
+                                                   GossipScratch* scratch,
+                                                   CorrectionScratch* correction_scratch)
     : num_procs_(num_procs),
       config_(config),
-      engine_(make_correction_engine(config.correction, num_procs)),
+      engine_(make_correction_engine(config.correction, num_procs, correction_scratch)),
       rng_(config.seed),
-      gossip_colored_(static_cast<std::size_t>(num_procs), 0),
-      in_correction_(static_cast<std::size_t>(num_procs), 0),
-      round_(static_cast<std::size_t>(num_procs), 0) {
+      state_(owned_scratch_, scratch, num_procs) {
   if (config_.budget == GossipConfig::Budget::kTime && config_.gossip_time <= 0) {
     throw std::invalid_argument("time-based gossip needs gossip_time > 0");
   }
@@ -44,9 +44,10 @@ void CorrectedGossipBroadcast::begin(sim::Context& ctx) {
 
 void CorrectedGossipBroadcast::start_gossip(sim::Context& ctx, Rank me,
                                             std::int64_t round) {
-  if (gossip_colored_[static_cast<std::size_t>(me)]) return;
-  gossip_colored_[static_cast<std::size_t>(me)] = 1;
-  round_[static_cast<std::size_t>(me)] = round;
+  GossipCell& cell = state_[me];
+  if (cell.colored) return;
+  cell.colored = 1;
+  cell.round = round;
   if (num_procs_ < 2) {
     if (config_.budget == GossipConfig::Budget::kRounds) enter_correction(ctx, me);
     return;
@@ -65,14 +66,14 @@ void CorrectedGossipBroadcast::gossip_send(sim::Context& ctx, Rank me) {
   const auto offset = 1 + rng_.below(static_cast<std::uint64_t>(num_procs_) - 1);
   const Rank target = static_cast<Rank>(
       (static_cast<std::int64_t>(me) + static_cast<std::int64_t>(offset)) % num_procs_);
-  auto& round = round_[static_cast<std::size_t>(me)];
-  ++round;
+  const std::int64_t round = ++state_[me].round;
   ctx.send(me, target, sim::tag::kGossip, round);
 }
 
 void CorrectedGossipBroadcast::enter_correction(sim::Context& ctx, Rank me) {
-  if (in_correction_[static_cast<std::size_t>(me)]) return;
-  in_correction_[static_cast<std::size_t>(me)] = 1;
+  GossipCell& cell = state_[me];
+  if (cell.in_correction) return;
+  cell.in_correction = 1;
   ctx.note_correction_start();
   if (engine_) engine_->start(ctx, me);
 }
@@ -109,7 +110,7 @@ void CorrectedGossipBroadcast::on_sent(sim::Context& ctx, Rank me, const Message
     if (config_.budget == GossipConfig::Budget::kTime) {
       if (ctx.now() < config_.gossip_time) gossip_send(ctx, me);
     } else {
-      if (round_[static_cast<std::size_t>(me)] < config_.gossip_rounds) {
+      if (state_[me].round < config_.gossip_rounds) {
         gossip_send(ctx, me);
       } else {
         enter_correction(ctx, me);

@@ -18,10 +18,20 @@
 
 #include "protocol/config.hpp"
 #include "protocol/correction.hpp"
+#include "protocol/scratch.hpp"
 #include "sim/protocol.hpp"
 #include "support/rng.hpp"
 
 namespace ct::proto {
+
+/// Per-rank gossip state (see scratch.hpp for the reuse contract).
+struct GossipCell {
+  std::uint64_t epoch = 0;
+  std::int64_t round = 0;         // round-based: next round to send
+  std::uint8_t colored = 0;       // colored during dissemination
+  std::uint8_t in_correction = 0;
+};
+using GossipScratch = RankScratch<GossipCell>;
 
 struct GossipConfig {
   enum class Budget { kTime, kRounds };
@@ -41,7 +51,11 @@ struct GossipConfig {
 
 class CorrectedGossipBroadcast final : public sim::Protocol {
  public:
-  CorrectedGossipBroadcast(topo::Rank num_procs, GossipConfig config);
+  /// The optional scratches recycle per-rank state across replications
+  /// (ReplicaPlan); both must outlive the protocol when given.
+  CorrectedGossipBroadcast(topo::Rank num_procs, GossipConfig config,
+                           GossipScratch* scratch = nullptr,
+                           CorrectionScratch* correction_scratch = nullptr);
 
   void begin(sim::Context& ctx) override;
   void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
@@ -58,9 +72,8 @@ class CorrectedGossipBroadcast final : public sim::Protocol {
   std::unique_ptr<CorrectionEngine> engine_;
   support::Xoshiro256ss rng_;
 
-  std::vector<char> gossip_colored_;      // colored during dissemination
-  std::vector<char> in_correction_;
-  std::vector<std::int64_t> round_;       // round-based: next round to send
+  std::unique_ptr<GossipScratch> owned_scratch_;  // when no caller scratch given
+  RankScratchView<GossipCell> state_;
 };
 
 }  // namespace ct::proto

@@ -1,0 +1,61 @@
+#pragma once
+// Reusable per-rank protocol state (PR-2 extension of the sim::Workspace
+// idea, see DESIGN.md §4b). A protocol's per-rank vectors are the dominant
+// setup cost of a replication once the event engine reuses its workspace;
+// RankScratch lets a sweep keep them alive across replications.
+//
+// An Entry is a POD whose first field is `std::uint64_t epoch`; its other
+// default member initialisers are the protocol-visible initial state. A
+// protocol binds a RankScratchView over the scratch per run: binding bumps
+// the scratch epoch (O(1) invalidation of everything the last run wrote)
+// and entry access lazily value-resets stale entries, so a reused scratch
+// is bit-identical to a freshly allocated vector. Exception safety matches
+// sim::Workspace: an aborted run leaves only stale-epoch entries behind,
+// which the next bind invalidates wholesale — no hard clear is ever needed.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace ct::proto {
+
+template <class Entry>
+struct RankScratch {
+  std::uint64_t epoch = 0;
+  std::vector<Entry> entries;
+};
+
+/// One run's view over a RankScratch: borrows the caller's scratch, or owns
+/// a private one when the caller passed nullptr (the one-off path). Either
+/// way the entries vector is grown to P once and epoch-invalidated per run.
+template <class Entry>
+class RankScratchView {
+ public:
+  RankScratchView(std::unique_ptr<RankScratch<Entry>>& owned, RankScratch<Entry>* scratch,
+                  topo::Rank num_procs) {
+    RankScratch<Entry>& store =
+        scratch ? *scratch : *(owned = std::make_unique<RankScratch<Entry>>());
+    epoch_ = ++store.epoch;
+    entries_ = &store.entries;
+    if (entries_->size() < static_cast<std::size_t>(num_procs)) {
+      entries_->resize(static_cast<std::size_t>(num_procs));
+    }
+  }
+
+  Entry& operator[](topo::Rank r) {
+    Entry& e = (*entries_)[static_cast<std::size_t>(r)];
+    if (e.epoch != epoch_) {
+      e = Entry{};
+      e.epoch = epoch_;
+    }
+    return e;
+  }
+
+ private:
+  std::vector<Entry>* entries_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ct::proto

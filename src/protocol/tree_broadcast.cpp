@@ -11,13 +11,13 @@ using topo::Rank;
 
 CorrectedTreeBroadcast::CorrectedTreeBroadcast(const topo::Tree& tree,
                                                CorrectionConfig config,
-                                               std::int64_t payload)
+                                               std::int64_t payload, TreeScratch* scratch,
+                                               CorrectionScratch* correction_scratch)
     : tree_(tree),
       config_(config),
       payload_(payload),
-      engine_(make_correction_engine(config, tree.num_procs())),
-      tree_colored_(static_cast<std::size_t>(tree.num_procs()), 0),
-      tree_pending_(static_cast<std::size_t>(tree.num_procs()), 0) {
+      engine_(make_correction_engine(config, tree.num_procs(), correction_scratch)),
+      state_(owned_scratch_, scratch, tree.num_procs()) {
   if (engine_ && config_.start == CorrectionStart::kSynchronized &&
       config_.sync_time <= 0) {
     throw std::invalid_argument(
@@ -38,10 +38,11 @@ void CorrectedTreeBroadcast::begin(sim::Context& ctx) {
 }
 
 void CorrectedTreeBroadcast::color_by_tree(sim::Context& ctx, Rank me) {
-  if (tree_colored_[static_cast<std::size_t>(me)]) return;
-  tree_colored_[static_cast<std::size_t>(me)] = 1;
+  TreeCell& cell = state_[me];
+  if (cell.colored) return;
+  cell.colored = 1;
   const auto children = tree_.children(me);
-  tree_pending_[static_cast<std::size_t>(me)] = static_cast<std::int32_t>(children.size());
+  cell.pending = static_cast<std::int32_t>(children.size());
   if (children.empty()) {
     dissemination_done(ctx, me);
     return;
@@ -86,7 +87,7 @@ void CorrectedTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Messag
 
 void CorrectedTreeBroadcast::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
   if (msg.tag == sim::tag::kTree) {
-    if (--tree_pending_[static_cast<std::size_t>(me)] == 0) {
+    if (--state_[me].pending == 0) {
       dissemination_done(ctx, me);
     }
     return;
@@ -97,7 +98,7 @@ void CorrectedTreeBroadcast::on_sent(sim::Context& ctx, Rank me, const Message& 
 void CorrectedTreeBroadcast::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
   if (id == sim::timer::kCorrectionStart) {
     ctx.note_correction_start();
-    if (tree_colored_[static_cast<std::size_t>(me)]) {
+    if (state_[me].colored) {
       if (engine_) engine_->start(ctx, me);
     }
     return;

@@ -8,11 +8,20 @@
 
 #include "protocol/config.hpp"
 #include "protocol/correction.hpp"
+#include "protocol/scratch.hpp"
 #include "sim/logp.hpp"
 #include "sim/protocol.hpp"
 #include "topology/tree.hpp"
 
 namespace ct::proto {
+
+/// Per-rank dissemination state (see scratch.hpp for the reuse contract).
+struct TreeCell {
+  std::uint64_t epoch = 0;
+  std::int32_t pending = 0;  // outstanding tree sends
+  std::uint8_t colored = 0;  // reached by a kTree message (or root)
+};
+using TreeScratch = RankScratch<TreeCell>;
 
 class CorrectedTreeBroadcast final : public sim::Protocol {
  public:
@@ -20,9 +29,12 @@ class CorrectedTreeBroadcast final : public sim::Protocol {
   /// caller must set config.sync_time (usually the fault-free dissemination
   /// time; see fault_free_dissemination_time()). `payload` is the broadcast
   /// content word: every colored process ends up holding it in its rank
-  /// data, regardless of which phase colored it.
+  /// data, regardless of which phase colored it. The optional scratches
+  /// recycle the per-rank state across replications (ReplicaPlan); both
+  /// must outlive the protocol when given.
   CorrectedTreeBroadcast(const topo::Tree& tree, CorrectionConfig config,
-                         std::int64_t payload = 0);
+                         std::int64_t payload = 0, TreeScratch* scratch = nullptr,
+                         CorrectionScratch* correction_scratch = nullptr);
 
   void begin(sim::Context& ctx) override;
   void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
@@ -43,8 +55,8 @@ class CorrectedTreeBroadcast final : public sim::Protocol {
   std::int64_t payload_;
   std::unique_ptr<CorrectionEngine> engine_;
 
-  std::vector<char> tree_colored_;       // reached by a kTree message (or root)
-  std::vector<std::int32_t> tree_pending_;  // outstanding tree sends
+  std::unique_ptr<TreeScratch> owned_scratch_;  // when no caller scratch given
+  RankScratchView<TreeCell> state_;
 };
 
 /// Runs a fault-free simulation of the bare tree dissemination and returns

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <utility>
 
 #include "sim/message.hpp"
 
@@ -22,10 +23,13 @@ struct Envelope {
 
 class Mailbox {
  public:
-  void push(const Envelope& envelope) {
+  /// Takes the envelope by value so callers that pass an rvalue move all the
+  /// way into the queue; lvalue callers pay exactly the one copy they did
+  /// before, outside the lock.
+  void push(Envelope envelope) {
     {
       const std::scoped_lock lock(mutex_);
-      queue_.push_back(envelope);
+      queue_.push_back(std::move(envelope));
     }
     cv_.notify_one();
   }
@@ -33,7 +37,7 @@ class Mailbox {
   bool try_pop(Envelope& out) {
     const std::scoped_lock lock(mutex_);
     if (queue_.empty()) return false;
-    out = queue_.front();
+    out = std::move(queue_.front());
     queue_.pop_front();
     return true;
   }
@@ -45,7 +49,7 @@ class Mailbox {
   bool pop_for(Envelope& out, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
     if (!cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); })) return false;
-    out = queue_.front();
+    out = std::move(queue_.front());
     queue_.pop_front();
     return true;
   }

@@ -2,15 +2,16 @@
 // Event-queue engines behind ct::sim::Simulator. Two interchangeable
 // implementations with one contract:
 //
-//   push(Event)          — enqueue; Event::seq must already be stamped.
+//   push(const Event&)   — enqueue; Event::seq must already be stamped.
 //   empty()              — any event left?
-//   front()              — reference to the minimum event under the total
-//                          order (time, lane priority, seq). The reference
-//                          stays valid across pushes made while the event is
-//                          being dispatched (see invariant below).
-//   pop_front()          — consume what front() returned.
+//   pop_into(Event& out) — remove the minimum event under the total order
+//                          (time, lane priority, seq) and copy it into the
+//                          caller's slot. Precondition: !empty().
 //
-// front()/pop_front() must be called in strictly alternating pairs.
+// The drive loop pops into a stack slot *before* dispatching, so handlers
+// may push freely — there is no reference into queue storage to invalidate
+// (the old front()/pop_front() contract needed a dispatch-safety invariant
+// for that; the fused pop removed it along with a second Event copy).
 //
 // CalendarQueue (the default) is a classic calendar queue specialised for
 // LogP ticks: a power-of-two ring of per-tick buckets, each bucket holding
@@ -18,19 +19,13 @@
 // wire time) and near protocol timers land in the ring at O(1) push/pop
 // with zero comparator calls; far-future timers spill into a small binary
 // min-heap overflow tier and are merged back by (time, lane, seq), so the
-// total order is bit-identical to a global binary heap.
-//
-// Dispatch-safety invariant (why front()'s reference survives dispatch):
-// handling an event of lane X at tick T only ever enqueues events of lanes
-// != X at tick T (later ticks are unrestricted), with one exception — a
-// protocol timer re-arming a timer for the current instant — and the timer
-// callback receives its arguments by value before any push can happen. So
-// the lane vector a dispatched event lives in is never reallocated while a
-// reference into it is held. Simulator::dispatch relies on this; keep the
-// two in sync.
+// total order is bit-identical to a global binary heap. Per-bucket lane
+// occupancy is tracked as a bitmask in a side array (one byte per bucket,
+// so the whole ring's occupancy map stays cache-resident): the pop path
+// finds the first live lane with a bit scan instead of probing six lane
+// vectors.
 
 #include <algorithm>
-#include <array>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -42,46 +37,41 @@
 
 namespace ct::sim::detail {
 
-enum class EventKind : std::uint8_t {
-  kSendStart,  // rank's send port picks up the next queued message
-  kSendDone,   // send overhead finished; port may start the next message
-  kArrival,    // message reached the receiver's input queue (after L)
-  kRecvStart,  // rank's receive port picks up the next queued arrival
-  kRecvDone,   // receive overhead finished; protocol callback fires
-  kTimer,
-};
-
 // Same-tick ordering: receive-side events complete before send-side ones
 // (the paper's accounting — a process "stops sending messages ... once it
 // receives", so a receipt at time t influences the send decision at t),
 // and timers observe everything that happened at their tick (a
 // synchronized-correction snapshot at t includes processes colored at t).
-inline constexpr int kNumLanes = 6;
-inline constexpr int priority(EventKind kind) noexcept {
-  switch (kind) {
-    case EventKind::kArrival:
-      return 0;
-    case EventKind::kRecvStart:
-      return 1;
-    case EventKind::kRecvDone:
-      return 2;
-    case EventKind::kSendDone:
-      return 3;
-    case EventKind::kSendStart:
-      return 4;
-    case EventKind::kTimer:
-      return 5;
-  }
-  return kNumLanes;
-}
+// The enum value IS the lane priority, so the hot paths index lanes and
+// compare priorities without a switch.
+enum class EventKind : std::uint8_t {
+  kArrival = 0,    // message reached the receiver's input queue (after L)
+  kRecvStart = 1,  // rank's receive port picks up the next queued arrival
+  kRecvDone = 2,   // receive overhead finished; protocol callback fires
+  kSendDone = 3,   // send overhead finished; port may start the next message
+  kSendStart = 4,  // rank's send port picks up the next queued message
+  kTimer = 5,
+};
 
+inline constexpr int kNumLanes = 6;
+inline constexpr int priority(EventKind kind) noexcept { return static_cast<int>(kind); }
+
+/// One scheduled simulator event, packed into 48 bytes (one copy per push
+/// and pop, so the size is hot-path bandwidth). The acting rank is not
+/// stored: receive-side events (lanes 0-2) act on msg.dst, send-side events
+/// act on msg.src, and the rank-only kinds (kSendStart, kRecvStart, kTimer)
+/// stash their rank in the matching Message field. Timer ids ride in
+/// msg.payload — timers carry no message of their own.
 struct Event {
   Time time = 0;
-  std::int64_t seq = 0;  // insertion order; deterministic tie-break
+  std::uint32_t seq = 0;  // insertion order; deterministic tie-break
   EventKind kind = EventKind::kTimer;
-  topo::Rank rank = topo::kNoRank;  // acting rank (sender/receiver/timer owner)
   Message msg;
-  std::int64_t timer_id = 0;
+
+  topo::Rank rank() const noexcept {
+    return kind <= EventKind::kRecvDone ? msg.dst : msg.src;
+  }
+  std::int64_t timer_id() const noexcept { return msg.payload; }
 
   // Min-heap on (time, kind priority, seq).
   friend bool operator>(const Event& a, const Event& b) noexcept {
@@ -92,6 +82,7 @@ struct Event {
     return a.seq > b.seq;
   }
 };
+static_assert(sizeof(Event) == 48, "Event is copied per push/pop; keep it packed");
 
 /// Plain binary min-heap over Events with a reusable backing vector.
 /// Used standalone as the fallback queue (RunOptions::queue == kBinaryHeap)
@@ -102,18 +93,16 @@ class EventMinHeap {
   std::size_t size() const noexcept { return heap_.size(); }
   const Event& top() const noexcept { return heap_.front(); }
 
-  void push(Event event) {
+  void push(const Event& event) {
     heap_.push_back(event);
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
-  /// Removes and returns the minimum (by value; the heap sift would move it
-  /// anyway). Callers keep it in stable storage while dispatching.
-  Event pop_top() {
+  /// Removes the minimum into `out` (by copy; the heap sift moves it anyway).
+  void pop_into(Event& out) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    Event event = heap_.back();
+    out = heap_.back();
     heap_.pop_back();
-    return event;
   }
 
   void clear() noexcept { heap_.clear(); }  // keeps capacity
@@ -122,35 +111,16 @@ class EventMinHeap {
   std::vector<Event> heap_;
 };
 
-/// Fallback queue: the heap plus front()/pop_front() staging, so the drive
-/// loop can dispatch without copy-constructing an Event per pop (the event
-/// is moved once into a reused scratch slot, never reallocated under the
-/// dispatcher's feet).
+/// Fallback queue: a thin shim giving the heap the engine contract.
 class EventHeapQueue {
  public:
-  void reset() noexcept {
-    heap_.clear();
-    staged_ = false;
-  }
-
-  void push(Event event) { heap_.push(event); }
-
-  bool empty() const noexcept { return !staged_ && heap_.empty(); }
-
-  const Event& front() {
-    if (!staged_) {
-      scratch_ = heap_.pop_top();
-      staged_ = true;
-    }
-    return scratch_;
-  }
-
-  void pop_front() noexcept { staged_ = false; }
+  void reset() noexcept { heap_.clear(); }
+  void push(const Event& event) { heap_.push(event); }
+  bool empty() const noexcept { return heap_.empty(); }
+  void pop_into(Event& out) { heap_.pop_into(out); }
 
  private:
   EventMinHeap heap_;
-  Event scratch_;
-  bool staged_ = false;
 };
 
 /// Calendar queue: ring of per-tick buckets x priority lanes + overflow heap.
@@ -169,106 +139,85 @@ class CalendarQueue {
     std::size_t want = std::bit_ceil(static_cast<std::size_t>(
         std::clamp<Time>(horizon + 1, static_cast<Time>(kMinSlots),
                          static_cast<Time>(kMaxSlots))));
-    if (want != ring_.size()) {
-      ring_.assign(want, Bucket{});
+    if (want * kNumLanes != lanes_.size()) {
+      lanes_.assign(want * kNumLanes, Lane{});
+      lane_mask_.assign(want, 0);
       live_bits_.assign((want + 63) / 64, 0);
       mask_ = want - 1;
     }
-    assert(ring_count_ == 0 && overflow_.empty() && !staged_);
+    assert(ring_count_ == 0 && overflow_.empty());
     cursor_ = 0;
   }
 
   /// Empties a queue in an arbitrary (mid-run, post-throw) state.
   void hard_clear() noexcept {
-    for (Bucket& bucket : ring_) {
-      if (bucket.live == 0) continue;
-      for (Lane& lane : bucket.lanes) {
-        lane.items.clear();
-        lane.head = 0;
+    for (std::size_t idx = 0; idx < lane_mask_.size(); ++idx) {
+      if (lane_mask_[idx] == 0) continue;
+      for (int lane = 0; lane < kNumLanes; ++lane) {
+        Lane& l = lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)];
+        l.items.clear();
+        l.head = 0;
       }
-      bucket.live = 0;
+      lane_mask_[idx] = 0;
     }
     std::fill(live_bits_.begin(), live_bits_.end(), 0);
     ring_count_ = 0;
     overflow_.clear();
-    staged_ = false;
     cursor_ = 0;
   }
 
-  void push(Event event) {
+  void push(const Event& event) {
     assert(event.time >= cursor_);
-    if (event.time - cursor_ >= static_cast<Time>(ring_.size())) {
+    if (event.time - cursor_ >= static_cast<Time>(lane_mask_.size())) {
       overflow_.push(event);
       return;
     }
     const std::size_t idx = static_cast<std::size_t>(event.time) & mask_;
-    Bucket& bucket = ring_[idx];
-    if (bucket.live++ == 0) set_live(idx);
-    bucket.lanes[static_cast<std::size_t>(priority(event.kind))].items.push_back(event);
+    const int lane = priority(event.kind);
+    if (lane_mask_[idx] == 0) set_live(idx);
+    lane_mask_[idx] |= static_cast<std::uint8_t>(1u << lane);
+    lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)].items.push_back(event);
     ++ring_count_;
   }
 
-  bool empty() const noexcept {
-    return !staged_ && ring_count_ == 0 && overflow_.empty();
-  }
+  bool empty() const noexcept { return ring_count_ == 0 && overflow_.empty(); }
 
-  const Event& front() {
-    if (staged_) return scratch_;
-    // Ring candidate: earliest live bucket, then its lowest-priority lane.
-    // The scan restarts from lane 0 every pop because dispatching a
-    // higher-lane event may enqueue a lower-lane event at the same tick
-    // (e.g. a timer callback starting a send "now").
-    const Lane* ring_lane = nullptr;
-    Time ring_time = kTimeNever;
-    int ring_pri = kNumLanes;
-    if (ring_count_ > 0) {
-      const std::size_t idx = next_live_bucket(static_cast<std::size_t>(cursor_) & mask_);
-      Bucket& bucket = ring_[idx];
-      for (int lane = 0; lane < kNumLanes; ++lane) {
-        const Lane& candidate = bucket.lanes[static_cast<std::size_t>(lane)];
-        if (candidate.head < candidate.items.size()) {
-          ring_lane = &candidate;
-          ring_time = candidate.items[candidate.head].time;
-          ring_pri = lane;
-          pop_bucket_ = idx;
-          pop_lane_ = lane;
-          break;
-        }
-      }
-      assert(ring_lane != nullptr);
+  void pop_into(Event& out) {
+    if (ring_count_ == 0) {
+      overflow_.pop_into(out);
+      cursor_ = out.time;
+      return;
     }
+    // Ring candidate: earliest live bucket, then its lowest-priority lane.
+    // The lane scan restarts every pop because dispatching a higher-lane
+    // event may enqueue a lower-lane event at the same tick (e.g. a timer
+    // callback starting a send "now").
+    const std::size_t idx = next_live_bucket(static_cast<std::size_t>(cursor_) & mask_);
+    const int lane = std::countr_zero(lane_mask_[idx]);
+    Lane& l = lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)];
+    const Event& candidate = l.items[l.head];
     // Merge with the overflow tier under the exact (time, lane, seq) order.
     if (!overflow_.empty()) {
       const Event& over = overflow_.top();
       const int over_pri = priority(over.kind);
       const bool overflow_wins =
-          ring_lane == nullptr || over.time < ring_time ||
-          (over.time == ring_time &&
-           (over_pri < ring_pri ||
-            (over_pri == ring_pri && over.seq < ring_lane->items[ring_lane->head].seq)));
+          over.time < candidate.time ||
+          (over.time == candidate.time &&
+           (over_pri < lane || (over_pri == lane && over.seq < candidate.seq)));
       if (overflow_wins) {
-        scratch_ = overflow_.pop_top();
-        staged_ = true;
-        cursor_ = scratch_.time;
-        return scratch_;
+        overflow_.pop_into(out);
+        cursor_ = out.time;
+        return;
       }
     }
-    cursor_ = ring_time;
-    return ring_lane->items[ring_lane->head];
-  }
-
-  void pop_front() noexcept {
-    if (staged_) {
-      staged_ = false;
-      return;
+    out = candidate;
+    cursor_ = out.time;
+    if (++l.head == l.items.size()) {
+      l.items.clear();  // keeps capacity for the next burst
+      l.head = 0;
+      lane_mask_[idx] &= static_cast<std::uint8_t>(~(1u << lane));
+      if (lane_mask_[idx] == 0) clear_live(idx);
     }
-    Bucket& bucket = ring_[pop_bucket_];
-    Lane& lane = bucket.lanes[static_cast<std::size_t>(pop_lane_)];
-    if (++lane.head == lane.items.size()) {
-      lane.items.clear();  // keeps capacity for the next burst
-      lane.head = 0;
-    }
-    if (--bucket.live == 0) clear_live(pop_bucket_);
     --ring_count_;
   }
 
@@ -276,10 +225,6 @@ class CalendarQueue {
   struct Lane {
     std::vector<Event> items;
     std::size_t head = 0;
-  };
-  struct Bucket {
-    std::array<Lane, kNumLanes> lanes;
-    std::uint32_t live = 0;
   };
 
   void set_live(std::size_t idx) noexcept { live_bits_[idx >> 6] |= 1ull << (idx & 63); }
@@ -304,17 +249,14 @@ class CalendarQueue {
     return 0;
   }
 
-  std::vector<Bucket> ring_;
-  std::vector<std::uint64_t> live_bits_;  // one bit per bucket: live != 0
+  std::vector<Lane> lanes_;                // bucket-major: lanes_[idx*6 + lane]
+  std::vector<std::uint8_t> lane_mask_;    // per-bucket non-empty-lane bits
+  std::vector<std::uint64_t> live_bits_;   // one bit per bucket: lane_mask_ != 0
   std::size_t mask_ = 0;
   std::size_t ring_count_ = 0;
-  Time cursor_ = 0;  // time of the most recent front(); never decreases
+  Time cursor_ = 0;  // time of the most recent pop; never decreases
 
   EventMinHeap overflow_;  // events beyond the ring window (far timers)
-  Event scratch_;          // stable storage for a staged overflow event
-  bool staged_ = false;
-  std::size_t pop_bucket_ = 0;
-  int pop_lane_ = 0;
 };
 
 }  // namespace ct::sim::detail

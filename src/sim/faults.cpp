@@ -7,47 +7,77 @@
 
 namespace ct::sim {
 
-FaultSet::FaultSet(topo::Rank num_procs)
-    : dies_at_(static_cast<std::size_t>(num_procs), kTimeNever) {
+FaultSet::FaultSet(topo::Rank num_procs) { reset(num_procs); }
+
+void FaultSet::reset(topo::Rank num_procs) {
   if (num_procs <= 0) throw std::invalid_argument("fault set needs at least one process");
+  // Every dirty slot is < dies_at_.size() by construction, so clearing before
+  // the resize touches only valid entries; growth fills the new tail with
+  // kTimeNever, shrink-then-regrow re-fills it the same way.
+  for (topo::Rank r : dirty_) dies_at_[static_cast<std::size_t>(r)] = kTimeNever;
+  dirty_.clear();
+  dies_at_.resize(static_cast<std::size_t>(num_procs), kTimeNever);
+  failed_count_ = 0;
+}
+
+void FaultSet::mark_dead(topo::Rank r, Time t) noexcept {
+  if (dies_at_[static_cast<std::size_t>(r)] == kTimeNever) {
+    dirty_.push_back(r);
+    ++failed_count_;
+  }
+  dies_at_[static_cast<std::size_t>(r)] = t;
 }
 
 FaultSet FaultSet::none(topo::Rank num_procs) { return FaultSet(num_procs); }
 
-FaultSet FaultSet::random_count(topo::Rank num_procs, topo::Rank count,
-                                support::Xoshiro256ss& rng) {
+void FaultSet::sample_none_into(FaultSet& out, topo::Rank num_procs) {
+  out.reset(num_procs);
+}
+
+void FaultSet::sample_count_into(FaultSet& out, topo::Rank num_procs, topo::Rank count,
+                                 support::Xoshiro256ss& rng) {
   if (count < 0 || count >= num_procs) {
     throw std::invalid_argument("failure count must be in [0, P-1]");
   }
-  FaultSet faults(num_procs);
+  out.reset(num_procs);
   // Floyd's algorithm over ranks 1..P-1: uniform distinct sample without
-  // materialising the population.
-  topo::Rank chosen = 0;
+  // materialising the population. The draw sequence must stay exactly as it
+  // is — replication results are pinned to it (see determinism_test).
   const topo::Rank population = num_procs - 1;
   for (topo::Rank j = population - count; j < population; ++j) {
     // Candidate in [1, j+1]; j is 0-based within the population of size P-1.
     const auto candidate =
         static_cast<topo::Rank>(1 + rng.below(static_cast<std::uint64_t>(j) + 1));
-    const auto slot = static_cast<std::size_t>(candidate);
-    if (faults.dies_at_[slot] == kTimeNever) {
-      faults.dies_at_[slot] = 0;
+    if (out.dies_at_[static_cast<std::size_t>(candidate)] == kTimeNever) {
+      out.mark_dead(candidate, 0);
     } else {
-      faults.dies_at_[static_cast<std::size_t>(j) + 1] = 0;
+      out.mark_dead(j + 1, 0);
     }
-    ++chosen;
   }
-  faults.failed_count_ = chosen;
-  return faults;
 }
 
-FaultSet FaultSet::random_fraction(topo::Rank num_procs, double fraction,
-                                   support::Xoshiro256ss& rng) {
+void FaultSet::sample_fraction_into(FaultSet& out, topo::Rank num_procs, double fraction,
+                                    support::Xoshiro256ss& rng) {
   if (fraction < 0.0 || fraction > 1.0) {
     throw std::invalid_argument("failure fraction must be in [0, 1]");
   }
   const auto count = static_cast<topo::Rank>(
       std::llround(fraction * static_cast<double>(num_procs - 1)));
-  return random_count(num_procs, count, rng);
+  sample_count_into(out, num_procs, count, rng);
+}
+
+FaultSet FaultSet::random_count(topo::Rank num_procs, topo::Rank count,
+                                support::Xoshiro256ss& rng) {
+  FaultSet faults;
+  sample_count_into(faults, num_procs, count, rng);
+  return faults;
+}
+
+FaultSet FaultSet::random_fraction(topo::Rank num_procs, double fraction,
+                                   support::Xoshiro256ss& rng) {
+  FaultSet faults;
+  sample_fraction_into(faults, num_procs, fraction, rng);
+  return faults;
 }
 
 FaultSet FaultSet::from_list(topo::Rank num_procs, const std::vector<topo::Rank>& failed) {
@@ -56,10 +86,7 @@ FaultSet FaultSet::from_list(topo::Rank num_procs, const std::vector<topo::Rank>
     if (r <= 0 || r >= num_procs) {
       throw std::invalid_argument("failed rank out of range (root cannot fail)");
     }
-    if (faults.dies_at_[static_cast<std::size_t>(r)] == kTimeNever) {
-      faults.dies_at_[static_cast<std::size_t>(r)] = 0;
-      ++faults.failed_count_;
-    }
+    faults.mark_dead(r, 0);
   }
   return faults;
 }
@@ -99,8 +126,7 @@ void FaultSet::kill_at(topo::Rank r, Time t) {
     throw std::invalid_argument("failed rank out of range (root cannot fail)");
   }
   if (t < 0) throw std::invalid_argument("death time must be >= 0");
-  if (dies_at_[static_cast<std::size_t>(r)] == kTimeNever) ++failed_count_;
-  dies_at_[static_cast<std::size_t>(r)] = t;
+  mark_dead(r, t);
 }
 
 std::vector<topo::Rank> FaultSet::initially_failed() const {

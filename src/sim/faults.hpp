@@ -16,8 +16,23 @@
 
 namespace ct::sim {
 
+/// Set of scheduled process deaths over a fixed rank population.
+///
+/// Two usage modes share one sampling implementation (and therefore consume
+/// the identical RNG call sequence, which replication determinism depends
+/// on):
+///  - the static factories (`none`, `random_count`, ...) return a fresh
+///    value — convenient for one-off runs and tests;
+///  - the `sample_*_into` variants re-sample into a caller-held FaultSet,
+///    resetting only the slots dirtied by the previous sample (an O(faults)
+///    touch, mirroring `sim::Workspace` reuse) instead of reallocating the
+///    O(P) `dies_at_` buffer every replication. `exp::ReplicaPlan` keeps one
+///    such FaultSet per pool worker.
 class FaultSet {
  public:
+  /// Empty set over zero ranks; sample into it before use.
+  FaultSet() = default;
+
   /// All processes alive.
   static FaultSet none(topo::Rank num_procs);
   /// Exactly `count` distinct random failures among ranks 1..P-1 (the root
@@ -37,12 +52,24 @@ class FaultSet {
                                    topo::Rank node_size, topo::Rank failed_nodes,
                                    support::Xoshiro256ss& rng);
 
+  // Reusable-buffer variants: bit-identical samples to the factories above,
+  // but `out`'s storage is recycled across calls.
+  static void sample_none_into(FaultSet& out, topo::Rank num_procs);
+  static void sample_count_into(FaultSet& out, topo::Rank num_procs, topo::Rank count,
+                                support::Xoshiro256ss& rng);
+  static void sample_fraction_into(FaultSet& out, topo::Rank num_procs, double fraction,
+                                   support::Xoshiro256ss& rng);
+
   topo::Rank num_procs() const noexcept { return static_cast<topo::Rank>(dies_at_.size()); }
   topo::Rank failed_count() const noexcept { return failed_count_; }
 
   /// True if rank r processes events occurring at time t.
   bool alive_at(topo::Rank r, Time t) const noexcept {
     return dies_at_[static_cast<std::size_t>(r)] > t;
+  }
+  /// Scheduled death time of rank r (kTimeNever if it never fails).
+  Time dies_at(topo::Rank r) const noexcept {
+    return dies_at_[static_cast<std::size_t>(r)];
   }
   /// True if the rank never fails during this run.
   bool always_alive(topo::Rank r) const noexcept {
@@ -62,7 +89,13 @@ class FaultSet {
  private:
   explicit FaultSet(topo::Rank num_procs);
 
+  /// Clears previously dirtied slots and (re)sizes the buffer: O(previous
+  /// faults), plus a one-time O(ΔP) fill when the population grows.
+  void reset(topo::Rank num_procs);
+  void mark_dead(topo::Rank r, Time t) noexcept;
+
   std::vector<Time> dies_at_;
+  std::vector<topo::Rank> dirty_;  // slots where dies_at_ != kTimeNever
   topo::Rank failed_count_ = 0;
 };
 

@@ -11,34 +11,55 @@ namespace ct::sim {
 using detail::Event;
 using detail::EventKind;
 
+/// Sentinel index for the pooled message FIFOs (and their free list).
+inline constexpr std::uint32_t kNilMsg = 0xffffffffu;
+
+/// Node of the pooled per-rank send/receive FIFOs: all queued messages of
+/// all ranks live in one slot-recycled arena (Workspace::State::msg_pool)
+/// and each rank holds head/tail indices. Compared to a vector-of-vectors
+/// this removes the per-rank header hop on every enqueue/dequeue and keeps
+/// the touched nodes in the recently-recycled (cache-hot) slots.
+struct QueuedMessage {
+  Message msg;
+  std::uint32_t next = kNilMsg;  // FIFO link, or next free slot
+};
+
 /// Per-rank engine state, lazily reset via the epoch stamp: a run bumps the
 /// workspace epoch once (O(1)) and every access re-initialises a stale
 /// entry on first touch, so untouched ranks never cost a write. One entry
-/// is 48 bytes — port state, coloring and data plane share a cache line.
+/// is exactly 64 bytes — ports, FIFO heads, coloring, data plane and the
+/// cached death time share a cache line, so the handlers touch one line of
+/// rank state per event. Three former flags are encoded instead of stored:
+/// colored == (colored_at != kTimeNever), and a send/receive port pickup is
+/// scheduled iff the matching FIFO head != kNilMsg.
 struct RankState {
-  std::uint64_t epoch = 0;
   Time send_next_free = 0;
   Time recv_next_free = 0;
   Time colored_at = kTimeNever;
+  Time dies_at = kTimeNever;  // cached FaultSet::dies_at, set on first touch
   std::int64_t data = 0;
+  std::uint32_t epoch = 0;
   std::int32_t sends = 0;
-  std::uint8_t send_scheduled = 0;
-  std::uint8_t recv_scheduled = 0;
-  std::uint8_t colored = 0;
+  std::uint32_t send_head = kNilMsg;
+  std::uint32_t send_tail = kNilMsg;
+  std::uint32_t recv_head = kNilMsg;
+  std::uint32_t recv_tail = kNilMsg;
 };
+static_assert(sizeof(RankState) == 64, "one cache line of rank state per event");
 
 struct Workspace::State {
-  std::uint64_t epoch = 0;
+  /// Run stamp for the lazy per-rank reset. 32 bits so RankState stays one
+  /// cache line; on wrap-around prepare() hard-resets the rank array, so a
+  /// stale entry can never alias a current epoch.
+  std::uint32_t epoch = 0;
   /// Set while a run is in flight; a run that ends by exception leaves it
   /// set, and the next prepare() hard-clears the self-draining structures.
   bool dirty = false;
 
   std::vector<RankState> ranks;
-  std::vector<std::vector<Message>> send_queue;
-  std::vector<std::size_t> send_head;
-  std::vector<std::vector<Message>> recv_queue;
-  std::vector<std::size_t> recv_head;
-  std::vector<char> snapshot;  // dissemination-snapshot scratch
+  std::vector<QueuedMessage> msg_pool;  // pooled send/recv FIFO nodes
+  std::uint32_t msg_free = kNilMsg;     // free-list head into msg_pool
+  std::vector<char> snapshot;           // dissemination-snapshot scratch
 
   detail::CalendarQueue calendar;
   detail::EventHeapQueue heap;
@@ -46,23 +67,16 @@ struct Workspace::State {
   void prepare(topo::Rank num_procs, Time horizon, QueueKind queue) {
     const auto n = static_cast<std::size_t>(num_procs);
     if (ranks.size() < n) ranks.resize(n);
-    if (send_queue.size() < n) {
-      send_queue.resize(n);
-      send_head.resize(n, 0);
-      recv_queue.resize(n);
-      recv_head.resize(n, 0);
-    }
     if (dirty) {
-      for (std::size_t i = 0; i < send_queue.size(); ++i) {
-        send_queue[i].clear();
-        send_head[i] = 0;
-        recv_queue[i].clear();
-        recv_head[i] = 0;
-      }
       calendar.hard_clear();
       heap.reset();
     }
-    ++epoch;
+    msg_pool.clear();  // keeps capacity; slot indices restart at 0 each run
+    msg_free = kNilMsg;
+    if (++epoch == 0) {
+      std::fill(ranks.begin(), ranks.end(), RankState{});
+      epoch = 1;
+    }
     if (queue == QueueKind::kCalendar) {
       calendar.reset(horizon);
     } else {
@@ -91,13 +105,20 @@ class Simulator::ContextImpl final : public Context {
   void send(topo::Rank from, topo::Rank to, Tag tag, std::int64_t payload) override {
     check_rank(from);
     check_rank(to);
-    if (!faults_.alive_at(from, now_)) return;  // dead processes stay silent
     RankState& rs = rank(from);
-    ws_.send_queue[static_cast<std::size_t>(from)].push_back(
-        Message{from, to, tag, payload, rs.data});
-    if (!rs.send_scheduled) {
-      rs.send_scheduled = 1;
-      push_event(std::max(now_, rs.send_next_free), EventKind::kSendStart, from);
+    if (rs.dies_at <= now_) return;  // dead processes stay silent
+    const std::uint32_t idx = alloc_msg(Message{from, to, tag, payload, rs.data});
+    if (rs.send_head == kNilMsg) {
+      // Idle send port: schedule its pickup of this message.
+      rs.send_head = rs.send_tail = idx;
+      Event event;
+      event.time = std::max(now_, rs.send_next_free);
+      event.kind = EventKind::kSendStart;
+      event.msg.src = from;
+      push(event);
+    } else {
+      ws_.msg_pool[rs.send_tail].next = idx;
+      rs.send_tail = idx;
     }
   }
 
@@ -107,23 +128,20 @@ class Simulator::ContextImpl final : public Context {
     Event event;
     event.time = when;
     event.kind = EventKind::kTimer;
-    event.rank = on;
-    event.timer_id = id;
+    event.msg.src = on;
+    event.msg.payload = id;
     push(event);
   }
 
   void mark_colored(topo::Rank r) override {
     check_rank(r);
     RankState& rs = rank(r);
-    if (!rs.colored) {
-      rs.colored = 1;
-      rs.colored_at = now_;
-    }
+    if (rs.colored_at == kTimeNever) rs.colored_at = now_;
   }
 
   bool is_colored(topo::Rank r) const override {
     check_rank(r);
-    return rank_ro(r).colored != 0;
+    return rank_ro(r).colored_at != kTimeNever;
   }
 
   void note_correction_start() override {
@@ -132,7 +150,8 @@ class Simulator::ContextImpl final : public Context {
       const auto n = static_cast<std::size_t>(params_.P);
       ws_.snapshot.resize(n);
       for (std::size_t r = 0; r < n; ++r) {
-        ws_.snapshot[r] = static_cast<char>(rank_ro(static_cast<topo::Rank>(r)).colored);
+        ws_.snapshot[r] =
+            static_cast<char>(rank_ro(static_cast<topo::Rank>(r)).colored_at != kTimeNever);
       }
       has_snapshot_ = true;
     }
@@ -150,34 +169,43 @@ class Simulator::ContextImpl final : public Context {
 
   // --- Engine ----------------------------------------------------------------
 
-  RunResult drive(Protocol& protocol, const RunOptions& options) {
+  void drive(Protocol& protocol, const RunOptions& options, RunResult& result) {
     use_calendar_ = options.queue == QueueKind::kCalendar;
     protocol.begin(*this);
     std::int64_t processed = 0;
     if (use_calendar_) {
-      drive_loop(ws_.calendar, protocol, options, processed);
+      if (options.trace) {
+        drive_loop<true>(ws_.calendar, protocol, options, processed);
+      } else {
+        drive_loop<false>(ws_.calendar, protocol, options, processed);
+      }
     } else {
-      drive_loop(ws_.heap, protocol, options, processed);
+      if (options.trace) {
+        drive_loop<true>(ws_.heap, protocol, options, processed);
+      } else {
+        drive_loop<false>(ws_.heap, protocol, options, processed);
+      }
     }
-    RunResult result = finish(options);
+    finish(options, result);
     result.events_processed = processed;
     ws_.dirty = false;  // clean exit: workspace structures self-drained
-    return result;
   }
 
  private:
-  template <class Queue>
+  template <bool kTraced, class Queue>
   void drive_loop(Queue& queue, Protocol& protocol, const RunOptions& options,
                   std::int64_t& processed) {
     const std::int64_t max_events = options.max_events;
+    // The event is popped into a stack slot before dispatch, so handlers may
+    // push into the queue freely; no reference into queue storage survives.
+    Event event;
     while (!queue.empty()) {
-      const Event& event = queue.front();
+      queue.pop_into(event);
       if (++processed > max_events) {
         throw std::runtime_error("simulation exceeded max_events (runaway protocol?)");
       }
       now_ = event.time;
-      dispatch(event, protocol, options);
-      queue.pop_front();
+      dispatch<kTraced>(event, protocol, options);
     }
   }
 
@@ -191,6 +219,7 @@ class Simulator::ContextImpl final : public Context {
     if (rs.epoch != ws_.epoch) {
       rs = kFreshRank;
       rs.epoch = ws_.epoch;
+      rs.dies_at = faults_.dies_at(r);
     }
     return rs;
   }
@@ -201,8 +230,13 @@ class Simulator::ContextImpl final : public Context {
     return rs.epoch == ws_.epoch ? rs : kFreshRank;
   }
 
-  void push(Event event) {
+  void push(Event& event) {
     event.seq = next_seq_++;
+    if (next_seq_ == 0) {
+      // 2^32 pushes in one run; the default max_events guard fires long
+      // before this, but a raised cap must not silently corrupt tie-breaks.
+      throw std::runtime_error("event sequence counter overflow");
+    }
     if (use_calendar_) {
       ws_.calendar.push(event);
     } else {
@@ -210,140 +244,164 @@ class Simulator::ContextImpl final : public Context {
     }
   }
 
-  void push_event(Time time, EventKind kind, topo::Rank rank) {
-    Event event;
-    event.time = time;
-    event.kind = kind;
-    event.rank = rank;
-    push(event);
+  /// Grabs a pooled FIFO node, preferring recently-freed (cache-hot) slots.
+  std::uint32_t alloc_msg(const Message& msg) {
+    std::uint32_t idx = ws_.msg_free;
+    if (idx != kNilMsg) {
+      QueuedMessage& node = ws_.msg_pool[idx];
+      ws_.msg_free = node.next;
+      node.msg = msg;
+      node.next = kNilMsg;
+    } else {
+      idx = static_cast<std::uint32_t>(ws_.msg_pool.size());
+      ws_.msg_pool.push_back(QueuedMessage{msg, kNilMsg});
+    }
+    return idx;
   }
 
-  void push_msg_event(Time time, EventKind kind, topo::Rank rank, const Message& msg) {
-    Event event;
-    event.time = time;
-    event.kind = kind;
-    event.rank = rank;
-    event.msg = msg;
-    push(event);
+  void free_msg(std::uint32_t idx) noexcept {
+    ws_.msg_pool[idx].next = ws_.msg_free;
+    ws_.msg_free = idx;
   }
 
+  /// Returns a whole FIFO chain to the free list (dead-rank discard path).
+  void release_list(std::uint32_t head) noexcept {
+    while (head != kNilMsg) {
+      const std::uint32_t next = ws_.msg_pool[head].next;
+      free_msg(head);
+      head = next;
+    }
+  }
+
+  template <bool kTraced>
   void trace(const RunOptions& options, TraceEvent::Kind kind, const Message& msg,
              std::int64_t timer_id = 0) const {
-    if (options.trace) options.trace(TraceEvent{kind, now_, msg, timer_id});
+    if constexpr (kTraced) {
+      if (options.trace) options.trace(TraceEvent{kind, now_, msg, timer_id});
+    }
   }
 
-  // NOTE: `event` may reference storage inside the active queue; the lane a
-  // dispatched event lives in is never reallocated during its own dispatch
-  // (see the invariant in event_queue.hpp), and the one same-tick-same-lane
-  // case (timer re-arming a timer for `now`) passes its arguments by value
-  // before the push can happen.
+  template <bool kTraced>
   void dispatch(const Event& event, Protocol& protocol, const RunOptions& options) {
     switch (event.kind) {
       case EventKind::kSendStart:
-        handle_send_start(event.rank, options);
+        handle_send_start<kTraced>(event.msg.src, options);
         break;
       case EventKind::kSendDone:
         last_activity_ = std::max(last_activity_, now_);
-        trace(options, TraceEvent::Kind::kSendDone, event.msg);
-        if (faults_.alive_at(event.rank, now_)) {
-          protocol.on_sent(*this, event.rank, event.msg);
+        trace<kTraced>(options, TraceEvent::Kind::kSendDone, event.msg);
+        if (rank(event.msg.src).dies_at > now_) {
+          protocol.on_sent(*this, event.msg.src, event.msg);
         }
         break;
       case EventKind::kArrival:
-        handle_arrival(event.msg, options);
+        handle_arrival<kTraced>(event.msg, options);
         break;
       case EventKind::kRecvStart:
-        handle_recv_start(event.rank);
+        handle_recv_start(event.msg.dst);
         break;
       case EventKind::kRecvDone:
         last_activity_ = std::max(last_activity_, now_);
-        trace(options, TraceEvent::Kind::kRecvDone, event.msg);
-        if (faults_.alive_at(event.rank, now_)) {
-          protocol.on_receive(*this, event.rank, event.msg);
+        trace<kTraced>(options, TraceEvent::Kind::kRecvDone, event.msg);
+        if (rank(event.msg.dst).dies_at > now_) {
+          protocol.on_receive(*this, event.msg.dst, event.msg);
         }
         break;
       case EventKind::kTimer:
-        trace(options, TraceEvent::Kind::kTimer, Message{}, event.timer_id);
-        if (faults_.alive_at(event.rank, now_)) {
-          protocol.on_timer(*this, event.rank, event.timer_id);
+        trace<kTraced>(options, TraceEvent::Kind::kTimer, Message{}, event.timer_id());
+        if (rank(event.msg.src).dies_at > now_) {
+          protocol.on_timer(*this, event.msg.src, event.timer_id());
         }
         break;
     }
   }
 
+  template <bool kTraced>
   void handle_send_start(topo::Rank r, const RunOptions& options) {
-    const auto slot = static_cast<std::size_t>(r);
     RankState& rs = rank(r);
-    auto& queue = ws_.send_queue[slot];
-    auto& head = ws_.send_head[slot];
-    if (!faults_.alive_at(r, now_)) {
+    if (rs.dies_at <= now_) {
       // Dying between enqueue and port pickup discards the queue (extension
       // semantics; never happens in the paper's static fault model).
-      queue.clear();
-      head = 0;
-      rs.send_scheduled = 0;
+      release_list(rs.send_head);
+      rs.send_head = rs.send_tail = kNilMsg;
       return;
     }
-    const Message msg = queue[head++];
-    if (head == queue.size()) {
-      queue.clear();
-      head = 0;
-      rs.send_scheduled = 0;
-    } else {
-      push_event(now_ + params_.port_period(), EventKind::kSendStart, r);
+    const std::uint32_t idx = rs.send_head;
+    const Message msg = ws_.msg_pool[idx].msg;
+    rs.send_head = ws_.msg_pool[idx].next;
+    free_msg(idx);
+    Event event;
+    if (rs.send_head != kNilMsg) {
+      event.time = now_ + params_.port_period();
+      event.kind = EventKind::kSendStart;
+      event.msg.src = r;
+      push(event);
     }
     rs.send_next_free = now_ + params_.port_period();
     ++total_messages_;
     ++rs.sends;
-    trace(options, TraceEvent::Kind::kSendStart, msg);
-    push_msg_event(now_ + params_.overhead_time(), EventKind::kSendDone, r, msg);
-    push_msg_event(now_ + params_.overhead_time() + wire_time(msg.src, msg.dst),
-                   EventKind::kArrival, msg.dst, msg);
+    trace<kTraced>(options, TraceEvent::Kind::kSendStart, msg);
+    event.time = now_ + params_.overhead_time();
+    event.kind = EventKind::kSendDone;
+    event.msg = msg;
+    push(event);
+    event.time = now_ + params_.overhead_time() + wire_time(msg.src, msg.dst);
+    event.kind = EventKind::kArrival;
+    push(event);
   }
 
+  template <bool kTraced>
   void handle_arrival(const Message& msg, const RunOptions& options) {
     // The message is on the destination even if nobody is there to process
     // it; network activity ends now either way.
     last_activity_ = std::max(last_activity_, now_);
-    const auto slot = static_cast<std::size_t>(msg.dst);
-    if (!faults_.alive_at(msg.dst, now_)) {
-      trace(options, TraceEvent::Kind::kArrivalDropped, msg);
+    RankState& rs = rank(msg.dst);
+    if (rs.dies_at <= now_) {
+      trace<kTraced>(options, TraceEvent::Kind::kArrivalDropped, msg);
       return;
     }
-    trace(options, TraceEvent::Kind::kArrival, msg);
-    RankState& rs = rank(msg.dst);
-    ws_.recv_queue[slot].push_back(msg);
-    if (!rs.recv_scheduled) {
-      rs.recv_scheduled = 1;
-      push_event(std::max(now_, rs.recv_next_free), EventKind::kRecvStart, msg.dst);
+    trace<kTraced>(options, TraceEvent::Kind::kArrival, msg);
+    const std::uint32_t idx = alloc_msg(msg);
+    if (rs.recv_head == kNilMsg) {
+      // Idle receive port: schedule its pickup of this arrival.
+      rs.recv_head = rs.recv_tail = idx;
+      Event event;
+      event.time = std::max(now_, rs.recv_next_free);
+      event.kind = EventKind::kRecvStart;
+      event.msg.dst = msg.dst;
+      push(event);
+    } else {
+      ws_.msg_pool[rs.recv_tail].next = idx;
+      rs.recv_tail = idx;
     }
   }
 
   void handle_recv_start(topo::Rank r) {
-    const auto slot = static_cast<std::size_t>(r);
     RankState& rs = rank(r);
-    auto& queue = ws_.recv_queue[slot];
-    auto& head = ws_.recv_head[slot];
-    if (!faults_.alive_at(r, now_)) {
-      queue.clear();
-      head = 0;
-      rs.recv_scheduled = 0;
+    if (rs.dies_at <= now_) {
+      release_list(rs.recv_head);
+      rs.recv_head = rs.recv_tail = kNilMsg;
       return;
     }
-    const Message msg = queue[head++];
-    if (head == queue.size()) {
-      queue.clear();
-      head = 0;
-      rs.recv_scheduled = 0;
-    } else {
-      push_event(now_ + params_.port_period(), EventKind::kRecvStart, r);
+    const std::uint32_t idx = rs.recv_head;
+    Event event;
+    event.msg = ws_.msg_pool[idx].msg;
+    rs.recv_head = ws_.msg_pool[idx].next;
+    free_msg(idx);
+    if (rs.recv_head != kNilMsg) {
+      Event next;
+      next.time = now_ + params_.port_period();
+      next.kind = EventKind::kRecvStart;
+      next.msg.dst = r;
+      push(next);
     }
     rs.recv_next_free = now_ + params_.port_period();
-    push_msg_event(now_ + params_.overhead_time(), EventKind::kRecvDone, r, msg);
+    event.time = now_ + params_.overhead_time();
+    event.kind = EventKind::kRecvDone;
+    push(event);
   }
 
-  RunResult finish(const RunOptions& options) {
-    RunResult result;
+  void finish(const RunOptions& options, RunResult& result) {
     result.num_procs = params_.P;
     result.failed = faults_.failed_count();
     result.total_messages = total_messages_;
@@ -357,7 +415,7 @@ class Simulator::ContextImpl final : public Context {
       const bool live = faults_.alive_at(r, last_activity_ + 1);
       if (!live) continue;
       const RankState& rs = rank_ro(r);
-      if (rs.colored) {
+      if (rs.colored_at != kTimeNever) {
         any_colored = true;
         last_colored = std::max(last_colored, rs.colored_at);
       } else {
@@ -367,9 +425,16 @@ class Simulator::ContextImpl final : public Context {
     result.coloring_latency = any_colored ? last_colored : kTimeNever;
     result.uncolored_live = uncolored_live;
 
+    result.has_dissemination_snapshot = has_snapshot_;
     if (has_snapshot_) {
-      result.has_dissemination_snapshot = true;
-      result.dissemination_gaps = topo::analyze_gaps(ws_.snapshot);
+      // Into-variant: a reused RunResult keeps its gap_sizes capacity, so a
+      // steady-state replication's gap analysis allocates nothing.
+      topo::analyze_gaps_into(ws_.snapshot, result.dissemination_gaps);
+    } else {
+      result.dissemination_gaps.max_gap = 0;
+      result.dissemination_gaps.gap_count = 0;
+      result.dissemination_gaps.uncolored = 0;
+      result.dissemination_gaps.gap_sizes.clear();
     }
     if (options.keep_per_rank_detail) {
       const auto n = static_cast<std::size_t>(params_.P);
@@ -382,8 +447,11 @@ class Simulator::ContextImpl final : public Context {
         result.sends_per_rank[r] = rs.sends;
         result.rank_data[r] = rs.data;
       }
+    } else {
+      result.colored_at.clear();
+      result.sends_per_rank.clear();
+      result.rank_data.clear();
     }
-    return result;
   }
 
   Time wire_time(topo::Rank src, topo::Rank dst) const {
@@ -400,7 +468,7 @@ class Simulator::ContextImpl final : public Context {
 
   Time now_ = 0;
   Time last_activity_ = 0;
-  std::int64_t next_seq_ = 0;
+  std::uint32_t next_seq_ = 0;
   std::int64_t total_messages_ = 0;
   Time correction_start_ = kTimeNever;
   bool has_snapshot_ = false;
@@ -416,9 +484,25 @@ Simulator::Simulator(LogP params, FaultSet faults)
     : Simulator(params, std::move(faults), Locality{}) {}
 
 Simulator::Simulator(LogP params, FaultSet faults, Locality locality)
-    : params_(params), faults_(std::move(faults)), locality_(std::move(locality)) {
+    : params_(params),
+      owned_faults_(std::move(faults)),
+      faults_(&owned_faults_),
+      locality_(std::move(locality)) {
+  validate();
+}
+
+Simulator::Simulator(LogP params, const FaultSet* faults)
+    : Simulator(params, faults, Locality{}) {}
+
+Simulator::Simulator(LogP params, const FaultSet* faults, Locality locality)
+    : params_(params), faults_(faults), locality_(std::move(locality)) {
+  if (faults_ == nullptr) throw std::invalid_argument("borrowed fault set is null");
+  validate();
+}
+
+void Simulator::validate() const {
   params_.validate();
-  if (faults_.num_procs() != params_.P) {
+  if (faults_->num_procs() != params_.P) {
     throw std::invalid_argument("fault set size does not match LogP::P");
   }
   if (!locality_.uniform()) {
@@ -438,13 +522,20 @@ RunResult Simulator::run(Protocol& protocol, const RunOptions& options) {
 
 RunResult Simulator::run(Protocol& protocol, const RunOptions& options,
                          Workspace& workspace) {
+  RunResult result;
+  run(protocol, options, workspace, result);
+  return result;
+}
+
+void Simulator::run(Protocol& protocol, const RunOptions& options, Workspace& workspace,
+                    RunResult& result) {
   // Largest push offset the model produces: the next send/receive slot
   // (port period) or a message's full flight (overhead + wire time).
   const Time horizon =
       std::max(params_.port_period(), params_.overhead_time() + params_.wire_time()) + 1;
   workspace.state().prepare(params_.P, horizon, options.queue);
-  ContextImpl context(params_, faults_, locality_, workspace.state());
-  return context.drive(protocol, options);
+  ContextImpl context(params_, *faults_, locality_, workspace.state());
+  context.drive(protocol, options, result);
 }
 
 void Protocol::on_timer(Context&, topo::Rank, std::int64_t) {}

@@ -19,10 +19,13 @@
 // Engine hot path: events live in a calendar queue (per-tick buckets with
 // fixed priority lanes, src/sim/event_queue.hpp) giving O(1) push/pop; a
 // binary-heap fallback is selectable per run and replays the identical
-// (time, lane, seq) total order, which the determinism tests assert. All
-// O(P) per-run state can live in a caller-provided Workspace so Monte-Carlo
-// sweeps reuse allocations across replications instead of paying ~14 vector
-// allocations per run.
+// (time, lane, seq) total order, which the determinism tests assert. The
+// drive loop pops each event into a stack slot before dispatching, the
+// whole per-rank hot state (ports, queue heads, coloring, cached death
+// time) lives in one 64-byte entry, and the trace callback is compiled out
+// of the untraced loop. All O(P) per-run state can live in a
+// caller-provided Workspace so Monte-Carlo sweeps reuse allocations across
+// replications.
 
 #include <functional>
 #include <memory>
@@ -98,6 +101,14 @@ class Simulator {
   Simulator(LogP params, FaultSet faults);
   /// With a two-level Locality: same-node messages pay L_intra instead of L.
   Simulator(LogP params, FaultSet faults, Locality locality);
+  /// Borrowing constructors: the fault set stays caller-owned and must
+  /// outlive the simulator. Replicated sweeps pass the ReplicaPlan's reused
+  /// FaultSet this way so constructing a Simulator per rep copies nothing.
+  Simulator(LogP params, const FaultSet* faults);
+  Simulator(LogP params, const FaultSet* faults, Locality locality);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Runs `protocol` to quiescence and returns the metrics. The simulator
   /// is single-shot: construct a fresh instance (cheap) per run.
@@ -107,14 +118,22 @@ class Simulator {
   /// Workspace per worker thread to amortise allocations across runs.
   RunResult run(Protocol& protocol, const RunOptions& options, Workspace& workspace);
 
+  /// Same, writing the metrics into a caller-held RunResult whose per-rank
+  /// detail vectors are recycled across runs (ReplicaPlan's result slot).
+  void run(Protocol& protocol, const RunOptions& options, Workspace& workspace,
+           RunResult& result);
+
   const LogP& params() const noexcept { return params_; }
-  const FaultSet& faults() const noexcept { return faults_; }
+  const FaultSet& faults() const noexcept { return *faults_; }
 
  private:
   class ContextImpl;
 
+  void validate() const;
+
   LogP params_;
-  FaultSet faults_;
+  FaultSet owned_faults_;       // empty in borrowing mode
+  const FaultSet* faults_;      // points at owned_faults_ or the borrowed set
   Locality locality_;
 };
 

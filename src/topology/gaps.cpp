@@ -5,7 +5,7 @@
 
 namespace ct::topo {
 
-GapStats analyze_gaps(const std::vector<char>& colored) {
+void analyze_gaps_into(const std::vector<char>& colored, GapStats& out) {
   const auto num = static_cast<Rank>(colored.size());
   if (num == 0) throw std::invalid_argument("empty coloring");
 
@@ -21,16 +21,19 @@ GapStats analyze_gaps(const std::vector<char>& colored) {
     throw std::invalid_argument("gap analysis requires at least one colored process");
   }
 
-  GapStats stats;
+  out.max_gap = 0;
+  out.gap_count = 0;
+  out.uncolored = 0;
+  out.gap_sizes.clear();  // keeps capacity across reuse
   Rank run = 0;
   for (Rank step = 1; step <= num; ++step) {
     const Rank r = static_cast<Rank>((anchor + step) % num);
     if (colored[static_cast<std::size_t>(r)]) {
       if (run > 0) {
-        stats.gap_sizes.push_back(run);
-        stats.max_gap = std::max(stats.max_gap, run);
-        ++stats.gap_count;
-        stats.uncolored += run;
+        out.gap_sizes.push_back(run);
+        out.max_gap = std::max(out.max_gap, run);
+        ++out.gap_count;
+        out.uncolored += run;
         run = 0;
       }
     } else {
@@ -38,6 +41,11 @@ GapStats analyze_gaps(const std::vector<char>& colored) {
     }
   }
   // The scan ends back on the colored anchor, so any open run has closed.
+}
+
+GapStats analyze_gaps(const std::vector<char>& colored) {
+  GapStats stats;
+  analyze_gaps_into(colored, stats);
   return stats;
 }
 

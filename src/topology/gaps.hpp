@@ -23,6 +23,11 @@ struct GapStats {
 /// At least one process must be colored (the root always is).
 GapStats analyze_gaps(const std::vector<char>& colored);
 
+/// Same analysis into a caller-held result: scalars reset, gap_sizes cleared
+/// but its capacity kept, so steady-state reuse (ReplicaPlan's RunResult)
+/// allocates nothing once the vector has grown to the scenario's gap count.
+void analyze_gaps_into(const std::vector<char>& colored, GapStats& out);
+
 /// True if at least every `stride`-th process is colored, i.e. no gap
 /// reaches length `stride` (§3.2.1's k-ary tolerance guarantee).
 bool every_nth_colored(const std::vector<char>& colored, Rank stride);

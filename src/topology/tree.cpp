@@ -7,27 +7,37 @@ namespace ct::topo {
 
 Tree::Tree(std::string name, std::vector<Rank> parent,
            std::vector<std::vector<Rank>> children)
-    : name_(std::move(name)), parent_(std::move(parent)), children_(std::move(children)) {
-  validate_and_index();
+    : name_(std::move(name)), parent_(std::move(parent)) {
+  validate_and_index(children);
 }
 
-void Tree::validate_and_index() {
+void Tree::validate_and_index(const std::vector<std::vector<Rank>>& children) {
   const auto num = static_cast<Rank>(parent_.size());
   if (num <= 0) throw std::invalid_argument("tree must have at least one rank");
-  if (children_.size() != parent_.size()) {
+  if (children.size() != parent_.size()) {
     throw std::invalid_argument("parent/children arrays disagree on process count");
   }
   if (parent_[0] != kNoRank) throw std::invalid_argument("rank 0 must be the root");
 
-  // Cross-check the redundant parent/children representations.
+  // Cross-check the redundant parent/children representations while
+  // flattening the nested child lists into CSR form (send order preserved).
+  child_offset_.assign(parent_.size() + 1, 0);
+  std::size_t total_children = 0;
+  for (Rank r = 0; r < num; ++r) {
+    total_children += children[static_cast<std::size_t>(r)].size();
+    child_offset_[static_cast<std::size_t>(r) + 1] = static_cast<std::int32_t>(total_children);
+  }
+  child_list_.clear();
+  child_list_.reserve(total_children);
   std::vector<Rank> derived_parent(parent_.size(), kNoRank);
   for (Rank r = 0; r < num; ++r) {
-    for (Rank c : children_[static_cast<std::size_t>(r)]) {
+    for (Rank c : children[static_cast<std::size_t>(r)]) {
       if (c <= 0 || c >= num) throw std::invalid_argument("child rank out of range");
       if (derived_parent[static_cast<std::size_t>(c)] != kNoRank) {
         throw std::invalid_argument("rank has two parents");
       }
       derived_parent[static_cast<std::size_t>(c)] = r;
+      child_list_.push_back(c);
     }
   }
   for (Rank r = 1; r < num; ++r) {
@@ -90,6 +100,9 @@ std::vector<Rank> Tree::subtree_ranks(Rank r) const {
 }
 
 Rank Tree::lca(Rank a, Rank b) const {
+  if (a < 0 || a >= num_procs() || b < 0 || b >= num_procs()) {
+    throw std::out_of_range("lca rank out of range");
+  }
   while (a != b) {
     if (depth(a) < depth(b)) std::swap(a, b);
     a = parent(a);
@@ -120,8 +133,10 @@ Tree relabel_tree(const Tree& tree, const std::vector<Rank>& sigma) {
 }
 
 int Tree::max_fanout() const noexcept {
-  std::size_t best = 0;
-  for (const auto& c : children_) best = std::max(best, c.size());
+  std::int32_t best = 0;
+  for (std::size_t r = 0; r + 1 < child_offset_.size(); ++r) {
+    best = std::max(best, child_offset_[r + 1] - child_offset_[r]);
+  }
   return static_cast<int>(best);
 }
 

@@ -5,6 +5,7 @@
 // ring (§3.3). The numbering scheme (in-order vs interleaved) is the paper's
 // central knob: it controls the gap structure failures leave on the ring.
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -17,9 +18,14 @@ using Rank = std::int32_t;
 
 inline constexpr Rank kNoRank = -1;
 
-/// Materialised tree: parent array + per-node child lists in send order.
+/// Materialised tree in CSR (compressed sparse row) form: one flat child
+/// array plus per-rank offsets, alongside the parent/depth/subtree arrays.
 /// All tree families build into this representation once; protocol code and
-/// the simulator only consume the materialised form (O(1) lookups).
+/// the simulator only consume the materialised form. The hot accessors
+/// (parent / children / depth / subtree_size) are executed once per
+/// simulated message, so they are unchecked indexed reads (range asserts in
+/// debug builds only) with no per-node heap indirection: children(r) is a
+/// span into the shared flat array.
 class Tree {
  public:
   Tree(std::string name, std::vector<Rank> parent, std::vector<std::vector<Rank>> children);
@@ -28,19 +34,30 @@ class Tree {
   Rank num_procs() const noexcept { return static_cast<Rank>(parent_.size()); }
   Rank root() const noexcept { return 0; }
 
-  Rank parent(Rank r) const { return parent_.at(static_cast<std::size_t>(r)); }
+  Rank parent(Rank r) const noexcept {
+    assert(r >= 0 && r < num_procs());
+    return parent_[static_cast<std::size_t>(r)];
+  }
   /// Children in the order the parent sends to them during dissemination.
-  std::span<const Rank> children(Rank r) const {
-    const auto& c = children_.at(static_cast<std::size_t>(r));
-    return {c.data(), c.size()};
+  std::span<const Rank> children(Rank r) const noexcept {
+    assert(r >= 0 && r < num_procs());
+    const auto begin = static_cast<std::size_t>(child_offset_[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(child_offset_[static_cast<std::size_t>(r) + 1]);
+    return {child_list_.data() + begin, end - begin};
   }
 
   /// Depth of rank r (root has depth 0).
-  int depth(Rank r) const { return depth_.at(static_cast<std::size_t>(r)); }
+  int depth(Rank r) const noexcept {
+    assert(r >= 0 && r < num_procs());
+    return depth_[static_cast<std::size_t>(r)];
+  }
   /// Height of the tree: max depth over all ranks.
   int height() const noexcept { return height_; }
   /// Number of ranks in the subtree rooted at r (including r).
-  Rank subtree_size(Rank r) const { return subtree_size_.at(static_cast<std::size_t>(r)); }
+  Rank subtree_size(Rank r) const noexcept {
+    assert(r >= 0 && r < num_procs());
+    return subtree_size_[static_cast<std::size_t>(r)];
+  }
   /// All ranks of the subtree rooted at r, ascending.
   std::vector<Rank> subtree_ranks(Rank r) const;
 
@@ -51,12 +68,13 @@ class Tree {
   int max_fanout() const noexcept;
 
  private:
-  void validate_and_index();
+  void validate_and_index(const std::vector<std::vector<Rank>>& children);
 
   std::string name_;
   std::vector<Rank> parent_;
-  std::vector<std::vector<Rank>> children_;
-  std::vector<int> depth_;
+  std::vector<std::int32_t> child_offset_;  // P + 1 entries; row r = [offset[r], offset[r+1])
+  std::vector<Rank> child_list_;            // P - 1 entries, send order within each row
+  std::vector<std::int32_t> depth_;
   std::vector<Rank> subtree_size_;
   int height_ = 0;
 };

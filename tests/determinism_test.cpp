@@ -105,6 +105,52 @@ TEST(RunReplicated, GossipPooledIsByteIdenticalToSerial) {
   expect_same_aggregate(serial, pooled);
 }
 
+// --- ReplicaPlan reuse ------------------------------------------------------
+
+exp::Scenario gossip_scenario(Rank procs, double fault_fraction) {
+  exp::Scenario scenario;
+  scenario.label = "determinism-gossip";
+  scenario.params = sim::LogP{2, 1, 1, procs};
+  scenario.protocol = exp::ProtocolKind::kGossip;
+  scenario.gossip.gossip_time = 60;
+  scenario.gossip.correction.kind = proto::CorrectionKind::kChecked;
+  scenario.gossip.correction.start = proto::CorrectionStart::kSynchronized;
+  scenario.gossip.correction.sync_time = scenario.gossip.gossip_time;
+  scenario.fault_fraction = fault_fraction;
+  return scenario;
+}
+
+/// Reusing one ReplicaPlan across replications (what run_replicated does,
+/// serial and per pool worker) must be byte-identical to constructing a
+/// fresh plan for every replication — for tree and gossip protocols, with
+/// and without faults.
+TEST(ReplicaPlan, ReuseMatchesFreshPlanSerialAndPooled) {
+  const std::size_t reps = 24;
+  const std::uint64_t seed = 0x9e11ULL;
+  for (const bool gossip : {false, true}) {
+    for (const double fault_fraction : {0.0, 0.02}) {
+      const exp::Scenario scenario = gossip
+                                         ? gossip_scenario(192, fault_fraction)
+                                         : corrected_tree_scenario(192, fault_fraction);
+      SCOPED_TRACE(testing::Message() << "gossip=" << gossip
+                                      << " fault_fraction=" << fault_fraction);
+      exp::Aggregate fresh;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        exp::ReplicaPlan plan;  // fresh buffers every replication
+        fresh.add(exp::run_once(scenario, support::derive_seed(seed, rep), {}, plan));
+      }
+      const exp::Aggregate reused = exp::run_replicated(scenario, reps, seed);
+      expect_same_aggregate(fresh, reused);
+      for (std::size_t workers : {2u, 4u}) {
+        const support::ThreadPool pool(workers);
+        const exp::Aggregate pooled = exp::run_replicated(scenario, reps, seed, &pool);
+        SCOPED_TRACE(testing::Message() << "workers=" << workers);
+        expect_same_aggregate(fresh, pooled);
+      }
+    }
+  }
+}
+
 // --- Calendar queue vs binary-heap reference --------------------------------
 
 /// One recorded trace entry; every observable field of a TraceEvent.

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -353,6 +354,81 @@ TEST(TreeErrors, RejectBadArguments) {
   EXPECT_THROW(make_lame(8, 0), std::invalid_argument);
   EXPECT_THROW(make_optimal(8, 0, 2), std::invalid_argument);
   EXPECT_THROW(make_binomial_inorder(-1), std::invalid_argument);
+}
+
+// --- CSR build vs parent-derived reference ------------------------------------
+
+// The CSR refactor (flat child list + offsets) must be observationally
+// identical to the pre-refactor nested-vector representation. The reference
+// below reconstructs every accessor from the parent array alone — the one
+// input both representations share — using the documented invariants:
+// children are listed in ascending rank order (== send order for every
+// interleaved family and the in-order DFS families alike), depth counts the
+// walk to the root, and subtree sizes accumulate along parent chains.
+struct ReferenceIndex {
+  std::vector<std::vector<Rank>> children;
+  std::vector<int> depth;
+  std::vector<Rank> subtree_size;
+  int height = 0;
+};
+
+ReferenceIndex reference_from_parents(const Tree& tree) {
+  const Rank procs = tree.num_procs();
+  ReferenceIndex ref;
+  ref.children.resize(static_cast<std::size_t>(procs));
+  ref.depth.assign(static_cast<std::size_t>(procs), 0);
+  ref.subtree_size.assign(static_cast<std::size_t>(procs), 1);
+  // Ascending rank scan => each child list comes out already sorted.
+  for (Rank r = 1; r < procs; ++r) {
+    ref.children[static_cast<std::size_t>(tree.parent(r))].push_back(r);
+  }
+  for (Rank r = 0; r < procs; ++r) {
+    int d = 0;
+    for (Rank a = tree.parent(r); a != kNoRank; a = tree.parent(a)) ++d;
+    ref.depth[static_cast<std::size_t>(r)] = d;
+    ref.height = std::max(ref.height, d);
+    for (Rank a = tree.parent(r); a != kNoRank; a = tree.parent(a)) {
+      ++ref.subtree_size[static_cast<std::size_t>(a)];
+    }
+  }
+  return ref;
+}
+
+void expect_matches_reference(const Tree& tree) {
+  const ReferenceIndex ref = reference_from_parents(tree);
+  ASSERT_EQ(tree.height(), ref.height) << tree.name();
+  for (Rank r = 0; r < tree.num_procs(); ++r) {
+    ASSERT_EQ(children_of(tree, r), ref.children[static_cast<std::size_t>(r)])
+        << tree.name() << " rank " << r;
+    ASSERT_EQ(tree.depth(r), ref.depth[static_cast<std::size_t>(r)])
+        << tree.name() << " rank " << r;
+    ASSERT_EQ(tree.subtree_size(r), ref.subtree_size[static_cast<std::size_t>(r)])
+        << tree.name() << " rank " << r;
+  }
+}
+
+std::vector<TreeSpec> csr_family_specs() {
+  // All four families; k-ary and binomial in both numberings.
+  return {parse_tree_spec("kary:2"),     parse_tree_spec("kary:3"),
+          parse_tree_spec("kary-inorder:2"), parse_tree_spec("binomial"),
+          parse_tree_spec("binomial-inorder"), parse_tree_spec("lame:2"),
+          parse_tree_spec("lame:3"),     parse_tree_spec("optimal")};
+}
+
+TEST(TreeCsr, MatchesParentDerivedReferenceExhaustiveSmallP) {
+  for (const TreeSpec& spec : csr_family_specs()) {
+    for (Rank procs = 1; procs <= 48; ++procs) {
+      expect_matches_reference(make_tree(spec, procs));
+    }
+  }
+}
+
+TEST(TreeCsr, MatchesParentDerivedReferenceAt4097) {
+  // Non-power-of-two just past 2^12: exercises incomplete last levels in
+  // every family at a size where offset arithmetic bugs would surface.
+  for (const TreeSpec& spec : csr_family_specs()) {
+    expect_matches_reference(make_tree(spec, 4097));
+  }
 }
 
 TEST(TreeShapes, HeightOrdering) {

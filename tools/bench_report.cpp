@@ -14,6 +14,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -92,18 +93,19 @@ struct SweepResult {
   double mean_quiescence = 0.0;
 };
 
-/// The Monte-Carlo path behind every figure: run_replicated over a faulty
-/// corrected-tree scenario, thread pool and per-worker workspaces engaged.
-SweepResult measure_sweep(topo::Rank procs, std::size_t reps, std::uint64_t seed) {
+/// The Monte-Carlo path behind every figure: run_replicated over a
+/// corrected-tree scenario (per-worker ReplicaPlans engaged), one cell of
+/// the procs x fault-fraction throughput matrix.
+SweepResult measure_sweep(topo::Rank procs, double fault_fraction, std::size_t reps,
+                          std::uint64_t seed, const support::ThreadPool& pool) {
   exp::Scenario scenario;
   scenario.params = sim::LogP{2, 1, 1, procs};
   scenario.protocol = exp::ProtocolKind::kCorrectedTree;
   scenario.tree.kind = topo::TreeKind::kBinomialInterleaved;
   scenario.correction.kind = proto::CorrectionKind::kChecked;
   scenario.correction.start = proto::CorrectionStart::kSynchronized;
-  scenario.fault_fraction = 0.02;
+  scenario.fault_fraction = fault_fraction;
 
-  const support::ThreadPool pool;  // hardware concurrency
   SweepResult out;
   out.procs = procs;
   out.reps = reps;
@@ -153,8 +155,26 @@ int main(int argc, char** argv) {
   broadcasts.push_back(measure_broadcast(sizes.back(), sim::QueueKind::kBinaryHeap,
                                          min_seconds, min_iters));
 
+  // Sweep throughput matrix: {base P, 8x P} x {fault-free, 2% faults}. The
+  // large size runs an eighth of the replications (events scale ~linearly
+  // in P, so every cell costs about the same wall clock). Smoke keeps only
+  // the base size to stay ctest-fast.
   const exp::Scale scale = exp::default_scale(smoke ? 256 : 8192, smoke ? 4 : 1000);
-  const SweepResult sweep = measure_sweep(scale.procs, scale.reps, scale.seed);
+  const support::ThreadPool pool;  // hardware concurrency, shared by all cells
+  std::vector<SweepResult> sweeps;
+  const std::vector<topo::Rank> sweep_sizes =
+      smoke ? std::vector<topo::Rank>{scale.procs}
+            : std::vector<topo::Rank>{scale.procs, scale.procs * 8};
+  for (topo::Rank procs : sweep_sizes) {
+    const std::size_t reps =
+        procs == scale.procs ? scale.reps : std::max<std::size_t>(1, scale.reps / 8);
+    for (double fault_fraction : {0.0, 0.02}) {
+      sweeps.push_back(measure_sweep(procs, fault_fraction, reps, scale.seed, pool));
+    }
+  }
+  // Legacy headline cell (base P, 2% faults): kept as the top-level "sweep"
+  // object so cross-PR comparisons and the bench-smoke check keep working.
+  const SweepResult& sweep = sweeps[1];
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
@@ -177,14 +197,26 @@ int main(int argc, char** argv) {
                  i + 1 < broadcasts.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out,
-               "  \"sweep\": {\"procs\": %d, \"reps\": %zu, \"seed\": %llu, "
-               "\"fault_fraction\": %.3f, \"pool_workers\": %zu, "
-               "\"wall_seconds\": %.3f, \"reps_per_sec\": %.3f, "
-               "\"mean_quiescence\": %.4f},\n",
-               sweep.procs, sweep.reps, static_cast<unsigned long long>(sweep.seed),
-               sweep.fault_fraction, sweep.pool_workers, sweep.wall_seconds,
-               sweep.reps_per_sec, sweep.mean_quiescence);
+  const auto print_sweep = [out](const SweepResult& s) {
+    std::fprintf(out,
+                 "{\"procs\": %d, \"reps\": %zu, \"seed\": %llu, "
+                 "\"fault_fraction\": %.3f, \"pool_workers\": %zu, "
+                 "\"wall_seconds\": %.3f, \"reps_per_sec\": %.3f, "
+                 "\"mean_quiescence\": %.4f}",
+                 s.procs, s.reps, static_cast<unsigned long long>(s.seed),
+                 s.fault_fraction, s.pool_workers, s.wall_seconds, s.reps_per_sec,
+                 s.mean_quiescence);
+  };
+  std::fprintf(out, "  \"sweep_matrix\": [\n");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    std::fprintf(out, "    ");
+    print_sweep(sweeps[i]);
+    std::fprintf(out, "%s\n", i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"sweep\": ");
+  print_sweep(sweep);
+  std::fprintf(out, ",\n");
   std::fprintf(out, "  \"peak_rss_mb\": %.1f\n}\n", peak_rss_mb());
   std::fclose(out);
 
