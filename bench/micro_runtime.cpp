@@ -1,0 +1,160 @@
+// Engineering micro-benchmarks for the message-passing runtime
+// (google-benchmark): the delivery primitives the two executors are built
+// from — mutex+condvar Mailbox (legacy thread-per-rank) vs the sharded
+// LocalFifo ring and batched ShardInbox — and whole-epoch setup/teardown
+// cost as the rank count grows toward the paper's 36 864-rank prototype.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rt/engine.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/shard_queue.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ct;
+
+rt::Envelope make_envelope(std::int64_t i) {
+  return rt::Envelope{sim::Message{0, 1, sim::tag::kTree, i, i}, 1};
+}
+
+// --- delivery primitives ----------------------------------------------------
+
+// Legacy path: one mutex acquisition per push and per pop.
+void BM_MailboxPushPop(benchmark::State& state) {
+  rt::Mailbox mailbox;
+  rt::Envelope out;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    mailbox.push(make_envelope(++i));
+    benchmark::DoNotOptimize(mailbox.try_pop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MailboxPushPop);
+
+// Sharded intra-shard path: plain ring buffer, no locks.
+void BM_LocalFifoPushPop(benchmark::State& state) {
+  rt::LocalFifo fifo;
+  rt::Envelope out;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    fifo.push(make_envelope(++i));
+    benchmark::DoNotOptimize(fifo.pop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalFifoPushPop);
+
+// Sharded cross-shard path: a whole staged batch through one lock
+// acquisition, drained with one swap — items/sec counts envelopes, so this
+// is directly comparable with the per-message numbers above.
+void BM_ShardInboxBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  rt::ShardInbox inbox(std::size_t{1} << 16);
+  std::vector<rt::Envelope> staged;
+  staged.reserve(batch_size);
+  std::vector<rt::Envelope> drain;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    staged.clear();
+    for (std::size_t k = 0; k < batch_size; ++k) staged.push_back(make_envelope(++i));
+    benchmark::DoNotOptimize(inbox.push_batch(staged));
+    inbox.drain_into(drain);
+    benchmark::DoNotOptimize(drain.size());
+    drain.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_ShardInboxBatch)->Arg(1)->Arg(16)->Arg(256);
+
+// --- whole-epoch costs ------------------------------------------------------
+
+/// Colors every rank in begin() and sends nothing: an epoch of this
+/// protocol measures pure setup/teardown (reset, barrier round trips,
+/// completion sweep) with zero protocol work.
+class NoopBroadcast final : public sim::Protocol {
+ public:
+  void begin(sim::Context& ctx) override {
+    for (topo::Rank r = 0; r < ctx.num_procs(); ++r) ctx.mark_colored(r);
+  }
+  void on_receive(sim::Context&, topo::Rank, const sim::Message&) override {}
+  void on_sent(sim::Context&, topo::Rank, const sim::Message&) override {}
+};
+
+/// Minimal binomial broadcast (the fig11 "native" stand-in, locally
+/// re-declared to keep this binary self-contained).
+class BinomialBroadcast final : public sim::Protocol {
+ public:
+  explicit BinomialBroadcast(const topo::Tree& tree) : tree_(tree) {}
+  void begin(sim::Context& ctx) override {
+    ctx.mark_colored(0);
+    for (topo::Rank child : tree_.children(0)) ctx.send(0, child, sim::tag::kTree, 0);
+  }
+  void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message&) override {
+    ctx.mark_colored(me);
+    for (topo::Rank child : tree_.children(me)) ctx.send(me, child, sim::tag::kTree, 0);
+  }
+  void on_sent(sim::Context&, topo::Rank, const sim::Message&) override {}
+
+ private:
+  const topo::Tree& tree_;
+};
+
+// Epoch setup/teardown vs rank count: no messages at all, so the slope is
+// the per-rank reset + completion-sweep cost of the sharded scheduler.
+void BM_ShardedEpochSetupTeardown(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0));
+  for (auto _ : state) {
+    NoopBroadcast protocol;
+    const rt::EpochResult result =
+        engine.run_epoch(protocol, std::chrono::seconds(10));
+    benchmark::DoNotOptimize(result.completion_ns);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * procs);
+}
+BENCHMARK(BM_ShardedEpochSetupTeardown)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Full broadcast epoch on the sharded engine vs rank count; items/sec is
+// ranks colored per second.
+void BM_ShardedBroadcastEpoch(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0));
+  for (auto _ : state) {
+    BinomialBroadcast protocol(tree);
+    const rt::EpochResult result =
+        engine.run_epoch(protocol, std::chrono::seconds(10));
+    benchmark::DoNotOptimize(result.total_messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * procs);
+}
+BENCHMARK(BM_ShardedBroadcastEpoch)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// The legacy executor at a size it still handles — the A/B baseline for
+// BM_ShardedBroadcastEpoch (same protocol, same metric).
+void BM_ThreadPerRankBroadcastEpoch(benchmark::State& state) {
+  const auto procs = static_cast<topo::Rank>(state.range(0));
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  rt::EngineOptions options;
+  options.threading = rt::Threading::kThreadPerRank;
+  rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
+                    options);
+  for (auto _ : state) {
+    BinomialBroadcast protocol(tree);
+    const rt::EpochResult result =
+        engine.run_epoch(protocol, std::chrono::seconds(10));
+    benchmark::DoNotOptimize(result.total_messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * procs);
+}
+BENCHMARK(BM_ThreadPerRankBroadcastEpoch)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,13 @@
 #include "rt/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <stdexcept>
+#include <thread>
+
+#include "rt/engine_impl.hpp"
+#include "rt/mailbox.hpp"
 
 namespace ct::rt {
 
@@ -11,67 +17,112 @@ namespace {
 constexpr std::chrono::microseconds kIdleWait{50};
 }
 
-class Engine::ContextImpl final : public sim::Context {
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// Legacy executor: one OS thread per live rank, one Mailbox per rank. Kept
+// behind EngineOptions::threading for A/B comparison against the sharded
+// scheduler; see DESIGN.md §4c for the measured crossover.
+// ---------------------------------------------------------------------------
+class ThreadPerRankImpl final : public Engine::Impl {
  public:
-  explicit ContextImpl(Rank num_procs, const std::vector<char>& failed)
+  ThreadPerRankImpl(Rank num_procs, const std::vector<char>& failed, Rank live_count)
       : num_procs_(num_procs),
         failed_(failed),
+        live_count_(live_count),
         mailboxes_(static_cast<std::size_t>(num_procs)),
         outbox_(static_cast<std::size_t>(num_procs)),
         timers_(static_cast<std::size_t>(num_procs)),
         colored_(static_cast<std::size_t>(num_procs), 0),
         sends_(static_cast<std::size_t>(num_procs), 0),
         rank_data_(static_cast<std::size_t>(num_procs), 0),
-        completion_ns_(static_cast<std::size_t>(num_procs), -1) {}
+        completion_ns_(static_cast<std::size_t>(num_procs), -1),
+        context_(*this),
+        epoch_barrier_(static_cast<std::ptrdiff_t>(live_count) + 1) {
+    threads_.reserve(static_cast<std::size_t>(live_count_));
+    for (Rank r = 0; r < num_procs_; ++r) {
+      if (!failed_[static_cast<std::size_t>(r)]) {
+        threads_.emplace_back([this, r] { worker_main(r); });
+      }
+    }
+  }
 
-  // --- sim::Context ---------------------------------------------------------
+  ~ThreadPerRankImpl() override {
+    shutdown_.store(true, std::memory_order_release);
+    epoch_barrier_.arrive_and_wait();  // release workers into the shutdown check
+    threads_.clear();                  // join
+  }
 
-  sim::Time now() const override {
+  EpochResult run_epoch(sim::Protocol& protocol, std::int64_t timeout_ns) override {
+    reset_epoch(&protocol, timeout_ns);
+    protocol.begin(context_);
+    start_clock();
+    epoch_barrier_.arrive_and_wait();  // epoch start
+    epoch_barrier_.arrive_and_wait();  // epoch end
+    return collect();
+  }
+
+  std::size_t worker_threads() const noexcept override { return threads_.size(); }
+
+ private:
+  // The sim::Context facade handed to protocol callbacks.
+  class Context final : public sim::Context {
+   public:
+    explicit Context(ThreadPerRankImpl& impl) : impl_(impl) {}
+
+    sim::Time now() const override { return impl_.now(); }
+    Rank num_procs() const override { return impl_.num_procs_; }
+
+    void send(Rank from, Rank to, sim::Tag tag, std::int64_t payload) override {
+      // Queued on the sender's outbox; the owning worker delivers it and
+      // then receives the on_sent callback. Delivery to failed ranks is
+      // dropped there, indistinguishable from success for the protocol.
+      const auto slot = static_cast<std::size_t>(from);
+      impl_.outbox_[slot].push_back(
+          Envelope{sim::Message{from, to, tag, payload, impl_.rank_data_[slot]},
+                   impl_.epoch_});
+    }
+
+    void set_rank_data(Rank r, std::int64_t data) override {
+      impl_.rank_data_[static_cast<std::size_t>(r)] = data;
+    }
+    std::int64_t rank_data(Rank r) const override {
+      return impl_.rank_data_[static_cast<std::size_t>(r)];
+    }
+    void set_timer(Rank on, sim::Time when, std::int64_t id) override {
+      impl_.timers_[static_cast<std::size_t>(on)].push_back({when, id, false});
+    }
+    void mark_colored(Rank r) override {
+      impl_.colored_[static_cast<std::size_t>(r)] = 1;
+    }
+    bool is_colored(Rank r) const override {
+      return impl_.colored_[static_cast<std::size_t>(r)] != 0;
+    }
+    void note_correction_start() override {
+      impl_.correction_started_.store(true, std::memory_order_relaxed);
+    }
+
+   private:
+    ThreadPerRankImpl& impl_;
+  };
+
+  struct Timer {
+    sim::Time when;
+    std::int64_t id;
+    bool fired = false;
+  };
+
+  sim::Time now() const {
     if (!started_.load(std::memory_order_acquire)) return 0;
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_start_)
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                epoch_start_)
         .count();
   }
 
-  Rank num_procs() const override { return num_procs_; }
-
-  void send(Rank from, Rank to, sim::Tag tag, std::int64_t payload) override {
-    // Queued on the sender's outbox; the owning worker delivers it and then
-    // receives the on_sent callback. Delivery to failed ranks is dropped
-    // there, indistinguishable from success for the protocol.
-    outbox_[static_cast<std::size_t>(from)].push_back(Envelope{
-        sim::Message{from, to, tag, payload, rank_data_[static_cast<std::size_t>(from)]},
-        epoch_});
-  }
-
-  void set_rank_data(Rank r, std::int64_t data) override {
-    rank_data_[static_cast<std::size_t>(r)] = data;
-  }
-
-  std::int64_t rank_data(Rank r) const override {
-    return rank_data_[static_cast<std::size_t>(r)];
-  }
-
-  void set_timer(Rank on, sim::Time when, std::int64_t id) override {
-    timers_[static_cast<std::size_t>(on)].push_back({when, id});
-  }
-
-  void mark_colored(Rank r) override { colored_[static_cast<std::size_t>(r)] = 1; }
-
-  bool is_colored(Rank r) const override {
-    return colored_[static_cast<std::size_t>(r)] != 0;
-  }
-
-  void note_correction_start() override {
-    correction_started_.store(true, std::memory_order_relaxed);
-  }
-
-  // --- epoch plumbing (coordinator side) -------------------------------------
-
-  void reset_epoch(sim::Protocol* protocol, Rank live_count, std::int64_t timeout_ns) {
+  void reset_epoch(sim::Protocol* protocol, std::int64_t timeout_ns) {
     ++epoch_;
     protocol_ = protocol;
     timeout_ns_ = timeout_ns;
-    live_count_ = live_count;
     completed_count_.store(0, std::memory_order_relaxed);
     epoch_done_.store(false, std::memory_order_relaxed);
     timed_out_.store(false, std::memory_order_relaxed);
@@ -94,12 +145,12 @@ class Engine::ContextImpl final : public sim::Context {
     started_.store(true, std::memory_order_release);
   }
 
-  EpochResult collect(const std::vector<char>& failed) const {
+  EpochResult collect() const {
     EpochResult result;
     result.timed_out = timed_out_.load(std::memory_order_relaxed);
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
-      if (failed[slot]) continue;
+      if (failed_[slot]) continue;
       result.total_messages += sends_[slot];
       result.rank_completion_ns.push_back(completion_ns_[slot]);
       result.completion_ns = std::max(result.completion_ns, completion_ns_[slot]);
@@ -108,7 +159,14 @@ class Engine::ContextImpl final : public sim::Context {
     return result;
   }
 
-  // --- worker side ------------------------------------------------------------
+  void worker_main(Rank me) {
+    for (;;) {
+      epoch_barrier_.arrive_and_wait();  // epoch start (or shutdown)
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      worker_epoch(me);
+      epoch_barrier_.arrive_and_wait();  // epoch end
+    }
+  }
 
   void worker_epoch(Rank me) {
     const auto slot = static_cast<std::size_t>(me);
@@ -141,11 +199,11 @@ class Engine::ContextImpl final : public sim::Context {
         if (!failed_[static_cast<std::size_t>(out.msg.dst)]) {
           mailboxes_[static_cast<std::size_t>(out.msg.dst)].push(out);
         }
-        protocol_->on_sent(*this, me, out.msg);
+        protocol_->on_sent(context_, me, out.msg);
         progress = true;
       } else if (mailboxes_[slot].try_pop(envelope)) {
         if (envelope.epoch == epoch_) {
-          protocol_->on_receive(*this, me, envelope.msg);
+          protocol_->on_receive(context_, me, envelope.msg);
         }
         progress = true;
       } else if (fire_due_timer(me, timers)) {
@@ -170,7 +228,7 @@ class Engine::ContextImpl final : public sim::Context {
         }
         if (mailboxes_[slot].pop_for(envelope, kIdleWait)) {
           if (envelope.epoch == epoch_) {
-            protocol_->on_receive(*this, me, envelope.msg);
+            protocol_->on_receive(context_, me, envelope.msg);
           }
           maybe_complete();
         }
@@ -178,19 +236,12 @@ class Engine::ContextImpl final : public sim::Context {
     }
   }
 
- private:
-  struct Timer {
-    sim::Time when;
-    std::int64_t id;
-    bool fired = false;
-  };
-
   bool fire_due_timer(Rank me, std::vector<Timer>& timers) {
     const sim::Time current = now();
     for (auto& timer : timers) {
       if (!timer.fired && timer.when <= current) {
         timer.fired = true;
-        protocol_->on_timer(*this, me, timer.id);
+        protocol_->on_timer(context_, me, timer.id);
         return true;
       }
     }
@@ -199,6 +250,7 @@ class Engine::ContextImpl final : public sim::Context {
 
   Rank num_procs_;
   const std::vector<char>& failed_;
+  Rank live_count_;
   std::vector<Mailbox> mailboxes_;
   std::vector<std::vector<Envelope>> outbox_;
   std::vector<std::vector<Timer>> timers_;
@@ -210,59 +262,51 @@ class Engine::ContextImpl final : public sim::Context {
   sim::Protocol* protocol_ = nullptr;
   std::int64_t epoch_ = 0;
   std::int64_t timeout_ns_ = 0;
-  Rank live_count_ = 0;
   Clock::time_point epoch_start_{};
   std::atomic<bool> started_{false};
   std::atomic<bool> epoch_done_{false};
   std::atomic<bool> timed_out_{false};
   std::atomic<bool> correction_started_{false};
   std::atomic<std::int32_t> completed_count_{0};
+
+  Context context_;
+  std::barrier<> epoch_barrier_;  // live ranks + coordinator, twice per epoch
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::jthread> threads_;
 };
 
-Engine::Engine(Rank num_procs, std::vector<char> failed)
-    : num_procs_(num_procs),
-      failed_(std::move(failed)),
-      epoch_barrier_([&] {
-        if (num_procs < 1) throw std::invalid_argument("engine needs at least one rank");
-        if (static_cast<Rank>(failed_.size()) != num_procs) {
-          throw std::invalid_argument("failed flag vector must have P entries");
-        }
-        if (failed_[0]) throw std::invalid_argument("rank 0 (the root) cannot fail");
-        live_count_ = 0;
-        for (char f : failed_) live_count_ += (f == 0);
-        return static_cast<std::ptrdiff_t>(live_count_) + 1;
-      }()) {
-  context_ = std::make_unique<ContextImpl>(num_procs_, failed_);
-  threads_.reserve(static_cast<std::size_t>(live_count_));
-  for (Rank r = 0; r < num_procs_; ++r) {
-    if (!failed_[static_cast<std::size_t>(r)]) {
-      threads_.emplace_back([this, r] { worker_main(r); });
-    }
-  }
+std::unique_ptr<Engine::Impl> make_thread_per_rank(Rank num_procs,
+                                                   const std::vector<char>& failed,
+                                                   Rank live_count) {
+  return std::make_unique<ThreadPerRankImpl>(num_procs, failed, live_count);
 }
 
-Engine::~Engine() {
-  shutdown_.store(true, std::memory_order_release);
-  epoch_barrier_.arrive_and_wait();  // release workers into the shutdown check
-  threads_.clear();                  // join
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Engine facade: validation + backend selection.
+// ---------------------------------------------------------------------------
+
+Engine::Engine(Rank num_procs, std::vector<char> failed, EngineOptions options)
+    : num_procs_(num_procs), failed_(std::move(failed)), options_(options) {
+  if (num_procs < 1) throw std::invalid_argument("engine needs at least one rank");
+  if (static_cast<Rank>(failed_.size()) != num_procs) {
+    throw std::invalid_argument("failed flag vector must have P entries");
+  }
+  if (failed_[0]) throw std::invalid_argument("rank 0 (the root) cannot fail");
+  live_count_ = 0;
+  for (char f : failed_) live_count_ += (f == 0);
+  impl_ = options_.threading == Threading::kThreadPerRank
+              ? detail::make_thread_per_rank(num_procs_, failed_, live_count_)
+              : detail::make_sharded(num_procs_, failed_, live_count_, options_);
 }
 
-void Engine::worker_main(Rank me) {
-  for (;;) {
-    epoch_barrier_.arrive_and_wait();  // epoch start (or shutdown)
-    if (shutdown_.load(std::memory_order_acquire)) return;
-    context_->worker_epoch(me);
-    epoch_barrier_.arrive_and_wait();  // epoch end
-  }
-}
+Engine::~Engine() = default;
+
+std::size_t Engine::worker_threads() const noexcept { return impl_->worker_threads(); }
 
 EpochResult Engine::run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout) {
-  context_->reset_epoch(&protocol, live_count_, timeout.count());
-  protocol.begin(*context_);
-  context_->start_clock();
-  epoch_barrier_.arrive_and_wait();  // epoch start
-  epoch_barrier_.arrive_and_wait();  // epoch end
-  return context_->collect(failed_);
+  return impl_->run_epoch(protocol, timeout.count());
 }
 
 }  // namespace ct::rt

@@ -1,29 +1,38 @@
 #pragma once
-// Threaded message-passing runtime — the repo's stand-in for the MPI cluster
-// of §4.4 (see DESIGN.md §1). One OS thread per live rank drives the very
-// same executor-independent Protocol state machines as the LogP simulator,
-// in wall-clock time over in-process mailboxes. "Failed" ranks get no
-// thread; messages addressed to them vanish without feedback — the paper's
-// fault emulation ("Processes 'failed' during benchmark initialization and
-// stayed as such during the whole benchmark run").
+// Message-passing runtime — the repo's stand-in for the MPI cluster of §4.4
+// (see DESIGN.md §1, §4c). It drives the very same executor-independent
+// Protocol state machines as the LogP simulator, in wall-clock time over
+// in-process queues. "Failed" ranks get no execution slot; messages
+// addressed to them vanish without feedback — the paper's fault emulation
+// ("Processes 'failed' during benchmark initialization and stayed as such
+// during the whole benchmark run").
+//
+// Two executor backends, selected by EngineOptions::threading:
+//
+//  * kSharded (default) — an M:N scheduler: N worker threads (default
+//    hardware_concurrency), each owning a contiguous slice of ranks whose
+//    state machines it steps cooperatively. Intra-shard delivery is a plain
+//    per-rank ring buffer (no locks — single-threaded within a shard);
+//    cross-shard delivery batches through one bounded MPSC inbox per shard.
+//    This is the path that reaches the paper's 36 864-rank prototype scale.
+//
+//  * kThreadPerRank — the original executor: one OS thread and one
+//    mutex+condvar Mailbox per live rank. Kept for A/B comparison; thrashes
+//    past a few hundred ranks on small hosts.
 //
 // An Engine is persistent: it spawns its threads once and then executes a
 // sequence of epochs (benchmark iterations). Within an epoch each rank
 // records its local completion time (colored + own sends drained) but keeps
-// servicing its mailbox — remote protocols may still need its replies —
+// servicing deliveries — remote protocols may still need its replies —
 // until every live rank has completed. Per-epoch message envelopes carry the
 // epoch number so leftovers of epoch e are discarded in epoch e+1.
 
-#include <atomic>
-#include <barrier>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <thread>
 #include <vector>
 
-#include "rt/mailbox.hpp"
 #include "sim/protocol.hpp"
 
 namespace ct::rt {
@@ -35,18 +44,35 @@ struct EpochResult {
   bool timed_out = false;
   /// Wall time from epoch start until the last live rank completed locally.
   std::int64_t completion_ns = 0;
-  /// Per-live-rank local completion times (ns since epoch start).
+  /// Per-live-rank local completion times (ns since epoch start); -1 for
+  /// ranks that never completed within a timed-out epoch.
   std::vector<std::int64_t> rank_completion_ns;
   /// Live ranks that were never colored (protocol failure).
   std::int32_t uncolored_live = 0;
   std::int64_t total_messages = 0;
 };
 
+/// How ranks map onto OS threads.
+enum class Threading {
+  kSharded,        ///< M:N — worker shards stepping rank slices (default)
+  kThreadPerRank,  ///< legacy 1:1 — kept for A/B comparison
+};
+
+struct EngineOptions {
+  Threading threading = Threading::kSharded;
+  /// Sharded path: worker (= shard) count; <= 0 means hardware_concurrency.
+  /// Clamped to the rank count (no empty shards).
+  int workers = 0;
+  /// Sharded path: cross-shard inbox capacity in envelopes, per shard.
+  /// Producers stage overflow locally and retry, so this only bounds memory.
+  std::size_t inbox_capacity = std::size_t{1} << 16;
+};
+
 class Engine {
  public:
   /// `failed[r] != 0` marks rank r as crashed for the engine's lifetime.
   /// Rank 0 must be alive (it roots every collective).
-  Engine(topo::Rank num_procs, std::vector<char> failed);
+  Engine(topo::Rank num_procs, std::vector<char> failed, EngineOptions options = {});
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -54,23 +80,28 @@ class Engine {
 
   topo::Rank num_procs() const noexcept { return num_procs_; }
   topo::Rank live_count() const noexcept { return live_count_; }
+  const EngineOptions& options() const noexcept { return options_; }
+  /// OS threads the chosen backend actually runs (shards, or live ranks).
+  std::size_t worker_threads() const noexcept;
 
   /// Executes one epoch of `protocol` (freshly constructed by the caller)
   /// and returns its timing. Serializes epochs internally.
   EpochResult run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout);
 
- private:
-  class ContextImpl;
-  void worker_main(topo::Rank me);
+  /// Internal: executor backend interface (see engine.cpp / engine_sharded.cpp).
+  class Impl {
+   public:
+    virtual ~Impl() = default;
+    virtual EpochResult run_epoch(sim::Protocol& protocol, std::int64_t timeout_ns) = 0;
+    virtual std::size_t worker_threads() const noexcept = 0;
+  };
 
+ private:
   topo::Rank num_procs_;
   std::vector<char> failed_;
+  EngineOptions options_;
   topo::Rank live_count_ = 0;
-
-  std::unique_ptr<ContextImpl> context_;
-  std::barrier<> epoch_barrier_;  // live ranks + coordinator, twice per epoch
-  std::atomic<bool> shutdown_{false};
-  std::vector<std::jthread> threads_;
+  std::unique_ptr<Impl> impl_;  // last member: destroyed before the state it references
 };
 
 }  // namespace ct::rt

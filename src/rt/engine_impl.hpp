@@ -1,0 +1,20 @@
+#pragma once
+// Internal: factories for the Engine executor backends. engine.cpp builds
+// the legacy thread-per-rank executor; engine_sharded.cpp builds the M:N
+// sharded scheduler. Both receive a reference to the Engine-owned failure
+// flags, which outlive the impl.
+
+#include "rt/engine.hpp"
+
+namespace ct::rt::detail {
+
+std::unique_ptr<Engine::Impl> make_thread_per_rank(topo::Rank num_procs,
+                                                   const std::vector<char>& failed,
+                                                   topo::Rank live_count);
+
+std::unique_ptr<Engine::Impl> make_sharded(topo::Rank num_procs,
+                                           const std::vector<char>& failed,
+                                           topo::Rank live_count,
+                                           const EngineOptions& options);
+
+}  // namespace ct::rt::detail

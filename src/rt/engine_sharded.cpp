@@ -1,0 +1,385 @@
+// Sharded M:N executor (DESIGN.md §4c): N worker threads, each owning a
+// contiguous slice of ranks whose unchanged sim::Protocol state machines it
+// steps cooperatively. Intra-shard delivery lands in per-rank LocalFifo ring
+// buffers (no locks — single-threaded within a shard); cross-shard delivery
+// is staged per destination during a scheduling pass and flushed with one
+// lock acquisition per destination shard into its bounded MPSC ShardInbox,
+// so lock traffic is O(shards²) per pass instead of O(messages).
+//
+// Concurrency contract (same as the legacy executor relies on, now spelled
+// out): during an epoch, protocol callbacks for rank `me` may only call
+// Context::send/set_timer/mark_colored/set_rank_data for `me` itself —
+// cross-rank Context writes are legal only from Protocol::begin(), which
+// the coordinator runs before workers enter the epoch. Every protocol in
+// this repo satisfies this (tests/rt_stress_test.cpp checks it under TSan).
+
+#include <atomic>
+#include <barrier>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rt/engine_impl.hpp"
+#include "rt/shard_queue.hpp"
+
+namespace ct::rt::detail {
+
+namespace {
+
+using topo::Rank;
+
+constexpr std::chrono::microseconds kIdleWait{50};
+
+class ShardedImpl final : public Engine::Impl {
+ public:
+  ShardedImpl(Rank num_procs, const std::vector<char>& failed, Rank live_count,
+              const EngineOptions& options)
+      : num_procs_(num_procs),
+        failed_(failed),
+        live_count_(live_count),
+        fifo_(static_cast<std::size_t>(num_procs)),
+        outbox_(static_cast<std::size_t>(num_procs)),
+        timers_(static_cast<std::size_t>(num_procs)),
+        colored_(static_cast<std::size_t>(num_procs), 0),
+        completed_(static_cast<std::size_t>(num_procs), 0),
+        sends_(static_cast<std::size_t>(num_procs), 0),
+        rank_data_(static_cast<std::size_t>(num_procs), 0),
+        completion_ns_(static_cast<std::size_t>(num_procs), -1),
+        context_(*this),
+        epoch_barrier_(build_shards(options) + 1) {
+    threads_.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      threads_.emplace_back([this, s] { worker_main(s); });
+    }
+  }
+
+  ~ShardedImpl() override {
+    shutdown_.store(true, std::memory_order_release);
+    epoch_barrier_.arrive_and_wait();  // release workers into the shutdown check
+    threads_.clear();                  // join
+  }
+
+  EpochResult run_epoch(sim::Protocol& protocol, std::int64_t timeout_ns) override {
+    reset_epoch(&protocol, timeout_ns);
+    protocol.begin(context_);
+    start_clock();
+    epoch_barrier_.arrive_and_wait();  // epoch start
+    epoch_barrier_.arrive_and_wait();  // epoch end
+    return collect();
+  }
+
+  std::size_t worker_threads() const noexcept override { return threads_.size(); }
+
+ private:
+  struct Timer {
+    sim::Time when;
+    std::int64_t id;
+    bool fired = false;
+  };
+
+  /// Per-worker state. The rank slice [lo, hi) is contiguous so the rank →
+  /// shard map is one division; live_ranks caches the slice minus failures.
+  struct Shard {
+    Shard(Rank lo_in, Rank hi_in, std::size_t inbox_capacity, std::size_t num_shards)
+        : lo(lo_in), hi(hi_in), inbox(inbox_capacity), staged(num_shards) {}
+
+    Rank lo;
+    Rank hi;
+    std::vector<Rank> live_ranks;
+    ShardInbox inbox;
+    std::vector<Envelope> drain;                 // reusable inbox drain buffer
+    std::vector<std::vector<Envelope>> staged;   // outgoing, per destination shard
+  };
+
+  // The sim::Context facade handed to protocol callbacks.
+  class Context final : public sim::Context {
+   public:
+    explicit Context(ShardedImpl& impl) : impl_(impl) {}
+
+    sim::Time now() const override { return impl_.now(); }
+    Rank num_procs() const override { return impl_.num_procs_; }
+
+    void send(Rank from, Rank to, sim::Tag tag, std::int64_t payload) override {
+      // Queued on the sender's outbox; the shard stepping `from` delivers it
+      // and then runs the on_sent callback.
+      const auto slot = static_cast<std::size_t>(from);
+      impl_.outbox_[slot].push_back(
+          Envelope{sim::Message{from, to, tag, payload, impl_.rank_data_[slot]},
+                   impl_.epoch_});
+    }
+
+    void set_rank_data(Rank r, std::int64_t data) override {
+      impl_.rank_data_[static_cast<std::size_t>(r)] = data;
+    }
+    std::int64_t rank_data(Rank r) const override {
+      return impl_.rank_data_[static_cast<std::size_t>(r)];
+    }
+    void set_timer(Rank on, sim::Time when, std::int64_t id) override {
+      impl_.timers_[static_cast<std::size_t>(on)].push_back({when, id, false});
+    }
+    void mark_colored(Rank r) override {
+      impl_.colored_[static_cast<std::size_t>(r)] = 1;
+    }
+    bool is_colored(Rank r) const override {
+      return impl_.colored_[static_cast<std::size_t>(r)] != 0;
+    }
+    void note_correction_start() override {
+      impl_.correction_started_.store(true, std::memory_order_relaxed);
+    }
+
+   private:
+    ShardedImpl& impl_;
+  };
+
+  /// Carves [0, P) into contiguous slices of ceil(P / workers) ranks and
+  /// returns the shard count (for the barrier's participant total).
+  std::ptrdiff_t build_shards(const EngineOptions& options) {
+    const auto p = static_cast<std::size_t>(num_procs_);
+    std::size_t workers = options.workers > 0
+                              ? static_cast<std::size_t>(options.workers)
+                              : std::max(1u, std::thread::hardware_concurrency());
+    workers = std::min(workers, p);
+    chunk_ = (p + workers - 1) / workers;
+    const std::size_t num_shards = (p + chunk_ - 1) / chunk_;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const auto lo = static_cast<Rank>(s * chunk_);
+      const auto hi = static_cast<Rank>(std::min(p, (s + 1) * chunk_));
+      Shard& shard = shards_.emplace_back(lo, hi, options.inbox_capacity, num_shards);
+      for (Rank r = lo; r < hi; ++r) {
+        if (!failed_[static_cast<std::size_t>(r)]) shard.live_ranks.push_back(r);
+      }
+    }
+    return static_cast<std::ptrdiff_t>(num_shards);
+  }
+
+  sim::Time now() const {
+    if (!started_.load(std::memory_order_acquire)) return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                epoch_start_)
+        .count();
+  }
+
+  void reset_epoch(sim::Protocol* protocol, std::int64_t timeout_ns) {
+    ++epoch_;
+    protocol_ = protocol;
+    timeout_ns_ = timeout_ns;
+    completed_count_.store(0, std::memory_order_relaxed);
+    epoch_done_.store(false, std::memory_order_relaxed);
+    timed_out_.store(false, std::memory_order_relaxed);
+    correction_started_.store(false, std::memory_order_relaxed);
+    started_.store(false, std::memory_order_release);
+    for (Rank r = 0; r < num_procs_; ++r) {
+      const auto slot = static_cast<std::size_t>(r);
+      fifo_[slot].clear();
+      outbox_[slot].clear();
+      timers_[slot].clear();
+      colored_[slot] = 0;
+      completed_[slot] = 0;
+      sends_[slot] = 0;
+      rank_data_[slot] = 0;
+      completion_ns_[slot] = -1;
+    }
+    for (Shard& shard : shards_) {
+      shard.inbox.clear();
+      shard.drain.clear();
+      for (auto& staged : shard.staged) staged.clear();
+    }
+  }
+
+  void start_clock() {
+    epoch_start_ = Clock::now();
+    started_.store(true, std::memory_order_release);
+  }
+
+  EpochResult collect() const {
+    EpochResult result;
+    result.timed_out = timed_out_.load(std::memory_order_relaxed);
+    for (Rank r = 0; r < num_procs_; ++r) {
+      const auto slot = static_cast<std::size_t>(r);
+      if (failed_[slot]) continue;
+      result.total_messages += sends_[slot];
+      result.rank_completion_ns.push_back(completion_ns_[slot]);
+      result.completion_ns = std::max(result.completion_ns, completion_ns_[slot]);
+      if (!colored_[slot]) ++result.uncolored_live;
+    }
+    return result;
+  }
+
+  void worker_main(std::size_t s) {
+    for (;;) {
+      epoch_barrier_.arrive_and_wait();  // epoch start (or shutdown)
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      shard_epoch(s);
+      epoch_barrier_.arrive_and_wait();  // epoch end
+    }
+  }
+
+  /// One worker's epoch: scheduling passes until every live rank completed
+  /// (or the epoch timed out). Each pass batch-drains the cross-shard
+  /// inbox, steps every owned live rank, and flushes staged cross-shard
+  /// sends; an idle pass parks on the inbox condvar for kIdleWait.
+  void shard_epoch(std::size_t s) {
+    Shard& shard = shards_[s];
+    while (!epoch_done_.load(std::memory_order_acquire)) {
+      bool progress = false;
+
+      shard.inbox.drain_into(shard.drain);
+      if (!shard.drain.empty()) {
+        progress = true;
+        for (Envelope& envelope : shard.drain) {
+          fifo_[static_cast<std::size_t>(envelope.msg.dst)].push(std::move(envelope));
+        }
+        shard.drain.clear();
+      }
+
+      const sim::Time pass_now = now();
+      for (Rank r : shard.live_ranks) progress |= step_rank(s, shard, r, pass_now);
+
+      progress |= flush_staged(shard);
+
+      if (timeout_ns_ > 0 && pass_now > timeout_ns_ &&
+          !epoch_done_.load(std::memory_order_acquire)) {
+        timed_out_.store(true, std::memory_order_relaxed);
+        finish_epoch();
+        break;
+      }
+
+      if (!progress && !epoch_done_.load(std::memory_order_acquire)) {
+        shard.inbox.wait_for_mail(kIdleWait);
+      }
+    }
+  }
+
+  /// Steps one rank: pending receives, then the send queue (on_sent may
+  /// extend it; the index loop keeps draining), then due timers, then the
+  /// completion check. Completed ranks keep being stepped — remote
+  /// protocols may still need their replies — until the epoch ends.
+  bool step_rank(std::size_t s, Shard& shard, Rank r, sim::Time pass_now) {
+    const auto slot = static_cast<std::size_t>(r);
+    bool progress = false;
+
+    LocalFifo& fifo = fifo_[slot];
+    Envelope envelope;
+    while (fifo.pop(envelope)) {
+      progress = true;
+      if (envelope.epoch == epoch_) protocol_->on_receive(context_, r, envelope.msg);
+    }
+
+    auto& outbox = outbox_[slot];
+    if (!outbox.empty()) {
+      progress = true;
+      for (std::size_t i = 0; i < outbox.size(); ++i) {
+        const Envelope out = outbox[i];  // copy: on_sent may grow the outbox
+        ++sends_[slot];
+        deliver(s, shard, out);
+        protocol_->on_sent(context_, r, out.msg);
+      }
+      outbox.clear();
+    }
+
+    auto& timers = timers_[slot];
+    if (!timers.empty()) progress |= fire_due_timers(r, timers, pass_now);
+
+    if (!completed_[slot] && colored_[slot] && outbox.empty()) {
+      completed_[slot] = 1;
+      completion_ns_[slot] = now();
+      if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_count_) {
+        finish_epoch();
+      }
+    }
+    return progress;
+  }
+
+  /// Same-shard destinations go straight into the rank's LocalFifo; other
+  /// shards' traffic is staged per destination and flushed at pass end.
+  /// Failed destinations are dropped, indistinguishable from success.
+  void deliver(std::size_t s, Shard& shard, const Envelope& envelope) {
+    const auto dst = static_cast<std::size_t>(envelope.msg.dst);
+    if (failed_[dst]) return;
+    const std::size_t dest_shard = dst / chunk_;
+    if (dest_shard == s) {
+      fifo_[dst].push(envelope);
+    } else {
+      shard.staged[dest_shard].push_back(envelope);
+    }
+  }
+
+  /// One push_batch (== one lock) per destination shard with staged traffic.
+  /// A full inbox accepts a prefix; the leftover stays staged in order and
+  /// is retried next pass, preserving per-sender FIFO.
+  bool flush_staged(Shard& shard) {
+    bool any = false;
+    for (std::size_t d = 0; d < shards_.size(); ++d) {
+      std::vector<Envelope>& staged = shard.staged[d];
+      if (staged.empty()) continue;
+      const std::size_t accepted = shards_[d].inbox.push_batch(staged);
+      if (accepted == staged.size()) {
+        staged.clear();
+      } else if (accepted > 0) {
+        staged.erase(staged.begin(), staged.begin() + static_cast<std::ptrdiff_t>(accepted));
+      }
+      any |= accepted > 0;
+    }
+    return any;
+  }
+
+  bool fire_due_timers(Rank r, std::vector<Timer>& timers, sim::Time pass_now) {
+    bool fired = false;
+    for (auto& timer : timers) {
+      if (!timer.fired && timer.when <= pass_now) {
+        timer.fired = true;
+        fired = true;
+        protocol_->on_timer(context_, r, timer.id);
+      }
+    }
+    return fired;
+  }
+
+  void finish_epoch() {
+    epoch_done_.store(true, std::memory_order_release);
+    for (Shard& shard : shards_) shard.inbox.kick();
+  }
+
+  Rank num_procs_;
+  const std::vector<char>& failed_;
+  Rank live_count_;
+
+  std::size_t chunk_ = 1;       // ranks per shard; shard(r) = r / chunk_
+  std::deque<Shard> shards_;    // deque: Shard holds a mutex, must not move
+
+  std::vector<LocalFifo> fifo_;
+  std::vector<std::vector<Envelope>> outbox_;
+  std::vector<std::vector<Timer>> timers_;
+  std::vector<char> colored_;
+  std::vector<char> completed_;
+  std::vector<std::int64_t> sends_;
+  std::vector<std::int64_t> rank_data_;
+  std::vector<std::int64_t> completion_ns_;
+
+  sim::Protocol* protocol_ = nullptr;
+  std::int64_t epoch_ = 0;
+  std::int64_t timeout_ns_ = 0;
+  Clock::time_point epoch_start_{};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> epoch_done_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<bool> correction_started_{false};
+  std::atomic<std::int32_t> completed_count_{0};
+
+  Context context_;
+  std::barrier<> epoch_barrier_;  // shards + coordinator, twice per epoch
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine::Impl> make_sharded(Rank num_procs,
+                                           const std::vector<char>& failed,
+                                           Rank live_count,
+                                           const EngineOptions& options) {
+  return std::make_unique<ShardedImpl>(num_procs, failed, live_count, options);
+}
+
+}  // namespace ct::rt::detail

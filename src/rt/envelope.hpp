@@ -1,0 +1,18 @@
+#pragma once
+// The runtime's wire unit: a simulator Message plus the epoch (benchmark
+// iteration) it belongs to. Every delivery structure of the runtime — the
+// legacy per-rank Mailbox, the sharded LocalFifo and the cross-shard
+// ShardInbox — moves Envelopes; receivers drop stale-epoch leftovers.
+
+#include <cstdint>
+
+#include "sim/message.hpp"
+
+namespace ct::rt {
+
+struct Envelope {
+  sim::Message msg;
+  std::int64_t epoch = 0;
+};
+
+}  // namespace ct::rt

@@ -10,10 +10,12 @@ HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
   }
 
   HarnessResult result;
+  const auto start = Clock::now();
   for (std::int64_t i = 0; i < options.iterations; ++i) {
     auto protocol = factory();
     const EpochResult epoch = engine.run_epoch(*protocol, options.epoch_timeout);
     ++result.iterations;
+    result.total_messages += epoch.total_messages;
     if (epoch.timed_out) {
       ++result.timeouts;
       continue;
@@ -23,6 +25,8 @@ HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
     result.messages_per_process.add(static_cast<double>(epoch.total_messages) /
                                     static_cast<double>(engine.num_procs()));
   }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
   return result;
 }
 

@@ -22,10 +22,20 @@ struct HarnessResult {
   support::Samples messages_per_process;
   std::int64_t iterations = 0;
   std::int64_t timeouts = 0;
-  std::int64_t incomplete = 0;  ///< iterations leaving live ranks uncolored
+  std::int64_t incomplete = 0;      ///< iterations leaving live ranks uncolored
+  std::int64_t total_messages = 0;  ///< summed over all measured iterations
+  double wall_seconds = 0.0;        ///< wall clock of the measured loop
 
   /// Median per-iteration latency; 0 when every iteration timed out.
   double median_us() const { return latency_us.empty() ? 0.0 : latency_us.median(); }
+
+  /// Delivered-send throughput of the measured loop (the scaling-table
+  /// metric: epochs overlap setup and drain, so messages/s is fairer across
+  /// executors than per-epoch latency alone).
+  double messages_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(total_messages) / wall_seconds
+                              : 0.0;
+  }
 };
 
 struct HarnessOptions {

@@ -1,8 +1,9 @@
 #pragma once
-// Per-rank mailbox for the threaded message-passing runtime: an unbounded
+// Per-rank mailbox for the legacy thread-per-rank runtime path: an unbounded
 // MPSC queue (any thread pushes, only the owning rank pops) built on a
 // mutex + condition variable. Reliable and per-sender FIFO — the same
 // point-to-point guarantees the paper assumes from TCP/InfiniBand (§5).
+// The sharded runtime uses rt/shard_queue.hpp instead.
 
 #include <condition_variable>
 #include <cstdint>
@@ -10,16 +11,9 @@
 #include <mutex>
 #include <utility>
 
-#include "sim/message.hpp"
+#include "rt/envelope.hpp"
 
 namespace ct::rt {
-
-/// A simulator Message plus the runtime epoch (benchmark iteration) it
-/// belongs to; stale-epoch messages are dropped by the receiver.
-struct Envelope {
-  sim::Message msg;
-  std::int64_t epoch = 0;
-};
 
 class Mailbox {
  public:
@@ -42,20 +36,38 @@ class Mailbox {
     return true;
   }
 
-  /// Blocks until a message is available or `timeout` elapsed; returns
-  /// whether a message was popped. Used to idle without burning the single
-  /// CPU this runtime typically shares among all ranks.
+  /// Blocks until a message is available, a kick() arrives, or `timeout`
+  /// elapsed; returns whether a message was popped. Used to idle without
+  /// burning the single CPU this runtime typically shares among all ranks.
+  ///
+  /// The wait predicate checks a kick generation counter as well as queue
+  /// non-emptiness: a kick() broadcast for a run-wide state change (epoch
+  /// done, shutdown) must end the wait even though no message arrived,
+  /// otherwise the waiter re-blocks for a full timeout slice before it
+  /// re-reads the flag the kicker set.
   template <class Rep, class Period>
   bool pop_for(Envelope& out, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    if (!cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); })) return false;
+    const std::uint64_t entry_generation = kick_generation_;
+    cv_.wait_for(lock, timeout, [&] {
+      return !queue_.empty() || kick_generation_ != entry_generation;
+    });
+    if (queue_.empty()) return false;
     out = std::move(queue_.front());
     queue_.pop_front();
     return true;
   }
 
-  /// Wakes a blocked pop_for (used to broadcast run-wide state changes).
-  void kick() { cv_.notify_all(); }
+  /// Wakes blocked pop_for callers (used to broadcast run-wide state
+  /// changes); the generation bump makes the wake-up stick even if the
+  /// notify races with the waiter entering the wait.
+  void kick() {
+    {
+      const std::scoped_lock lock(mutex_);
+      ++kick_generation_;
+    }
+    cv_.notify_all();
+  }
 
   void clear() {
     const std::scoped_lock lock(mutex_);
@@ -65,6 +77,7 @@ class Mailbox {
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::uint64_t kick_generation_ = 0;
   std::deque<Envelope> queue_;
 };
 

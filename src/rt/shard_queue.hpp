@@ -1,0 +1,132 @@
+#pragma once
+// Delivery structures for the sharded M:N runtime (DESIGN.md §4c). Two
+// tiers, matching the two kinds of traffic a shard sees:
+//
+//  * LocalFifo — intra-shard delivery. A plain growable ring buffer, one per
+//    rank, touched only by the worker thread that owns the rank's shard, so
+//    pushes and pops are straight-line code with no atomics or locks.
+//
+//  * ShardInbox — cross-shard delivery. One bounded MPSC inbox per shard:
+//    producing shards append whole batches under a single lock acquisition
+//    (staged per destination during the scheduling pass) and the owning
+//    shard drains everything with one swap, so lock traffic per pass is
+//    O(shards²) for the whole engine instead of O(messages).
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "rt/envelope.hpp"
+
+namespace ct::rt {
+
+/// Growable power-of-two ring buffer of envelopes. Single-threaded by
+/// design: only the shard worker that owns the receiving rank touches it.
+class LocalFifo {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(Envelope envelope) {
+    if (size_ == buffer_.size()) grow();
+    buffer_[(head_ + size_) & (buffer_.size() - 1)] = std::move(envelope);
+    ++size_;
+  }
+
+  bool pop(Envelope& out) {
+    if (size_ == 0) return false;
+    out = std::move(buffer_[head_]);
+    head_ = (head_ + 1) & (buffer_.size() - 1);
+    --size_;
+    return true;
+  }
+
+  void clear() noexcept { head_ = size_ = 0; }
+
+ private:
+  void grow() {
+    const std::size_t capacity = buffer_.empty() ? 16 : buffer_.size() * 2;
+    std::vector<Envelope> next(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buffer_[(head_ + i) & (buffer_.size() - 1)]);
+    }
+    buffer_.swap(next);
+    head_ = 0;
+  }
+
+  std::vector<Envelope> buffer_;  // capacity always a power of two (or empty)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Bounded MPSC inbox: many producing shards, one draining owner. Producers
+/// that hit the capacity keep the overflow staged on their side and retry
+/// next pass, so backpressure never blocks inside the lock.
+class ShardInbox {
+ public:
+  explicit ShardInbox(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  /// Appends as many envelopes of `batch` (front first, preserving order) as
+  /// capacity allows under one lock; returns how many were accepted.
+  std::size_t push_batch(const std::vector<Envelope>& batch) {
+    std::size_t accepted = 0;
+    bool was_empty = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      was_empty = queue_.empty();
+      accepted = std::min(batch.size(), capacity_ - queue_.size());
+      queue_.insert(queue_.end(), batch.begin(),
+                    batch.begin() + static_cast<std::ptrdiff_t>(accepted));
+    }
+    if (accepted > 0 && was_empty) cv_.notify_one();
+    return accepted;
+  }
+
+  /// Owner side: moves the whole pending batch into `out` (pass it empty;
+  /// its storage is recycled as the next queue backing).
+  void drain_into(std::vector<Envelope>& out) {
+    const std::scoped_lock lock(mutex_);
+    queue_.swap(out);
+  }
+
+  /// Owner side: blocks until mail arrives, a kick() fires, or `timeout`
+  /// elapses. Same generation-counter predicate as Mailbox::pop_for — a
+  /// kick for a run-wide state change must not be lost to a race with wait
+  /// entry.
+  template <class Rep, class Period>
+  void wait_for_mail(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t entry_generation = kick_generation_;
+    cv_.wait_for(lock, timeout, [&] {
+      return !queue_.empty() || kick_generation_ != entry_generation;
+    });
+  }
+
+  /// Wakes a blocked wait_for_mail even without mail (epoch end, shutdown).
+  void kick() {
+    {
+      const std::scoped_lock lock(mutex_);
+      ++kick_generation_;
+    }
+    cv_.notify_all();
+  }
+
+  void clear() {
+    const std::scoped_lock lock(mutex_);
+    queue_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t kick_generation_ = 0;
+  std::vector<Envelope> queue_;
+};
+
+}  // namespace ct::rt

@@ -145,6 +145,165 @@ TEST(RtHarness, MeasuresIterations) {
   EXPECT_LE(result.messages_per_process.max(), 5.0);
 }
 
+// --- Sharded scheduler: shard-boundary suite -------------------------------
+// The sharded engine carves [0, P) into contiguous slices of ceil(P/N)
+// ranks; these tests pin the boundary cases (uneven split, dead slices,
+// degenerate single shard, all-cross-shard traffic) and the A/B contract
+// against the legacy thread-per-rank executor.
+
+TEST(RtSharded, UnevenRankSplitColorsEveryone) {
+  // P = 17 over 3 workers: slices of 6, 6 and 5 ranks.
+  const Rank procs = 17;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  EngineOptions options;
+  options.workers = 3;
+  Engine engine(procs, no_failures(procs), options);
+  EXPECT_EQ(engine.worker_threads(), 3u);
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast protocol(tree, none);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+  EXPECT_EQ(result.total_messages, procs - 1);
+  EXPECT_EQ(result.rank_completion_ns.size(), static_cast<std::size_t>(procs));
+}
+
+TEST(RtSharded, AllFailedShardIsRecoveredByCorrection) {
+  // Ranks 4..7 — worker 1's whole slice — are dead; their live tree
+  // descendants must be colored via checked correction anyway, and the
+  // engine must not wait on the empty shard.
+  const Rank procs = 16;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  for (Rank r = 4; r < 8; ++r) failed[static_cast<std::size_t>(r)] = 1;
+  EngineOptions options;
+  options.workers = 4;
+  Engine engine(procs, failed, options);
+  EXPECT_EQ(engine.live_count(), 12);
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kOverlapped;
+  proto::CorrectedTreeBroadcast protocol(tree, config);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+}
+
+TEST(RtSharded, SingleShardDegenerateCase) {
+  // One worker owns everything: the scheduler reduces to a sequential
+  // event loop, with no cross-shard inbox traffic at all.
+  const Rank procs = 24;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  failed[5] = failed[17] = 1;
+  EngineOptions options;
+  options.workers = 1;
+  Engine engine(procs, failed, options);
+  EXPECT_EQ(engine.worker_threads(), 1u);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    proto::CorrectionConfig config;
+    config.kind = proto::CorrectionKind::kChecked;
+    config.start = proto::CorrectionStart::kOverlapped;
+    proto::CorrectedTreeBroadcast protocol(tree, config);
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+    EXPECT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+  }
+}
+
+TEST(RtSharded, CrossShardOnlyTree) {
+  // One rank per shard: every tree edge crosses shards, so the whole
+  // broadcast flows through the MPSC inboxes.
+  const Rank procs = 8;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  EngineOptions options;
+  options.workers = static_cast<int>(procs);
+  Engine engine(procs, no_failures(procs), options);
+  EXPECT_EQ(engine.worker_threads(), static_cast<std::size_t>(procs));
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast protocol(tree, none);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+  EXPECT_EQ(result.total_messages, procs - 1);
+}
+
+TEST(RtSharded, WorkerCountClampsToRanks) {
+  EngineOptions options;
+  options.workers = 64;
+  Engine engine(4, no_failures(4), options);
+  EXPECT_LE(engine.worker_threads(), 4u);
+}
+
+TEST(RtSharded, TinyInboxBackpressureStillDelivers) {
+  // Capacity 2 forces partial batch flushes and staged retries; ordering
+  // and completeness must survive the backpressure.
+  const Rank procs = 32;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  EngineOptions options;
+  options.workers = 4;
+  options.inbox_capacity = 2;
+  Engine engine(procs, no_failures(procs), options);
+  proto::CorrectedTreeBroadcast protocol(tree, opportunistic(2));
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+}
+
+TEST(RtSharded, MatchesThreadPerRankOutcomes) {
+  // A/B: identical scenario on both executors must produce the identical
+  // protocol outcome (everyone colored; same message count for the
+  // deterministic fault-free tree).
+  const Rank procs = 48;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  failed[3] = failed[21] = 1;
+
+  auto run = [&](Threading threading, const std::vector<char>& faults,
+                 proto::CorrectionKind kind) {
+    EngineOptions options;
+    options.threading = threading;
+    options.workers = 4;
+    Engine engine(procs, faults, options);
+    proto::CorrectionConfig config;
+    config.kind = kind;
+    config.start = proto::CorrectionStart::kOverlapped;
+    proto::CorrectedTreeBroadcast protocol(tree, config);
+    return engine.run_epoch(protocol, std::chrono::seconds(20));
+  };
+
+  const EpochResult sharded_clean =
+      run(Threading::kSharded, no_failures(procs), proto::CorrectionKind::kNone);
+  const EpochResult legacy_clean =
+      run(Threading::kThreadPerRank, no_failures(procs), proto::CorrectionKind::kNone);
+  EXPECT_EQ(sharded_clean.uncolored_live, 0);
+  EXPECT_EQ(legacy_clean.uncolored_live, 0);
+  EXPECT_EQ(sharded_clean.total_messages, legacy_clean.total_messages);
+
+  const EpochResult sharded_faulty =
+      run(Threading::kSharded, failed, proto::CorrectionKind::kChecked);
+  const EpochResult legacy_faulty =
+      run(Threading::kThreadPerRank, failed, proto::CorrectionKind::kChecked);
+  EXPECT_FALSE(sharded_faulty.timed_out);
+  EXPECT_FALSE(legacy_faulty.timed_out);
+  EXPECT_EQ(sharded_faulty.uncolored_live, 0);
+  EXPECT_EQ(legacy_faulty.uncolored_live, 0);
+}
+
+TEST(RtSharded, PrototypeScaleEpochCompletesQuickly) {
+  // A taste of the §4.4 scale on the CI budget: 4 Ki ranks through the
+  // default sharded engine must complete an epoch well inside the timeout.
+  const Rank procs = 4096;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  Engine engine(procs, no_failures(procs));
+  proto::CorrectedTreeBroadcast protocol(tree, opportunistic(4));
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+}
+
 }  // namespace
 }  // namespace ct::rt
 

@@ -1,0 +1,102 @@
+// Runtime stress: many epochs × many ranks × random fault sets on both
+// executor backends, sized for the `sanitize` ctest label (the tsan preset
+// runs exactly these tests). The point is not the protocol outcome — the
+// shard-boundary suite covers that — but hammering the concurrency
+// machinery: cross-shard MPSC batches, the epoch barrier, completion
+// counting, and the Mailbox kick()/pop_for() wake-up on the legacy path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "protocol/tree_broadcast.hpp"
+#include "rt/engine.hpp"
+#include "support/rng.hpp"
+#include "topology/factory.hpp"
+
+namespace ct::rt {
+namespace {
+
+using topo::Rank;
+
+proto::CorrectionConfig checked_overlapped() {
+  // Checked correction keeps probing until live neighbours answer, so it
+  // recovers any fault placement — no gap-size precondition to maintain
+  // while the RNG varies the failure sets.
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kOverlapped;
+  return config;
+}
+
+std::vector<char> random_faults(Rank procs, Rank count, support::Xoshiro256ss& rng) {
+  std::vector<char> failed(static_cast<std::size_t>(procs), 0);
+  Rank placed = 0;
+  while (placed < count) {
+    const auto victim = static_cast<std::size_t>(
+        1 + rng.below(static_cast<std::uint64_t>(procs) - 1));
+    if (!failed[victim]) {
+      failed[victim] = 1;
+      ++placed;
+    }
+  }
+  return failed;
+}
+
+TEST(RtStress, ShardedManyEpochsManyRanksRandomFaults) {
+  const Rank procs = 96;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  support::Xoshiro256ss rng(0xC0FFEE);
+  for (int config = 0; config < 3; ++config) {
+    const std::vector<char> failed = random_faults(procs, 8, rng);
+    EngineOptions options;
+    options.workers = 4;  // forces real cross-shard traffic even on 1 core
+    Engine engine(procs, failed, options);
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      proto::CorrectedTreeBroadcast protocol(tree, checked_overlapped());
+      const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(60));
+      ASSERT_FALSE(result.timed_out) << "config " << config << " epoch " << epoch;
+      EXPECT_EQ(result.uncolored_live, 0) << "config " << config << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(RtStress, ShardedTinyInboxBackpressure) {
+  // Capacity-starved inboxes force partial flushes and retry loops across
+  // epochs — the staged-overflow path must stay race-free too.
+  const Rank procs = 64;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  EngineOptions options;
+  options.workers = 4;
+  options.inbox_capacity = 4;
+  Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0), options);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    proto::CorrectedTreeBroadcast protocol(tree, checked_overlapped());
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(60));
+    ASSERT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+  }
+}
+
+TEST(RtStress, ThreadPerRankLegacyPathManyEpochs) {
+  // The legacy 1:1 executor under the sanitizer: exercises per-rank
+  // mailboxes and the generation-stamped kick()/pop_for() shutdown path
+  // (a kicked waiter must not re-block for a full timeout slice).
+  const Rank procs = 24;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  support::Xoshiro256ss rng(0xFEED);
+  const std::vector<char> failed = random_faults(procs, 3, rng);
+  EngineOptions options;
+  options.threading = Threading::kThreadPerRank;
+  Engine engine(procs, failed, options);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    proto::CorrectedTreeBroadcast protocol(tree, checked_overlapped());
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(60));
+    ASSERT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+  }
+}
+
+}  // namespace
+}  // namespace ct::rt

@@ -23,8 +23,12 @@
 
 #include "experiment/runner.hpp"
 #include "protocol/tree_broadcast.hpp"
+#include "rt/harness.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
+#include "support/rng.hpp"
 #include "topology/factory.hpp"
+#include "topology/gaps.hpp"
 
 namespace {
 
@@ -120,6 +124,89 @@ SweepResult measure_sweep(topo::Rank procs, double fault_fraction, std::size_t r
   return out;
 }
 
+struct RtResult {
+  topo::Rank procs = 0;
+  const char* threading = "sharded";
+  std::size_t workers = 0;
+  double fault_fraction = 0.0;
+  long long iterations = 0;
+  double wall_seconds = 0.0;
+  double median_latency_us = 0.0;
+  double messages_per_sec = 0.0;
+  long long timeouts = 0;
+  long long incomplete = 0;
+};
+
+/// Fig12-style fault placement: sample until the statically-uncolored set's
+/// largest ring gap is coverable by the prototype's correction (both
+/// directions, distance 4 → gaps up to 8), so every epoch can complete.
+std::vector<char> gap_safe_faults(topo::Rank procs, double fraction,
+                                  const topo::Tree& tree, std::uint64_t seed) {
+  std::vector<char> failed(static_cast<std::size_t>(procs), 0);
+  if (fraction <= 0.0) return failed;
+  support::Xoshiro256ss rng(seed);
+  for (int attempt = 0;; ++attempt) {
+    const sim::FaultSet faults = sim::FaultSet::random_fraction(procs, fraction, rng);
+    std::vector<char> colored(static_cast<std::size_t>(procs), 1);
+    for (topo::Rank r = 1; r < procs; ++r) {
+      for (topo::Rank cur = r; cur != 0; cur = tree.parent(cur)) {
+        if (faults.failed_from_start(cur)) {
+          colored[static_cast<std::size_t>(r)] = 0;
+          break;
+        }
+      }
+    }
+    if (topo::analyze_gaps(colored).max_gap <= 8 || attempt > 1000) {
+      for (topo::Rank r : faults.initially_failed()) {
+        failed[static_cast<std::size_t>(r)] = 1;
+      }
+      return failed;
+    }
+  }
+}
+
+/// One row of the rt scaling table: OSU-style corrected-tree broadcast
+/// (optimized overlapped opportunistic, d = 4 — the §4.4 prototype setup)
+/// on the chosen executor backend.
+RtResult measure_rt(topo::Rank procs, rt::Threading threading, double fault_fraction,
+                    std::int64_t iterations, std::int64_t warmup,
+                    std::chrono::nanoseconds timeout, std::uint64_t seed) {
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  const std::vector<char> failed = gap_safe_faults(procs, fault_fraction, tree, seed);
+  rt::EngineOptions engine_options;
+  engine_options.threading = threading;
+  rt::Engine engine(procs, failed, engine_options);
+
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kOptimizedOpportunistic;
+  config.start = proto::CorrectionStart::kOverlapped;
+  config.distance = 4;
+
+  rt::HarnessOptions harness;
+  harness.warmup = warmup;
+  harness.iterations = iterations;
+  harness.epoch_timeout = timeout;
+  const rt::HarnessResult result = rt::measure_broadcast(
+      engine,
+      [&]() -> std::unique_ptr<sim::Protocol> {
+        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, config);
+      },
+      harness);
+
+  RtResult out;
+  out.procs = procs;
+  out.threading = threading == rt::Threading::kSharded ? "sharded" : "thread-per-rank";
+  out.workers = engine.worker_threads();
+  out.fault_fraction = fault_fraction;
+  out.iterations = result.iterations;
+  out.wall_seconds = result.wall_seconds;
+  out.median_latency_us = result.median_us();
+  out.messages_per_sec = result.messages_per_sec();
+  out.timeouts = result.timeouts;
+  out.incomplete = result.incomplete;
+  return out;
+}
+
 double peak_rss_mb() {
   struct rusage usage{};
   getrusage(RUSAGE_SELF, &usage);
@@ -176,6 +263,44 @@ int main(int argc, char** argv) {
   // object so cross-PR comparisons and the bench-smoke check keep working.
   const SweepResult& sweep = sweeps[1];
 
+  // Runtime scaling table (DESIGN.md §4c): the sharded M:N executor across
+  // the §4.4 rank ladder up to the paper's 36 864 ranks, the 2 % failed
+  // variant, and a thread-per-rank A/B at a size the legacy executor still
+  // handles. Smoke shrinks the ladder to one small A/B pair.
+  const std::uint64_t rt_seed = 0x5eed5eed;
+  std::vector<RtResult> rt_rows;
+  if (smoke) {
+    rt_rows.push_back(measure_rt(256, rt::Threading::kSharded, 0.0, 3, 1,
+                                 std::chrono::seconds(10), rt_seed));
+    rt_rows.push_back(measure_rt(256, rt::Threading::kThreadPerRank, 0.0, 2, 1,
+                                 std::chrono::seconds(30), rt_seed));
+  } else {
+    for (topo::Rank procs : {1024, 4096, 16384, 36864}) {
+      rt_rows.push_back(measure_rt(procs, rt::Threading::kSharded, 0.0, 9, 2,
+                                   std::chrono::seconds(30), rt_seed));
+    }
+    rt_rows.push_back(measure_rt(36864, rt::Threading::kSharded, 0.02, 5, 1,
+                                 std::chrono::seconds(30), rt_seed));
+    rt_rows.push_back(measure_rt(1024, rt::Threading::kThreadPerRank, 0.0, 5, 1,
+                                 std::chrono::minutes(2), rt_seed));
+  }
+  // A/B pair: the thread-per-rank row vs the fault-free sharded row at the
+  // same rank count.
+  RtResult ab_sharded, ab_legacy;
+  for (const RtResult& legacy : rt_rows) {
+    if (std::strcmp(legacy.threading, "thread-per-rank") != 0) continue;
+    for (const RtResult& row : rt_rows) {
+      if (row.procs == legacy.procs && row.fault_fraction == 0.0 &&
+          std::strcmp(row.threading, "sharded") == 0) {
+        ab_sharded = row;
+        ab_legacy = legacy;
+      }
+    }
+  }
+  const double ab_speedup = ab_legacy.messages_per_sec > 0.0
+                                ? ab_sharded.messages_per_sec / ab_legacy.messages_per_sec
+                                : 0.0;
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "bench_report: cannot write %s\n", out_path.c_str());
@@ -217,10 +342,32 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"sweep\": ");
   print_sweep(sweep);
   std::fprintf(out, ",\n");
+  std::fprintf(out, "  \"rt\": [\n");
+  for (std::size_t i = 0; i < rt_rows.size(); ++i) {
+    const RtResult& r = rt_rows[i];
+    std::fprintf(out,
+                 "    {\"procs\": %d, \"threading\": \"%s\", \"workers\": %zu, "
+                 "\"fault_fraction\": %.3f, \"iterations\": %lld, "
+                 "\"wall_seconds\": %.3f, \"median_latency_us\": %.1f, "
+                 "\"messages_per_sec\": %.0f, \"timeouts\": %lld, "
+                 "\"incomplete\": %lld}%s\n",
+                 r.procs, r.threading, r.workers, r.fault_fraction, r.iterations,
+                 r.wall_seconds, r.median_latency_us, r.messages_per_sec, r.timeouts,
+                 r.incomplete, i + 1 < rt_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"rt_ab\": {\"procs\": %d, \"sharded_messages_per_sec\": %.0f, "
+               "\"thread_per_rank_messages_per_sec\": %.0f, \"speedup\": %.2f},\n",
+               ab_sharded.procs, ab_sharded.messages_per_sec,
+               ab_legacy.messages_per_sec, ab_speedup);
   std::fprintf(out, "  \"peak_rss_mb\": %.1f\n}\n", peak_rss_mb());
   std::fclose(out);
 
-  std::printf("bench_report: wrote %s (sweep %.1f reps/s, peak RSS %.1f MB)\n",
-              out_path.c_str(), sweep.reps_per_sec, peak_rss_mb());
+  std::printf(
+      "bench_report: wrote %s (sweep %.1f reps/s, rt A/B at P=%d: %.1fx, "
+      "peak RSS %.1f MB)\n",
+      out_path.c_str(), sweep.reps_per_sec, ab_sharded.procs, ab_speedup,
+      peak_rss_mb());
   return 0;
 }
