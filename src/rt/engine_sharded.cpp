@@ -221,6 +221,17 @@ class ShardedImpl final : public Engine::Impl {
   /// sends; an idle pass parks on the inbox condvar for kIdleWait.
   void shard_epoch(std::size_t s) {
     Shard& shard = shards_[s];
+    if (shard.live_ranks.empty()) {
+      // Entirely-failed slice (possible whenever workers > live ranks): it
+      // neither steps protocol state nor receives traffic — deliver() drops
+      // failed destinations at the source — so park in long slices instead
+      // of spin-polling. finish_epoch() kicks every inbox, so the end-of-
+      // epoch barrier is never kept waiting on this shard.
+      while (!epoch_done_.load(std::memory_order_acquire)) {
+        shard.inbox.wait_for_mail(std::chrono::milliseconds(5));
+      }
+      return;
+    }
     while (!epoch_done_.load(std::memory_order_acquire)) {
       bool progress = false;
 

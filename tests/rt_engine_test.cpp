@@ -190,6 +190,57 @@ TEST(RtSharded, AllFailedShardIsRecoveredByCorrection) {
   EXPECT_EQ(result.uncolored_live, 0);
 }
 
+TEST(RtSharded, MoreWorkersThanLiveRanksWithWholeShardsFailed) {
+  // Failure-flag audit (the crashed-rank barrier hazard): ranks marked
+  // failed at construction must not hold an epoch-barrier slot or a
+  // completion-countdown unit hostage. P = 12 over 6 workers (slices of 2)
+  // with ranks 2..11 failed leaves five entirely-dead shards and more
+  // worker threads than live ranks; every epoch must still terminate with
+  // both survivors colored.
+  const Rank procs = 12;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  for (Rank r = 2; r < procs; ++r) failed[static_cast<std::size_t>(r)] = 1;
+  EngineOptions options;
+  options.workers = 6;
+  Engine engine(procs, failed, options);
+  EXPECT_EQ(engine.live_count(), 2);
+  EXPECT_EQ(engine.worker_threads(), 6u);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    proto::CorrectionConfig config;
+    config.kind = proto::CorrectionKind::kChecked;
+    config.start = proto::CorrectionStart::kOverlapped;
+    proto::CorrectedTreeBroadcast protocol(tree, config);
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+    ASSERT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+    EXPECT_EQ(result.rank_completion_ns.size(), 2u) << "epoch " << epoch;
+  }
+}
+
+TEST(RtSharded, SingleLiveRankAmongManyWorkers) {
+  // Degenerate extreme of the same audit: only the root survives, one
+  // worker per rank. Seven of the eight shards own nothing but corpses.
+  const Rank procs = 8;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  for (Rank r = 1; r < procs; ++r) failed[static_cast<std::size_t>(r)] = 1;
+  EngineOptions options;
+  options.workers = 8;
+  Engine engine(procs, failed, options);
+  EXPECT_EQ(engine.live_count(), 1);
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  proto::CorrectedTreeBroadcast protocol(tree, none);
+  const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(20));
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.uncolored_live, 0);
+  // The root's sends to its (dead) children are still accounted: sends
+  // complete locally, delivery is what vanishes.
+  EXPECT_EQ(result.total_messages,
+            static_cast<std::int64_t>(tree.children(0).size()));
+}
+
 TEST(RtSharded, SingleShardDegenerateCase) {
   // One worker owns everything: the scheduler reduces to a sequential
   // event loop, with no cross-shard inbox traffic at all.
