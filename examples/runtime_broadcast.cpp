@@ -7,15 +7,87 @@
 //   $ ./runtime_broadcast --procs 36864 --faults 700 --iterations 10
 //   $ ./runtime_broadcast --procs 256 --legacy        # thread-per-rank A/B
 //   $ ./runtime_broadcast --procs 4096 --workers 2    # pin the shard count
+//
+// Chaos soaks (DESIGN.md §4d) — deterministic mid-epoch crashes, drops,
+// delays and duplicates; the run always terminates by --deadline-ms and
+// degraded epochs end with a printed degradation report, never a hang:
+//
+//   $ ./runtime_broadcast --procs 512 --iterations 200 --correction=checked
+//       --chaos-seed 7 --crash-frac 0.02 --drop-prob 0.01 --delay-prob 0.01
+//   $ ./runtime_broadcast --procs 512 --iterations 200 --legacy
+//       --chaos-seed 7 --crash-frac 0.02     # same schedule, other executor
 
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "protocol/tree_broadcast.hpp"
 #include "rt/harness.hpp"
 #include "support/options.hpp"
 #include "support/rng.hpp"
 #include "topology/tree.hpp"
+
+namespace {
+
+ct::proto::CorrectionConfig parse_correction(const std::string& name) {
+  using ct::proto::CorrectionKind;
+  ct::proto::CorrectionConfig config;
+  config.start = ct::proto::CorrectionStart::kOverlapped;
+  config.distance = 4;
+  if (name == "none") {
+    config.kind = CorrectionKind::kNone;
+  } else if (name == "opportunistic") {
+    config.kind = CorrectionKind::kOpportunistic;
+  } else if (name == "opportunistic-opt") {
+    config.kind = CorrectionKind::kOptimizedOpportunistic;
+  } else if (name == "checked") {
+    config.kind = CorrectionKind::kChecked;
+  } else if (name == "failure-proof") {
+    config.kind = CorrectionKind::kFailureProof;
+  } else if (name == "delayed") {
+    config.kind = CorrectionKind::kDelayed;
+    config.delay = 200'000;  // wall-clock ns: probe after ~200 µs of silence
+  } else {
+    std::cerr << "unknown --correction '" << name
+              << "': use --correction=NAME with NAME one of "
+                 "none|opportunistic|opportunistic-opt|checked|"
+                 "failure-proof|delayed\n";
+    std::exit(2);
+  }
+  return config;
+}
+
+void print_degradation_report(const ct::rt::EpochResult& epoch) {
+  std::cout << "first degraded epoch:\n"
+            << "  timed out          : " << (epoch.timed_out ? "yes" : "no") << "\n"
+            << "  crashed mid-epoch  : " << epoch.crashed_mid_epoch << " [";
+  for (std::size_t i = 0; i < epoch.crashed_ranks.size(); ++i) {
+    if (i) std::cout << ' ';
+    if (i == 16) {
+      std::cout << "...";
+      break;
+    }
+    std::cout << epoch.crashed_ranks[i];
+  }
+  std::cout << "]\n"
+            << "  uncolored survivors: " << epoch.uncolored_live << " [";
+  for (std::size_t i = 0; i < epoch.uncolored_survivors.size(); ++i) {
+    if (i) std::cout << ' ';
+    if (i == 16) {
+      std::cout << "...";
+      break;
+    }
+    std::cout << epoch.uncolored_survivors[i];
+  }
+  std::cout << "]\n"
+            << "  coloring gaps      : " << epoch.coloring_gaps.gap_count
+            << " (max gap " << epoch.coloring_gaps.max_gap << ")\n"
+            << "  pending timers     : " << epoch.timers_pending << "\n"
+            << "  drops/delays/dups  : " << epoch.messages_dropped << "/"
+            << epoch.messages_delayed << "/" << epoch.messages_duplicated << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ct;
@@ -42,8 +114,26 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
 
+  rt::ChaosOptions chaos;
+  chaos.seed = static_cast<std::uint64_t>(options.get_int("chaos-seed", 0));
+  chaos.crash_fraction = options.get_double("crash-frac", 0.0);
+  chaos.drop_prob = options.get_double("drop-prob", 0.0);
+  chaos.delay_prob = options.get_double("delay-prob", 0.0);
+  chaos.duplicate_prob = options.get_double("dup-prob", 0.0);
+  chaos.delay_ns = options.get_int("delay-us", 200) * 1000;
+  chaos.crash_window_ns = options.get_int("crash-window-us", 2000) * 1000;
+  rt::ChaosPlan plan(chaos);
+  const bool chaotic = plan.enabled();
+
   rt::EngineOptions engine_options;
   engine_options.workers = static_cast<int>(options.get_int("workers", 0));
+  engine_options.epoch_deadline =
+      std::chrono::milliseconds(options.get_int("deadline-ms", 0));
+  if (chaotic && engine_options.epoch_deadline.count() == 0) {
+    // Chaos without a deadline could wait out the full 10 s epoch timeout
+    // per degraded epoch; default to a snappy bound.
+    engine_options.epoch_deadline = std::chrono::milliseconds(500);
+  }
   if (options.get_flag("legacy")) engine_options.threading = rt::Threading::kThreadPerRank;
   rt::Engine engine(procs, failed, engine_options);
   std::cout << "executor: "
@@ -51,14 +141,26 @@ int main(int argc, char** argv) {
                     ? "sharded"
                     : "thread-per-rank")
             << " (" << engine.worker_threads() << " worker threads)\n";
-  proto::CorrectionConfig correction;
-  correction.kind = proto::CorrectionKind::kOptimizedOpportunistic;
-  correction.start = proto::CorrectionStart::kOverlapped;
-  correction.distance = 4;
+  if (chaotic) {
+    engine.set_chaos(std::move(plan));
+    std::cout << "chaos: seed=" << chaos.seed << " crash-frac=" << chaos.crash_fraction
+              << " drop=" << chaos.drop_prob << " delay=" << chaos.delay_prob
+              << " dup=" << chaos.duplicate_prob << " deadline="
+              << std::chrono::duration_cast<std::chrono::milliseconds>(
+                     engine_options.epoch_deadline)
+                     .count()
+              << "ms\n";
+  }
+
+  const proto::CorrectionConfig correction = parse_correction(
+      options.get_string("correction", "opportunistic-opt"));
 
   rt::HarnessOptions harness;
   harness.warmup = 2;
   harness.iterations = iterations;
+  harness.epoch_timeout = engine_options.epoch_deadline.count() > 0
+                              ? engine_options.epoch_deadline
+                              : harness.epoch_timeout;
   const rt::HarnessResult result = rt::measure_broadcast(
       engine,
       [&]() -> std::unique_ptr<sim::Protocol> {
@@ -66,12 +168,33 @@ int main(int argc, char** argv) {
       },
       harness);
 
+  // percentile() throws on an empty sample set (all epochs degraded), so
+  // every latency line goes through the guarded accessors.
+  const double p95 =
+      result.latency_us.empty() ? 0.0 : result.latency_us.percentile(0.95);
   std::cout << "iterations         : " << result.iterations << "\n"
             << "median latency     : " << result.median_us() << " us\n"
-            << "p95 latency        : " << result.latency_us.percentile(0.95) << " us\n"
-            << "messages/process   : " << result.messages_per_process.mean() << "\n"
+            << "p95 latency        : " << p95 << " us\n"
+            << "p99 latency        : " << result.p99_us() << " us\n"
+            << "messages/process   : "
+            << (result.messages_per_process.empty()
+                    ? 0.0
+                    : result.messages_per_process.mean())
+            << "\n"
             << "incomplete epochs  : " << result.incomplete
             << " (0 = every live rank colored every time)\n"
             << "timeouts           : " << result.timeouts << "\n";
+  if (chaotic) {
+    std::cout << "degraded epochs    : " << result.epochs_degraded << " / "
+              << result.iterations << "\n"
+              << "ranks crashed      : " << result.ranks_crashed << "\n"
+              << "dropped/delayed/dup: " << result.messages_dropped << "/"
+              << result.messages_delayed << "/" << result.messages_duplicated
+              << "\n";
+    if (result.epochs_degraded > 0) print_degradation_report(result.first_degraded);
+    // Under chaos, degraded epochs are the expected outcome being studied;
+    // success means every epoch terminated and was explained.
+    return 0;
+  }
   return (result.incomplete == 0 && result.timeouts == 0) ? 0 : 1;
 }

@@ -37,6 +37,12 @@ class ThreadPerRankImpl final : public Engine::Impl {
         sends_(static_cast<std::size_t>(num_procs), 0),
         rank_data_(static_cast<std::size_t>(num_procs), 0),
         completion_ns_(static_cast<std::size_t>(num_procs), -1),
+        crash_at_ns_(static_cast<std::size_t>(num_procs), -1),
+        crash_budget_(static_cast<std::size_t>(num_procs), -1),
+        crashed_(static_cast<std::size_t>(num_procs), 0),
+        dropped_(static_cast<std::size_t>(num_procs), 0),
+        delayed_stat_(static_cast<std::size_t>(num_procs), 0),
+        duped_(static_cast<std::size_t>(num_procs), 0),
         context_(*this),
         epoch_barrier_(static_cast<std::ptrdiff_t>(live_count) + 1) {
     threads_.reserve(static_cast<std::size_t>(live_count_));
@@ -63,6 +69,8 @@ class ThreadPerRankImpl final : public Engine::Impl {
   }
 
   std::size_t worker_threads() const noexcept override { return threads_.size(); }
+
+  void set_chaos(const ChaosPlan* plan) override { chaos_ = plan; }
 
  private:
   // The sim::Context facade handed to protocol callbacks.
@@ -112,6 +120,13 @@ class ThreadPerRankImpl final : public Engine::Impl {
     bool fired = false;
   };
 
+  /// An envelope held back by the chaos layer until release_ns. Worker-
+  /// local: in-flight messages outlive their sender's crash.
+  struct Delayed {
+    Envelope envelope;
+    std::int64_t release_ns;
+  };
+
   sim::Time now() const {
     if (!started_.load(std::memory_order_acquire)) return 0;
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -128,6 +143,8 @@ class ThreadPerRankImpl final : public Engine::Impl {
     timed_out_.store(false, std::memory_order_relaxed);
     correction_started_.store(false, std::memory_order_relaxed);
     started_.store(false, std::memory_order_release);
+    crash_active_ = chaos_ != nullptr && chaos_->crashes_enabled();
+    link_active_ = chaos_ != nullptr && chaos_->links_enabled();
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
       outbox_[slot].clear();
@@ -137,6 +154,16 @@ class ThreadPerRankImpl final : public Engine::Impl {
       sends_[slot] = 0;
       rank_data_[slot] = 0;
       completion_ns_[slot] = -1;
+      if (crash_active_) {
+        crashed_[slot] = 0;
+        crash_at_ns_[slot] = failed_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
+        crash_budget_[slot] = failed_[slot] ? -1 : chaos_->crash_send_budget(r);
+      }
+      if (link_active_) {
+        dropped_[slot] = 0;
+        delayed_stat_[slot] = 0;
+        duped_[slot] = 0;
+      }
     }
   }
 
@@ -148,13 +175,54 @@ class ThreadPerRankImpl final : public Engine::Impl {
   EpochResult collect() const {
     EpochResult result;
     result.timed_out = timed_out_.load(std::memory_order_relaxed);
+    result.rank_state.resize(static_cast<std::size_t>(num_procs_));
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
-      if (failed_[slot]) continue;
+      if (failed_[slot]) {
+        result.rank_state[slot] = RankEnd::kFailedAtStart;
+        continue;
+      }
       result.total_messages += sends_[slot];
       result.rank_completion_ns.push_back(completion_ns_[slot]);
       result.completion_ns = std::max(result.completion_ns, completion_ns_[slot]);
-      if (!colored_[slot]) ++result.uncolored_live;
+      if (crash_active_ && crashed_[slot]) {
+        result.rank_state[slot] = RankEnd::kCrashed;
+        result.crashed_ranks.push_back(r);
+        ++result.crashed_mid_epoch;
+        continue;
+      }
+      if (!colored_[slot]) {
+        result.rank_state[slot] = RankEnd::kUncolored;
+        result.uncolored_survivors.push_back(r);
+        ++result.uncolored_live;
+      } else {
+        result.rank_state[slot] = RankEnd::kColored;
+      }
+      for (const Timer& timer : timers_[slot]) {
+        if (!timer.fired) ++result.timers_pending;
+      }
+    }
+    if (link_active_) {
+      for (Rank r = 0; r < num_procs_; ++r) {
+        const auto slot = static_cast<std::size_t>(r);
+        result.messages_dropped += dropped_[slot];
+        result.messages_delayed += delayed_stat_[slot];
+        result.messages_duplicated += duped_[slot];
+      }
+    }
+    if (result.degraded()) {
+      // Survivor coloring on the correction ring: crashed and failed ranks
+      // are holes, exactly as the paper's gap analysis treats dead ranks.
+      std::vector<char> survivor_colored(static_cast<std::size_t>(num_procs_), 0);
+      bool any_colored = false;
+      for (Rank r = 0; r < num_procs_; ++r) {
+        const auto slot = static_cast<std::size_t>(r);
+        if (result.rank_state[slot] == RankEnd::kColored) {
+          survivor_colored[slot] = 1;
+          any_colored = true;
+        }
+      }
+      if (any_colored) result.coloring_gaps = topo::analyze_gaps(survivor_colored);
     }
     return result;
   }
@@ -174,29 +242,102 @@ class ThreadPerRankImpl final : public Engine::Impl {
     std::size_t outbox_head = 0;
     auto& timers = timers_[slot];
     bool completed = false;
+    bool crashed = false;
+    std::vector<Delayed> delayed;  // chaos-delayed sends, awaiting release
     Envelope envelope;
+    std::uint32_t spin = 0;
 
-    auto maybe_complete = [&] {
-      if (completed || !colored_[slot] || outbox_head < outbox.size()) return;
+    // Counts this rank toward the completion countdown exactly once.
+    auto credit_completion = [&](bool record_time) {
       completed = true;
-      completion_ns_[slot] = now();
+      if (record_time) completion_ns_[slot] = now();
       if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_count_) {
         epoch_done_.store(true, std::memory_order_release);
         for (auto& mailbox : mailboxes_) mailbox.kick();
       }
     };
 
+    auto maybe_complete = [&] {
+      if (completed || !colored_[slot] || outbox_head < outbox.size()) return;
+      credit_completion(true);
+    };
+
+    auto release_due_delayed = [&]() -> bool {
+      if (delayed.empty()) return false;
+      const sim::Time current = now();
+      bool any = false;
+      std::size_t keep = 0;
+      for (Delayed& d : delayed) {
+        if (d.release_ns <= current) {
+          any = true;
+          const auto dst = static_cast<std::size_t>(d.envelope.msg.dst);
+          if (!failed_[dst]) mailboxes_[dst].push(d.envelope);
+        } else {
+          delayed[keep++] = d;
+        }
+      }
+      delayed.resize(keep);
+      return any;
+    };
+
+    // Mid-epoch death: pending work vanishes, the countdown is credited so
+    // no surviving peer waits on us, and the thread stays in the epoch/
+    // barrier protocol as a silent corpse until the epoch ends.
+    auto crash_self = [&] {
+      crashed = true;
+      crashed_[slot] = 1;
+      outbox.clear();
+      outbox_head = 0;
+      timers.clear();
+      if (!completed) credit_completion(false);  // completion_ns stays -1
+    };
+
     while (!epoch_done_.load(std::memory_order_acquire)) {
+      if (crashed) {
+        // Swallow incoming mail (fail-stop: no replies, no feedback) but
+        // keep already-sent delayed messages moving — they are in flight.
+        release_due_delayed();
+        static_cast<void>(mailboxes_[slot].pop_for(envelope, kIdleWait));
+        continue;
+      }
+      if (crash_active_ && crash_at_ns_[slot] >= 0 && now() >= crash_at_ns_[slot]) {
+        crash_self();
+        continue;
+      }
+
       bool progress = false;
 
       if (outbox_head < outbox.size()) {
+        if (crash_active_ && crash_budget_[slot] >= 0 &&
+            sends_[slot] >= crash_budget_[slot]) {
+          crash_self();  // the unsent outbox tail dies with the rank
+          continue;
+        }
         const Envelope out = outbox[outbox_head++];
         if (outbox_head == outbox.size()) {
           outbox.clear();
           outbox_head = 0;
         }
         ++sends_[slot];
-        if (!failed_[static_cast<std::size_t>(out.msg.dst)]) {
+        if (link_active_) {
+          const ChaosPlan::Verdict verdict =
+              chaos_->classify(epoch_, me, sends_[slot]);
+          if (verdict.drop) {
+            ++dropped_[slot];
+          } else if (verdict.delay_ns > 0) {
+            ++delayed_stat_[slot];
+            delayed.push_back(Delayed{out, now() + verdict.delay_ns});
+          } else {
+            const auto dst = static_cast<std::size_t>(out.msg.dst);
+            if (!failed_[dst]) {
+              mailboxes_[dst].push(out);
+              if (verdict.duplicate) {
+                ++duped_[slot];
+                mailboxes_[dst].push(out);
+              }
+            }
+          }
+        } else if (!failed_[static_cast<std::size_t>(out.msg.dst)]) {
           mailboxes_[static_cast<std::size_t>(out.msg.dst)].push(out);
         }
         protocol_->on_sent(context_, me, out.msg);
@@ -206,24 +347,31 @@ class ThreadPerRankImpl final : public Engine::Impl {
           protocol_->on_receive(context_, me, envelope.msg);
         }
         progress = true;
+      } else if (link_active_ && release_due_delayed()) {
+        progress = true;
       } else if (fire_due_timer(me, timers)) {
         progress = true;
       }
 
       maybe_complete();
 
+      // The idle branch below is the only place the original loop checked
+      // the deadline — a protocol that floods this rank with traffic never
+      // goes idle and could run past it unboundedly. Check on a coarse
+      // stride regardless of progress so the deadline is a hard bound.
+      if (!completed && timeout_ns_ > 0 && (++spin & 0xFFu) == 0 &&
+          now() > timeout_ns_) {
+        timed_out_.store(true, std::memory_order_relaxed);
+        credit_completion(true);
+        continue;
+      }
+
       if (!progress && !epoch_done_.load(std::memory_order_acquire)) {
         if (!completed && timeout_ns_ > 0 && now() > timeout_ns_) {
           // Give up on this epoch; count ourselves completed so the run can
           // finish and be reported as timed out.
           timed_out_.store(true, std::memory_order_relaxed);
-          completed = true;
-          completion_ns_[slot] = now();
-          if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-              live_count_) {
-            epoch_done_.store(true, std::memory_order_release);
-            for (auto& mailbox : mailboxes_) mailbox.kick();
-          }
+          credit_completion(true);
           continue;
         }
         if (mailboxes_[slot].pop_for(envelope, kIdleWait)) {
@@ -258,6 +406,19 @@ class ThreadPerRankImpl final : public Engine::Impl {
   std::vector<std::int64_t> sends_;
   std::vector<std::int64_t> rank_data_;
   std::vector<std::int64_t> completion_ns_;
+
+  // Chaos state; per-rank entries are touched only by the owning worker
+  // during an epoch, the bools are latched in reset_epoch before the
+  // start barrier.
+  const ChaosPlan* chaos_ = nullptr;
+  bool crash_active_ = false;
+  bool link_active_ = false;
+  std::vector<std::int64_t> crash_at_ns_;
+  std::vector<std::int64_t> crash_budget_;
+  std::vector<char> crashed_;
+  std::vector<std::int64_t> dropped_;
+  std::vector<std::int64_t> delayed_stat_;
+  std::vector<std::int64_t> duped_;
 
   sim::Protocol* protocol_ = nullptr;
   std::int64_t epoch_ = 0;
@@ -305,8 +466,18 @@ Engine::~Engine() = default;
 
 std::size_t Engine::worker_threads() const noexcept { return impl_->worker_threads(); }
 
+void Engine::set_chaos(ChaosPlan plan) {
+  chaos_ = std::move(plan);
+  impl_->set_chaos(chaos_.enabled() ? &chaos_ : nullptr);
+}
+
 EpochResult Engine::run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout) {
-  return impl_->run_epoch(protocol, timeout.count());
+  std::int64_t timeout_ns = timeout.count();
+  const std::int64_t deadline_ns = options_.epoch_deadline.count();
+  if (deadline_ns > 0 && (timeout_ns <= 0 || deadline_ns < timeout_ns)) {
+    timeout_ns = deadline_ns;
+  }
+  return impl_->run_epoch(protocol, timeout_ns);
 }
 
 }  // namespace ct::rt

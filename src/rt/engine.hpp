@@ -33,23 +33,59 @@
 #include <memory>
 #include <vector>
 
+#include "rt/chaos.hpp"
 #include "sim/protocol.hpp"
+#include "topology/gaps.hpp"
 
 namespace ct::rt {
 
 using Clock = std::chrono::steady_clock;
+
+/// How a rank ended an epoch — the per-rank last-state of the degradation
+/// report.
+enum class RankEnd : std::uint8_t {
+  kFailedAtStart,  ///< marked failed at Engine construction (no slot at all)
+  kColored,        ///< live survivor, received the broadcast
+  kUncolored,      ///< live survivor the protocol failed to reach
+  kCrashed,        ///< killed mid-epoch by the ChaosPlan
+};
 
 /// Outcome of one epoch (one broadcast execution).
 struct EpochResult {
   bool timed_out = false;
   /// Wall time from epoch start until the last live rank completed locally.
   std::int64_t completion_ns = 0;
-  /// Per-live-rank local completion times (ns since epoch start); -1 for
-  /// ranks that never completed within a timed-out epoch.
+  /// Per-rank local completion times for ranks live at epoch start (ns
+  /// since epoch start); -1 for ranks that never completed (timed out or
+  /// crashed mid-epoch).
   std::vector<std::int64_t> rank_completion_ns;
-  /// Live ranks that were never colored (protocol failure).
+  /// Survivors (live, never crashed) that were never colored. With no
+  /// chaos this is the old "live ranks never colored" count. Invariant:
+  /// an epoch that did not time out has uncolored_live == 0 — completion
+  /// requires every survivor colored.
   std::int32_t uncolored_live = 0;
   std::int64_t total_messages = 0;
+
+  // --- chaos / degradation diagnostics (zeros when no ChaosPlan is set) ---
+  std::int32_t crashed_mid_epoch = 0;
+  std::int64_t messages_dropped = 0;
+  std::int64_t messages_delayed = 0;
+  std::int64_t messages_duplicated = 0;
+  /// Timers set by survivors that never fired before the epoch ended (a
+  /// timed-out correction phase leaves these behind).
+  std::int32_t timers_pending = 0;
+  std::vector<topo::Rank> crashed_ranks;
+  std::vector<topo::Rank> uncolored_survivors;
+  /// Per-rank last-state, size P (filled for every epoch).
+  std::vector<RankEnd> rank_state;
+  /// Gap structure of the survivor coloring on the correction ring
+  /// (crashed and failed ranks count as uncolored). Populated only for
+  /// degraded epochs with at least one colored rank.
+  topo::GapStats coloring_gaps;
+
+  /// True when this epoch needed the deadline or left survivors uncolored
+  /// — i.e. the result is a degradation report, not a clean measurement.
+  bool degraded() const noexcept { return timed_out || uncolored_live > 0; }
 };
 
 /// How ranks map onto OS threads.
@@ -66,6 +102,11 @@ struct EngineOptions {
   /// Sharded path: cross-shard inbox capacity in envelopes, per shard.
   /// Producers stage overflow locally and retry, so this only bounds memory.
   std::size_t inbox_capacity = std::size_t{1} << 16;
+  /// Hard upper bound on any epoch's wall time; 0 = none. Combined with the
+  /// per-call run_epoch timeout (the smaller positive bound wins), so chaos
+  /// soaks always terminate: on expiry the engine force-quiesces and the
+  /// EpochResult carries the degradation diagnostics instead of hanging.
+  std::chrono::nanoseconds epoch_deadline{0};
 };
 
 class Engine {
@@ -88,12 +129,21 @@ class Engine {
   /// and returns its timing. Serializes epochs internally.
   EpochResult run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout);
 
+  /// Installs (or, with a default-constructed plan, removes) a fault-
+  /// injection plan. Applies to subsequent epochs; must not be called
+  /// while an epoch is running. With no plan the injection hooks compile
+  /// down to a per-pass branch on two cached bools.
+  void set_chaos(ChaosPlan plan);
+  const ChaosPlan& chaos() const noexcept { return chaos_; }
+
   /// Internal: executor backend interface (see engine.cpp / engine_sharded.cpp).
   class Impl {
    public:
     virtual ~Impl() = default;
     virtual EpochResult run_epoch(sim::Protocol& protocol, std::int64_t timeout_ns) = 0;
     virtual std::size_t worker_threads() const noexcept = 0;
+    /// nullptr disables injection. The plan outlives all epochs run under it.
+    virtual void set_chaos(const ChaosPlan* plan) = 0;
   };
 
  private:
@@ -101,6 +151,7 @@ class Engine {
   std::vector<char> failed_;
   EngineOptions options_;
   topo::Rank live_count_ = 0;
+  ChaosPlan chaos_;
   std::unique_ptr<Impl> impl_;  // last member: destroyed before the state it references
 };
 

@@ -46,6 +46,12 @@ class ShardedImpl final : public Engine::Impl {
         sends_(static_cast<std::size_t>(num_procs), 0),
         rank_data_(static_cast<std::size_t>(num_procs), 0),
         completion_ns_(static_cast<std::size_t>(num_procs), -1),
+        crash_at_ns_(static_cast<std::size_t>(num_procs), -1),
+        crash_budget_(static_cast<std::size_t>(num_procs), -1),
+        crashed_(static_cast<std::size_t>(num_procs), 0),
+        dropped_(static_cast<std::size_t>(num_procs), 0),
+        delayed_stat_(static_cast<std::size_t>(num_procs), 0),
+        duped_(static_cast<std::size_t>(num_procs), 0),
         context_(*this),
         epoch_barrier_(build_shards(options) + 1) {
     threads_.reserve(shards_.size());
@@ -71,11 +77,21 @@ class ShardedImpl final : public Engine::Impl {
 
   std::size_t worker_threads() const noexcept override { return threads_.size(); }
 
+  void set_chaos(const ChaosPlan* plan) override { chaos_ = plan; }
+
  private:
   struct Timer {
     sim::Time when;
     std::int64_t id;
     bool fired = false;
+  };
+
+  /// An envelope held back by the chaos layer until release_ns. Owned by
+  /// the *sending* shard — the network keeps in-flight messages even if
+  /// the sender crashes after the send.
+  struct Delayed {
+    Envelope envelope;
+    std::int64_t release_ns;
   };
 
   /// Per-worker state. The rank slice [lo, hi) is contiguous so the rank →
@@ -90,6 +106,7 @@ class ShardedImpl final : public Engine::Impl {
     ShardInbox inbox;
     std::vector<Envelope> drain;                 // reusable inbox drain buffer
     std::vector<std::vector<Envelope>> staged;   // outgoing, per destination shard
+    std::vector<Delayed> delayed;                // chaos-delayed, awaiting release
   };
 
   // The sim::Context facade handed to protocol callbacks.
@@ -169,6 +186,8 @@ class ShardedImpl final : public Engine::Impl {
     timed_out_.store(false, std::memory_order_relaxed);
     correction_started_.store(false, std::memory_order_relaxed);
     started_.store(false, std::memory_order_release);
+    crash_active_ = chaos_ != nullptr && chaos_->crashes_enabled();
+    link_active_ = chaos_ != nullptr && chaos_->links_enabled();
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
       fifo_[slot].clear();
@@ -179,11 +198,22 @@ class ShardedImpl final : public Engine::Impl {
       sends_[slot] = 0;
       rank_data_[slot] = 0;
       completion_ns_[slot] = -1;
+      if (crash_active_) {
+        crashed_[slot] = 0;
+        crash_at_ns_[slot] = failed_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
+        crash_budget_[slot] = failed_[slot] ? -1 : chaos_->crash_send_budget(r);
+      }
+      if (link_active_) {
+        dropped_[slot] = 0;
+        delayed_stat_[slot] = 0;
+        duped_[slot] = 0;
+      }
     }
     for (Shard& shard : shards_) {
       shard.inbox.clear();
       shard.drain.clear();
       for (auto& staged : shard.staged) staged.clear();
+      shard.delayed.clear();
     }
   }
 
@@ -195,13 +225,54 @@ class ShardedImpl final : public Engine::Impl {
   EpochResult collect() const {
     EpochResult result;
     result.timed_out = timed_out_.load(std::memory_order_relaxed);
+    result.rank_state.resize(static_cast<std::size_t>(num_procs_));
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
-      if (failed_[slot]) continue;
+      if (failed_[slot]) {
+        result.rank_state[slot] = RankEnd::kFailedAtStart;
+        continue;
+      }
       result.total_messages += sends_[slot];
       result.rank_completion_ns.push_back(completion_ns_[slot]);
       result.completion_ns = std::max(result.completion_ns, completion_ns_[slot]);
-      if (!colored_[slot]) ++result.uncolored_live;
+      if (crash_active_ && crashed_[slot]) {
+        result.rank_state[slot] = RankEnd::kCrashed;
+        result.crashed_ranks.push_back(r);
+        ++result.crashed_mid_epoch;
+        continue;
+      }
+      if (!colored_[slot]) {
+        result.rank_state[slot] = RankEnd::kUncolored;
+        result.uncolored_survivors.push_back(r);
+        ++result.uncolored_live;
+      } else {
+        result.rank_state[slot] = RankEnd::kColored;
+      }
+      for (const Timer& timer : timers_[slot]) {
+        if (!timer.fired) ++result.timers_pending;
+      }
+    }
+    if (link_active_) {
+      for (Rank r = 0; r < num_procs_; ++r) {
+        const auto slot = static_cast<std::size_t>(r);
+        result.messages_dropped += dropped_[slot];
+        result.messages_delayed += delayed_stat_[slot];
+        result.messages_duplicated += duped_[slot];
+      }
+    }
+    if (result.degraded()) {
+      // Survivor coloring on the correction ring: crashed and failed ranks
+      // are holes, exactly as the paper's gap analysis treats dead ranks.
+      std::vector<char> survivor_colored(static_cast<std::size_t>(num_procs_), 0);
+      bool any_colored = false;
+      for (Rank r = 0; r < num_procs_; ++r) {
+        const auto slot = static_cast<std::size_t>(r);
+        if (result.rank_state[slot] == RankEnd::kColored) {
+          survivor_colored[slot] = 1;
+          any_colored = true;
+        }
+      }
+      if (any_colored) result.coloring_gaps = topo::analyze_gaps(survivor_colored);
     }
     return result;
   }
@@ -245,6 +316,9 @@ class ShardedImpl final : public Engine::Impl {
       }
 
       const sim::Time pass_now = now();
+      if (link_active_ && !shard.delayed.empty()) {
+        progress |= release_delayed(s, shard, pass_now);
+      }
       for (Rank r : shard.live_ranks) progress |= step_rank(s, shard, r, pass_now);
 
       progress |= flush_staged(shard);
@@ -270,6 +344,22 @@ class ShardedImpl final : public Engine::Impl {
     const auto slot = static_cast<std::size_t>(r);
     bool progress = false;
 
+    if (crash_active_) {
+      if (crashed_[slot]) {
+        // A dead rank's fifo still receives traffic (deliver() only checks
+        // the construction-time failed flags — crash state is owner-local,
+        // never read cross-thread). Discard it so the ring stays bounded.
+        Envelope discard;
+        while (fifo_[slot].pop(discard)) {
+        }
+        return false;
+      }
+      if (crash_at_ns_[slot] >= 0 && pass_now >= crash_at_ns_[slot]) {
+        crash_rank(slot);
+        return true;
+      }
+    }
+
     LocalFifo& fifo = fifo_[slot];
     Envelope envelope;
     while (fifo.pop(envelope)) {
@@ -281,9 +371,19 @@ class ShardedImpl final : public Engine::Impl {
     if (!outbox.empty()) {
       progress = true;
       for (std::size_t i = 0; i < outbox.size(); ++i) {
+        if (crash_active_ && crash_budget_[slot] >= 0 &&
+            sends_[slot] >= crash_budget_[slot]) {
+          // Step-count crash: the unsent outbox tail dies with the rank.
+          crash_rank(slot);
+          return true;
+        }
         const Envelope out = outbox[i];  // copy: on_sent may grow the outbox
         ++sends_[slot];
-        deliver(s, shard, out);
+        if (link_active_) {
+          deliver_chaos(s, shard, slot, out, pass_now);
+        } else {
+          deliver(s, shard, out);
+        }
         protocol_->on_sent(context_, r, out.msg);
       }
       outbox.clear();
@@ -313,6 +413,64 @@ class ShardedImpl final : public Engine::Impl {
       fifo_[dst].push(envelope);
     } else {
       shard.staged[dest_shard].push_back(envelope);
+    }
+  }
+
+  /// Chaos-audited delivery: consults the plan once per send (the verdict
+  /// is a pure hash — no shared RNG state between workers) and drops,
+  /// duplicates, delays, or forwards the envelope.
+  void deliver_chaos(std::size_t s, Shard& shard, std::size_t slot,
+                     const Envelope& envelope, sim::Time pass_now) {
+    const ChaosPlan::Verdict verdict =
+        chaos_->classify(epoch_, envelope.msg.src, sends_[slot]);
+    if (verdict.drop) {
+      ++dropped_[slot];
+      return;  // on_sent still fires at the caller: the paper's fail-stop
+               // semantics — a lost message is indistinguishable from a
+               // delivered one at the sender.
+    }
+    if (verdict.delay_ns > 0) {
+      ++delayed_stat_[slot];
+      shard.delayed.push_back(Delayed{envelope, pass_now + verdict.delay_ns});
+      return;
+    }
+    deliver(s, shard, envelope);
+    if (verdict.duplicate) {
+      ++duped_[slot];
+      deliver(s, shard, envelope);
+    }
+  }
+
+  /// Forwards chaos-delayed envelopes whose release time has come. The
+  /// surviving tail is compacted in place, preserving order.
+  bool release_delayed(std::size_t s, Shard& shard, sim::Time pass_now) {
+    bool any = false;
+    std::size_t keep = 0;
+    for (Delayed& d : shard.delayed) {
+      if (d.release_ns <= pass_now) {
+        any = true;
+        deliver(s, shard, d.envelope);
+      } else {
+        shard.delayed[keep++] = d;
+      }
+    }
+    shard.delayed.resize(keep);
+    return any;
+  }
+
+  /// Kills a rank mid-epoch: its pending work vanishes, but it still
+  /// credits the completion countdown so no surviving peer waits on it.
+  /// completion_ns stays -1 — the rank never completed, it died.
+  void crash_rank(std::size_t slot) {
+    crashed_[slot] = 1;
+    outbox_[slot].clear();
+    timers_[slot].clear();
+    fifo_[slot].clear();
+    if (!completed_[slot]) {
+      completed_[slot] = 1;
+      if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_count_) {
+        finish_epoch();
+      }
     }
   }
 
@@ -367,6 +525,20 @@ class ShardedImpl final : public Engine::Impl {
   std::vector<std::int64_t> sends_;
   std::vector<std::int64_t> rank_data_;
   std::vector<std::int64_t> completion_ns_;
+
+  // Chaos state. Per-rank entries are only read/written by the owning
+  // shard during an epoch; crash_active_/link_active_ are latched in
+  // reset_epoch (before the start barrier) so the no-chaos hot path costs
+  // two branch-on-false per pass.
+  const ChaosPlan* chaos_ = nullptr;
+  bool crash_active_ = false;
+  bool link_active_ = false;
+  std::vector<std::int64_t> crash_at_ns_;
+  std::vector<std::int64_t> crash_budget_;
+  std::vector<char> crashed_;
+  std::vector<std::int64_t> dropped_;
+  std::vector<std::int64_t> delayed_stat_;
+  std::vector<std::int64_t> duped_;
 
   sim::Protocol* protocol_ = nullptr;
   std::int64_t epoch_ = 0;

@@ -13,9 +13,17 @@ HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
   const auto start = Clock::now();
   for (std::int64_t i = 0; i < options.iterations; ++i) {
     auto protocol = factory();
-    const EpochResult epoch = engine.run_epoch(*protocol, options.epoch_timeout);
+    EpochResult epoch = engine.run_epoch(*protocol, options.epoch_timeout);
     ++result.iterations;
     result.total_messages += epoch.total_messages;
+    result.ranks_crashed += epoch.crashed_mid_epoch;
+    result.messages_dropped += epoch.messages_dropped;
+    result.messages_delayed += epoch.messages_delayed;
+    result.messages_duplicated += epoch.messages_duplicated;
+    if (epoch.degraded()) {
+      if (result.epochs_degraded == 0) result.first_degraded = epoch;
+      ++result.epochs_degraded;
+    }
     if (epoch.timed_out) {
       ++result.timeouts;
       continue;

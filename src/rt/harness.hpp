@@ -26,8 +26,24 @@ struct HarnessResult {
   std::int64_t total_messages = 0;  ///< summed over all measured iterations
   double wall_seconds = 0.0;        ///< wall clock of the measured loop
 
+  // --- chaos aggregates (zeros when the engine has no ChaosPlan) ---
+  std::int64_t epochs_degraded = 0;  ///< iterations with EpochResult::degraded()
+  std::int64_t ranks_crashed = 0;    ///< mid-epoch crashes, summed
+  std::int64_t messages_dropped = 0;
+  std::int64_t messages_delayed = 0;
+  std::int64_t messages_duplicated = 0;
+  /// First degraded epoch of the run, kept whole so callers can print a
+  /// degradation report (crashed ranks, uncolored survivors, gaps) without
+  /// re-running; meaningful only when epochs_degraded > 0.
+  EpochResult first_degraded;
+
   /// Median per-iteration latency; 0 when every iteration timed out.
   double median_us() const { return latency_us.empty() ? 0.0 : latency_us.median(); }
+  double p50_us() const { return median_us(); }
+  /// p99 completion latency over clean (non-timed-out) iterations.
+  double p99_us() const {
+    return latency_us.empty() ? 0.0 : latency_us.percentile(0.99);
+  }
 
   /// Delivered-send throughput of the measured loop (the scaling-table
   /// metric: epochs overlap setup and drain, so messages/s is fairer across
