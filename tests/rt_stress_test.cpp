@@ -79,6 +79,69 @@ TEST(RtStress, ShardedTinyInboxBackpressure) {
   }
 }
 
+TEST(RtStress, ShardedChaosSoakCrashDropDelay) {
+  // Chaos mode (DESIGN.md §4d): mid-epoch crashes plus link perturbations
+  // over many epochs. The assertion is purely about the machinery — every
+  // epoch terminates (deadline, not hang), every never-crashed survivor is
+  // colored under checked correction, and the crash bookkeeping balances.
+  // Sized so the tsan preset (5-20× slowdown, 1-core box) stays within the
+  // 600 s test timeout.
+  const Rank procs = 512;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  EngineOptions options;
+  options.workers = 4;
+  options.epoch_deadline = std::chrono::seconds(5);
+  Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
+                options);
+  ChaosOptions chaos;
+  chaos.seed = 0x50A1u;
+  chaos.crash_fraction = 0.02;
+  chaos.drop_prob = 0.01;
+  chaos.delay_prob = 0.01;
+  chaos.delay_ns = 100'000;
+  engine.set_chaos(ChaosPlan(chaos));
+  std::int64_t crashes = 0;
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    proto::CorrectedTreeBroadcast protocol(tree, checked_overlapped());
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(30));
+    ASSERT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+    ASSERT_EQ(result.crashed_mid_epoch,
+              static_cast<std::int32_t>(result.crashed_ranks.size()));
+    crashes += result.crashed_mid_epoch;
+  }
+  EXPECT_GT(crashes, 0);  // 2% of 512 ranks over 25 epochs
+}
+
+TEST(RtStress, ThreadPerRankChaosSoak) {
+  // Same chaos schedule shape on the legacy 1:1 executor: crash_self() in
+  // the worker loop, the per-thread delayed-envelope vector, and the
+  // progress-independent deadline check all run under the sanitizer here.
+  const Rank procs = 64;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  EngineOptions options;
+  options.threading = Threading::kThreadPerRank;
+  options.epoch_deadline = std::chrono::seconds(5);
+  Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
+                options);
+  ChaosOptions chaos;
+  chaos.seed = 0xC4A05u;
+  chaos.crash_fraction = 0.03;
+  chaos.drop_prob = 0.01;
+  chaos.delay_prob = 0.01;
+  chaos.delay_ns = 100'000;
+  engine.set_chaos(ChaosPlan(chaos));
+  std::int64_t crashes = 0;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    proto::CorrectedTreeBroadcast protocol(tree, checked_overlapped());
+    const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(30));
+    ASSERT_FALSE(result.timed_out) << "epoch " << epoch;
+    EXPECT_EQ(result.uncolored_live, 0) << "epoch " << epoch;
+    crashes += result.crashed_mid_epoch;
+  }
+  EXPECT_GT(crashes, 0);
+}
+
 TEST(RtStress, ThreadPerRankLegacyPathManyEpochs) {
   // The legacy 1:1 executor under the sanitizer: exercises per-rank
   // mailboxes and the generation-stamped kick()/pop_for() shutdown path
