@@ -31,6 +31,21 @@ using topo::Rank;
 
 constexpr std::chrono::microseconds kIdleWait{50};
 
+// Per-rank-step drain bounds. Everything already in the outbox when a step
+// begins is drained in full — that backlog is bounded by protocol fan-out
+// (tree children, correction distance) and draining it per pass is what the
+// pre-chaos engine did. What must be capped is the *chained* overflow:
+// on_sent may enqueue new sends during the drain (checked correction streams
+// ring probes until a stop message arrives from the other direction), and
+// following that chain to the end runs O(P) sends for one rank in one step —
+// O(P²) envelopes in a single scheduling pass at large P, with no receive
+// ever getting a turn to stop it. A small chained allowance restores the
+// simulator's pacing, where stops arrive after a handful of probes. The
+// receive cap only bounds pass *latency* (work is resumed next pass),
+// keeping the epoch deadline responsive.
+constexpr std::size_t kMaxChainedSends = 4;
+constexpr std::size_t kMaxStepReceives = 4096;
+
 class ShardedImpl final : public Engine::Impl {
  public:
   ShardedImpl(Rank num_procs, const std::vector<char>& failed, Rank live_count,
@@ -319,12 +334,23 @@ class ShardedImpl final : public Engine::Impl {
       if (link_active_ && !shard.delayed.empty()) {
         progress |= release_delayed(s, shard, pass_now);
       }
-      for (Rank r : shard.live_ranks) progress |= step_rank(s, shard, r, pass_now);
+      bool deadline_hit = timeout_ns_ > 0 && pass_now > timeout_ns_;
+      std::size_t stepped = 0;
+      for (Rank r : shard.live_ranks) {
+        progress |= step_rank(s, shard, r, pass_now);
+        // A pass over a large slice can outlive the deadline by itself
+        // (thousands of ranks, each draining capped-but-real backlogs), so
+        // the deadline is also checked on a stride *inside* the pass — the
+        // per-pass check alone would let one slow pass overshoot unboundedly.
+        if (timeout_ns_ > 0 && (++stepped & 0x3FFu) == 0 && now() > timeout_ns_) {
+          deadline_hit = true;
+          break;
+        }
+      }
 
       progress |= flush_staged(shard);
 
-      if (timeout_ns_ > 0 && pass_now > timeout_ns_ &&
-          !epoch_done_.load(std::memory_order_acquire)) {
+      if (deadline_hit && !epoch_done_.load(std::memory_order_acquire)) {
         timed_out_.store(true, std::memory_order_relaxed);
         finish_epoch();
         break;
@@ -362,15 +388,20 @@ class ShardedImpl final : public Engine::Impl {
 
     LocalFifo& fifo = fifo_[slot];
     Envelope envelope;
-    while (fifo.pop(envelope)) {
+    std::size_t received = 0;
+    while (received < kMaxStepReceives && fifo.pop(envelope)) {
       progress = true;
+      ++received;
       if (envelope.epoch == epoch_) protocol_->on_receive(context_, r, envelope.msg);
     }
 
     auto& outbox = outbox_[slot];
     if (!outbox.empty()) {
       progress = true;
-      for (std::size_t i = 0; i < outbox.size(); ++i) {
+      // Full drain of the entry backlog plus a bounded chained allowance.
+      const std::size_t limit = outbox.size() + kMaxChainedSends;
+      std::size_t i = 0;
+      for (; i < outbox.size() && i < limit; ++i) {
         if (crash_active_ && crash_budget_[slot] >= 0 &&
             sends_[slot] >= crash_budget_[slot]) {
           // Step-count crash: the unsent outbox tail dies with the rank.
@@ -386,7 +417,13 @@ class ShardedImpl final : public Engine::Impl {
         }
         protocol_->on_sent(context_, r, out.msg);
       }
-      outbox.clear();
+      if (i == outbox.size()) {
+        outbox.clear();
+      } else {
+        // Chain cap hit: keep the unsent tail for the next pass so receives
+        // (and their stop conditions) get a turn first.
+        outbox.erase(outbox.begin(), outbox.begin() + static_cast<std::ptrdiff_t>(i));
+      }
     }
 
     auto& timers = timers_[slot];
