@@ -207,6 +207,74 @@ RtResult measure_rt(topo::Rank procs, rt::Threading threading, double fault_frac
   return out;
 }
 
+struct RtChaosResult {
+  topo::Rank procs = 0;
+  double crash_fraction = 0.0;
+  double drop_prob = 0.0;
+  long long iterations = 0;
+  double wall_seconds = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double messages_per_sec = 0.0;
+  long long epochs_degraded = 0;
+  long long ranks_crashed = 0;
+  long long messages_dropped = 0;
+  long long messages_delayed = 0;
+  long long messages_duplicated = 0;
+};
+
+/// One cell of the chaos matrix (DESIGN.md §4d): checked correction (the
+/// recovery-guaranteed algorithm) under mid-epoch crashes and drops from a
+/// deterministic ChaosPlan. All live-rank loss is mid-epoch here — no
+/// statically failed ranks — so the no-chaos cell doubles as the
+/// injection-hooks-compile-to-no-ops regression guard.
+RtChaosResult measure_rt_chaos(topo::Rank procs, double crash_fraction,
+                               double drop_prob, std::int64_t iterations,
+                               std::int64_t warmup, std::uint64_t seed,
+                               std::chrono::seconds deadline) {
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  rt::EngineOptions engine_options;
+  engine_options.epoch_deadline = deadline;
+  rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
+                    engine_options);
+  rt::ChaosOptions chaos;
+  chaos.seed = seed;
+  chaos.crash_fraction = crash_fraction;
+  chaos.drop_prob = drop_prob;
+  engine.set_chaos(rt::ChaosPlan(chaos));
+
+  proto::CorrectionConfig config;
+  config.kind = proto::CorrectionKind::kChecked;
+  config.start = proto::CorrectionStart::kOverlapped;
+
+  rt::HarnessOptions harness;
+  harness.warmup = warmup;
+  harness.iterations = iterations;
+  harness.epoch_timeout = engine_options.epoch_deadline;
+  const rt::HarnessResult result = rt::measure_broadcast(
+      engine,
+      [&]() -> std::unique_ptr<sim::Protocol> {
+        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, config);
+      },
+      harness);
+
+  RtChaosResult out;
+  out.procs = procs;
+  out.crash_fraction = crash_fraction;
+  out.drop_prob = drop_prob;
+  out.iterations = result.iterations;
+  out.wall_seconds = result.wall_seconds;
+  out.p50_latency_us = result.p50_us();
+  out.p99_latency_us = result.p99_us();
+  out.messages_per_sec = result.messages_per_sec();
+  out.epochs_degraded = result.epochs_degraded;
+  out.ranks_crashed = result.ranks_crashed;
+  out.messages_dropped = result.messages_dropped;
+  out.messages_delayed = result.messages_delayed;
+  out.messages_duplicated = result.messages_duplicated;
+  return out;
+}
+
 double peak_rss_mb() {
   struct rusage usage{};
   getrusage(RUSAGE_SELF, &usage);
@@ -284,6 +352,30 @@ int main(int argc, char** argv) {
     rt_rows.push_back(measure_rt(1024, rt::Threading::kThreadPerRank, 0.0, 5, 1,
                                  std::chrono::minutes(2), rt_seed));
   }
+  // Chaos matrix (DESIGN.md §4d): {1 Ki, 16 Ki} ranks x {no chaos, 2 %
+  // mid-epoch crashes, 2 % crashes + 1 % drops}, checked correction. Smoke
+  // keeps a single small crash+drop cell.
+  std::vector<RtChaosResult> chaos_rows;
+  if (smoke) {
+    chaos_rows.push_back(
+        measure_rt_chaos(256, 0.02, 0.01, 2, 1, rt_seed, std::chrono::seconds(2)));
+  } else {
+    for (topo::Rank procs : {1024, 16384}) {
+      // Checked correction's probe rate is wall-clock-paced in the runtime,
+      // so its epochs are far heavier than the opportunistic rt rows
+      // (~4 s at 16 Ki); the deadline and iteration count scale with P.
+      const auto deadline = std::chrono::seconds(procs > 4096 ? 30 : 2);
+      const std::int64_t iters = procs > 4096 ? 3 : 9;
+      const std::int64_t warm = procs > 4096 ? 1 : 2;
+      chaos_rows.push_back(
+          measure_rt_chaos(procs, 0.0, 0.0, iters, warm, rt_seed, deadline));
+      chaos_rows.push_back(
+          measure_rt_chaos(procs, 0.02, 0.0, iters, warm, rt_seed, deadline));
+      chaos_rows.push_back(
+          measure_rt_chaos(procs, 0.02, 0.01, iters, warm, rt_seed, deadline));
+    }
+  }
+
   // A/B pair: the thread-per-rank row vs the fault-free sharded row at the
   // same rank count.
   RtResult ab_sharded, ab_legacy;
@@ -354,6 +446,23 @@ int main(int argc, char** argv) {
                  r.procs, r.threading, r.workers, r.fault_fraction, r.iterations,
                  r.wall_seconds, r.median_latency_us, r.messages_per_sec, r.timeouts,
                  r.incomplete, i + 1 < rt_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"rt_chaos\": [\n");
+  for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
+    const RtChaosResult& c = chaos_rows[i];
+    std::fprintf(out,
+                 "    {\"procs\": %d, \"crash_fraction\": %.3f, \"drop_prob\": "
+                 "%.3f, \"iterations\": %lld, \"wall_seconds\": %.3f, "
+                 "\"p50_latency_us\": %.1f, \"p99_latency_us\": %.1f, "
+                 "\"messages_per_sec\": %.0f, \"epochs_degraded\": %lld, "
+                 "\"ranks_crashed\": %lld, \"messages_dropped\": %lld, "
+                 "\"messages_delayed\": %lld, \"messages_duplicated\": %lld}%s\n",
+                 c.procs, c.crash_fraction, c.drop_prob, c.iterations,
+                 c.wall_seconds, c.p50_latency_us, c.p99_latency_us,
+                 c.messages_per_sec, c.epochs_degraded, c.ranks_crashed,
+                 c.messages_dropped, c.messages_delayed, c.messages_duplicated,
+                 i + 1 < chaos_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
