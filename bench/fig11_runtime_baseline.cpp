@@ -4,19 +4,23 @@
 //
 // SUBSTITUTION (see DESIGN.md §1): no MPI library or cluster exists in this
 // environment, so the prototype runs on the in-process threaded runtime
-// (ct::rt) with one thread per rank, and process counts are scaled down
-// (threads share one machine). "Binomial (native)" is a direct, minimal
-// binomial broadcast protocol standing in for the platform implementation;
-// "Binomial (ours)" is the same algorithm via the full corrected-tree stack
-// with correction disabled (d = 0), exactly the paper's pairing.
+// (ct::rt), and process counts are scaled down (threads share one machine).
+// "Binomial (native)" is a direct, minimal binomial broadcast protocol
+// standing in for the platform implementation; "Binomial (ours)" is the
+// same algorithm via the full corrected-tree stack with correction disabled
+// (d = 0), exactly the paper's pairing. The stack rows are RunSpec cells
+// (DESIGN.md §4e) — each cell's spec string is printed by
+// `bench_report --list` and reproducible with ct_sim --spec; only the
+// native baseline drives the harness directly (it is a bench-local
+// protocol, deliberately outside the library).
 // Paper shape: both binomial variants are close (ours slightly slower from
 // stack generality); gossip is consistently the slowest.
 
 #include <memory>
+#include <string>
 
 #include "bench_common.hpp"
-#include "protocol/gossip_broadcast.hpp"
-#include "protocol/tree_broadcast.hpp"
+#include "experiment/run_spec.hpp"
 #include "rt/harness.hpp"
 
 namespace {
@@ -42,6 +46,15 @@ class NativeBinomial final : public sim::Protocol {
  private:
   const topo::Tree& tree_;
 };
+
+/// The paper's gossip-round budget: "fixing the number of correction
+/// messages to four, we empirically selected a number of gossip rounds" —
+/// a few rounds beyond log2(P) colors (almost) everyone before correction.
+std::int64_t gossip_rounds_for(topo::Rank procs) {
+  std::int64_t rounds = 2;
+  while ((topo::Rank{1} << rounds) < procs) ++rounds;
+  return rounds + 2;
+}
 
 }  // namespace
 
@@ -69,40 +82,19 @@ int main(int argc, char** argv) {
     const rt::HarnessResult native = rt::measure_broadcast(
         engine, [&] { return std::make_unique<NativeBinomial>(tree); }, options);
 
-    proto::CorrectionConfig none;
-    none.kind = proto::CorrectionKind::kNone;
-    const rt::HarnessResult ours = rt::measure_broadcast(
-        engine,
-        [&]() -> std::unique_ptr<sim::Protocol> {
-          return std::make_unique<proto::CorrectedTreeBroadcast>(tree, none);
-        },
-        options);
-
-    // Round-based gossip exactly like the paper's prototype: "fixing the
-    // number of correction messages to four, we empirically selected a
-    // number of gossip rounds that resulted in the lowest latency" — a few
-    // rounds beyond log2(P) colors (almost) everyone before correction.
-    proto::GossipConfig gossip_config;
-    gossip_config.budget = proto::GossipConfig::Budget::kRounds;
-    std::int64_t rounds = 2;
-    while ((topo::Rank{1} << rounds) < procs) ++rounds;
-    gossip_config.gossip_rounds = rounds + 2;
-    gossip_config.correction.kind = proto::CorrectionKind::kOptimizedOpportunistic;
-    gossip_config.correction.start = proto::CorrectionStart::kOverlapped;
-    gossip_config.correction.distance = 4;
-    rt::HarnessOptions gossip_options = options;
-    gossip_options.epoch_timeout = std::chrono::seconds(3);
-    std::uint64_t iteration = 0;
-    const rt::HarnessResult gossip = rt::measure_broadcast(
-        engine,
-        [&]() -> std::unique_ptr<sim::Protocol> {
-          gossip_config.seed = support::derive_seed(env.seed, ++iteration);
-          return std::make_unique<proto::CorrectedGossipBroadcast>(procs, gossip_config);
-        },
-        gossip_options);
+    const std::string scale = ",reps=" + std::to_string(env.reps) +
+                              ",warmup=3,seed=" + std::to_string(env.seed) +
+                              ",exec=rt-sharded";
+    const exp::RunRecord ours = exp::run(exp::parse_run_spec(
+        "bcast:binomial:none:overlapped@P=" + std::to_string(procs) + scale));
+    const exp::RunRecord gossip = exp::run(exp::parse_run_spec(
+        "bcast:binomial:opportunistic:4:overlapped@P=" + std::to_string(procs) +
+        ",proto=gossip,gossip-rounds=" + std::to_string(gossip_rounds_for(procs)) +
+        ",deadline-ms=3000" + scale));
 
     table.add_row({support::fmt_int(procs), support::fmt(native.median_us(), 1),
-                   support::fmt(ours.median_us(), 1), support::fmt(gossip.median_us(), 1),
+                   support::fmt(ours.latency_p50, 1),
+                   support::fmt(gossip.latency_p50, 1),
                    support::fmt_int(gossip.timeouts)});
   }
   bench::emit(env, table);

@@ -5,48 +5,30 @@
 // emulated process failures (paper: 72 of 1152+ ranks).
 //
 // SUBSTITUTION: threaded runtime instead of Cray MPI, scaled-down rank
-// counts (see DESIGN.md §1).
+// counts (see DESIGN.md §1). Every cell is a RunSpec (DESIGN.md §4e); the
+// gap-safe fault placement the paper's "full completion" requires is the
+// spec's gap= knob (single-direction d = 2 correction guarantees coloring
+// only for gaps <= 2, so placements are resampled until the statically-
+// uncolored set respects that bound).
 // Paper shape: binomial outperforms Lamé; each correction message adds a
 // slight overhead; failures have a negligible effect on latency.
 
-#include <memory>
+#include <string>
 
 #include "bench_common.hpp"
-#include "protocol/tree_broadcast.hpp"
-#include "rt/harness.hpp"
+#include "experiment/run_spec.hpp"
 
 namespace {
 
 using namespace ct;
 
-proto::CorrectionConfig prototype_correction(int distance) {
-  proto::CorrectionConfig config;
-  if (distance == 0) {
-    config.kind = proto::CorrectionKind::kNone;
-  } else {
-    // "we implemented only optimized overlapped opportunistic correction
-    // that is always sending messages in a single direction" (§4.4).
-    config.kind = proto::CorrectionKind::kOptimizedOpportunistic;
-    config.start = proto::CorrectionStart::kOverlapped;
-    config.directions = proto::CorrectionDirections::kLeftOnly;
-    config.distance = distance;
-  }
-  return config;
-}
-
-double median_latency(rt::Engine& engine, const topo::Tree& tree, int distance,
-                      std::int64_t iterations) {
-  rt::HarnessOptions options;
-  options.warmup = 3;
-  options.iterations = iterations;
-  const proto::CorrectionConfig config = prototype_correction(distance);
-  const rt::HarnessResult result = rt::measure_broadcast(
-      engine,
-      [&]() -> std::unique_ptr<sim::Protocol> {
-        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, config);
-      },
-      options);
-  return result.median_us();
+/// Spec head of the §4.4 prototype correction: "we implemented only
+/// optimized overlapped opportunistic correction that is always sending
+/// messages in a single direction"; d = 0 is the uncorrected baseline.
+std::string prototype_head(const std::string& tree, int distance) {
+  if (distance == 0) return "bcast:" + tree + ":none:overlapped";
+  return "bcast:" + tree + ":opportunistic:" + std::to_string(distance) +
+         ":overlapped:left";
 }
 
 }  // namespace
@@ -65,45 +47,26 @@ int main(int argc, char** argv) {
                         "binom d=2 +faults"});
 
   for (topo::Rank procs = 12; procs <= env.procs; procs *= 2) {
-    const topo::Tree binomial = topo::make_binomial_interleaved(procs);
-    const topo::Tree lame = topo::make_lame(procs, 4);
-    const auto iterations = static_cast<std::int64_t>(env.reps);
+    const std::string scale = "@P=" + std::to_string(procs) +
+                              ",reps=" + std::to_string(env.reps) +
+                              ",warmup=3,seed=" + std::to_string(env.seed) +
+                              ",exec=rt-sharded";
+    const auto cell = [&](const std::string& head, const std::string& extra = "") {
+      return exp::run(exp::parse_run_spec(head + scale + extra)).latency_p50;
+    };
 
-    rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0));
-    const double d0 = median_latency(engine, binomial, 0, iterations);
-    const double d1 = median_latency(engine, binomial, 1, iterations);
-    const double d2 = median_latency(engine, binomial, 2, iterations);
-    const double lame_d0 = median_latency(engine, lame, 0, iterations);
+    const double d0 = cell(prototype_head("binomial", 0));
+    const double d1 = cell(prototype_head("binomial", 1));
+    const double d2 = cell(prototype_head("binomial", 2));
+    const double lame_d0 = cell(prototype_head("lame:4", 0));
 
     // Emulated failures: the paper kills 72 randomly chosen ranks (~6 % at
-    // its smallest scale); we scale the same fraction. Single-direction
-    // d = 2 correction guarantees coloring only for gaps <= 2, so — like
-    // the paper, which reported full completion — we sample placements
-    // until the static uncolored set respects that bound.
-    support::Xoshiro256ss rng(env.seed);
+    // its smallest scale); we scale the same fraction, with the gap-safe
+    // placement bound matching the correction distance.
     const topo::Rank fail_count = std::max<topo::Rank>(1, procs / 16);
-    std::vector<char> failed;
-    for (int attempt = 0;; ++attempt) {
-      const sim::FaultSet faults = sim::FaultSet::random_count(procs, fail_count, rng);
-      std::vector<char> colored(static_cast<std::size_t>(procs), 1);
-      for (topo::Rank r = 1; r < procs; ++r) {
-        for (topo::Rank cur = r; cur != 0; cur = binomial.parent(cur)) {
-          if (faults.failed_from_start(cur)) {
-            colored[static_cast<std::size_t>(r)] = 0;
-            break;
-          }
-        }
-      }
-      if (topo::analyze_gaps(colored).max_gap <= 2 || attempt > 200) {
-        failed.assign(static_cast<std::size_t>(procs), 0);
-        for (topo::Rank r : faults.initially_failed()) {
-          failed[static_cast<std::size_t>(r)] = 1;
-        }
-        break;
-      }
-    }
-    rt::Engine faulty_engine(procs, failed);
-    const double d2_faults = median_latency(faulty_engine, binomial, 2, iterations);
+    const double d2_faults =
+        cell(prototype_head("binomial", 2),
+             ",faults=" + std::to_string(fail_count) + ",gap=2");
 
     table.add_row({support::fmt_int(procs), support::fmt(d0, 1), support::fmt(d1, 1),
                    support::fmt(d2, 1), support::fmt(lame_d0, 1),

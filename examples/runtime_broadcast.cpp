@@ -1,16 +1,20 @@
 // Runtime broadcast: the same protocol objects the simulator analyses,
 // executed in wall-clock time by the sharded M:N runtime (the repo's
 // stand-in for the paper's MPI prototype, §4.4 — scales to the paper's
-// 36 864 ranks). Kills a few ranks, runs a handful of broadcast
-// iterations, and reports wall-clock latency.
+// 36 864 ranks). Every run is one exp::RunSpec cell (DESIGN.md §4e): pass
+// the spec string directly, or build one from the classic flags. The
+// canonical spec of the run is echoed so any invocation can be reproduced
+// with --spec (or under exec=sim, unchanged).
 //
+//   $ ./runtime_broadcast \
+//       "bcast:binomial:checked:overlapped@P=1024,f=2%,exec=rt-sharded:w=8"
 //   $ ./runtime_broadcast --procs 36864 --faults 700 --iterations 10
 //   $ ./runtime_broadcast --procs 256 --legacy        # thread-per-rank A/B
 //   $ ./runtime_broadcast --procs 4096 --workers 2    # pin the shard count
 //
 // Chaos soaks (DESIGN.md §4d) — deterministic mid-epoch crashes, drops,
 // delays and duplicates; the run always terminates by --deadline-ms and
-// degraded epochs end with a printed degradation report, never a hang:
+// degraded runs end with a printed degradation report, never a hang:
 //
 //   $ ./runtime_broadcast --procs 512 --iterations 200 --correction=checked
 //       --chaos-seed 7 --crash-frac 0.02 --drop-prob 0.01 --delay-prob 0.01
@@ -18,73 +22,55 @@
 //       --chaos-seed 7 --crash-frac 0.02     # same schedule, other executor
 
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "protocol/tree_broadcast.hpp"
-#include "rt/harness.hpp"
+#include "experiment/run_spec.hpp"
 #include "support/options.hpp"
-#include "support/rng.hpp"
-#include "topology/tree.hpp"
 
 namespace {
 
-ct::proto::CorrectionConfig parse_correction(const std::string& name) {
-  using ct::proto::CorrectionKind;
-  ct::proto::CorrectionConfig config;
-  config.start = ct::proto::CorrectionStart::kOverlapped;
-  config.distance = 4;
-  if (name == "none") {
-    config.kind = CorrectionKind::kNone;
-  } else if (name == "opportunistic") {
-    config.kind = CorrectionKind::kOpportunistic;
-  } else if (name == "opportunistic-opt") {
-    config.kind = CorrectionKind::kOptimizedOpportunistic;
-  } else if (name == "checked") {
-    config.kind = CorrectionKind::kChecked;
-  } else if (name == "failure-proof") {
-    config.kind = CorrectionKind::kFailureProof;
-  } else if (name == "delayed") {
-    config.kind = CorrectionKind::kDelayed;
-    config.delay = 200'000;  // wall-clock ns: probe after ~200 µs of silence
-  } else {
-    std::cerr << "unknown --correction '" << name
-              << "': use --correction=NAME with NAME one of "
-                 "none|opportunistic|opportunistic-opt|checked|"
-                 "failure-proof|delayed\n";
-    std::exit(2);
+void print_ranks(const std::vector<ct::topo::Rank>& ranks) {
+  std::cout << '[';
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i) std::cout << ' ';
+    if (i == 16) {
+      std::cout << "...";
+      break;
+    }
+    std::cout << ranks[i];
   }
-  return config;
+  std::cout << ']';
 }
 
-void print_degradation_report(const ct::rt::EpochResult& epoch) {
-  std::cout << "first degraded epoch:\n"
-            << "  timed out          : " << (epoch.timed_out ? "yes" : "no") << "\n"
-            << "  crashed mid-epoch  : " << epoch.crashed_mid_epoch << " [";
-  for (std::size_t i = 0; i < epoch.crashed_ranks.size(); ++i) {
-    if (i) std::cout << ' ';
-    if (i == 16) {
-      std::cout << "...";
-      break;
-    }
-    std::cout << epoch.crashed_ranks[i];
-  }
-  std::cout << "]\n"
-            << "  uncolored survivors: " << epoch.uncolored_live << " [";
-  for (std::size_t i = 0; i < epoch.uncolored_survivors.size(); ++i) {
-    if (i) std::cout << ' ';
-    if (i == 16) {
-      std::cout << "...";
-      break;
-    }
-    std::cout << epoch.uncolored_survivors[i];
-  }
-  std::cout << "]\n"
-            << "  coloring gaps      : " << epoch.coloring_gaps.gap_count
-            << " (max gap " << epoch.coloring_gaps.max_gap << ")\n"
-            << "  pending timers     : " << epoch.timers_pending << "\n"
-            << "  drops/delays/dups  : " << epoch.messages_dropped << "/"
-            << epoch.messages_delayed << "/" << epoch.messages_duplicated << "\n";
+/// RunSpec from the classic flag set — every axis goes through the shared
+/// parsers (proto::parse_correction_kind & friends via exp::parse_run_spec);
+/// this binary owns no name tables of its own.
+ct::exp::RunSpec spec_from_flags(const ct::support::Options& options) {
+  using ct::exp::RunSpec;
+  RunSpec spec;
+  spec.params.P = static_cast<ct::topo::Rank>(options.get_int("procs", 32));
+  spec.tree = ct::topo::parse_tree_spec(options.get_string("tree", "binomial"));
+  spec.correction.kind =
+      ct::proto::parse_correction_kind(options.get_string("correction", "opportunistic"));
+  spec.correction.start =
+      ct::proto::parse_correction_start(options.get_string("start", "overlapped"));
+  spec.correction.distance = static_cast<int>(options.get_int("distance", 4));
+  spec.faults.count = static_cast<ct::topo::Rank>(options.get_int("faults", 3));
+  spec.reps = options.get_int("iterations", 10);
+  spec.warmup = 2;
+  spec.seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
+  spec.workers = static_cast<int>(options.get_int("workers", 0));
+  spec.executor = options.get_flag("legacy") ? ct::exp::Executor::kRtThreadPerRank
+                                             : ct::exp::Executor::kRtSharded;
+  spec.faults.chaos_seed = static_cast<std::uint64_t>(options.get_int("chaos-seed", 0));
+  spec.faults.crash_fraction = options.get_double("crash-frac", 0.0);
+  spec.faults.drop_prob = options.get_double("drop-prob", 0.0);
+  spec.faults.delay_prob = options.get_double("delay-prob", 0.0);
+  spec.faults.duplicate_prob = options.get_double("dup-prob", 0.0);
+  spec.faults.delay_us = options.get_int("delay-us", 200);
+  spec.faults.crash_window_us = options.get_int("crash-window-us", 2000);
+  spec.deadline_ms = options.get_int("deadline-ms", 0);
+  return spec;
 }
 
 }  // namespace
@@ -92,106 +78,57 @@ void print_degradation_report(const ct::rt::EpochResult& epoch) {
 int main(int argc, char** argv) {
   using namespace ct;
   const support::Options options(argc, argv);
-  const auto procs = static_cast<topo::Rank>(options.get_int("procs", 32));
-  const auto faults = static_cast<topo::Rank>(options.get_int("faults", 3));
-  const auto iterations = options.get_int("iterations", 10);
-  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
 
-  const topo::Tree tree = topo::make_binomial_interleaved(procs);
-
-  std::vector<char> failed(static_cast<std::size_t>(procs), 0);
-  support::Xoshiro256ss rng(seed);
-  topo::Rank remaining = std::min<topo::Rank>(faults, procs - 1);
-  std::cout << "failed ranks:";
-  while (remaining > 0) {
-    const auto victim =
-        static_cast<std::size_t>(1 + rng.below(static_cast<std::uint64_t>(procs) - 1));
-    if (!failed[victim]) {
-      failed[victim] = 1;
-      --remaining;
-      std::cout << ' ' << victim;
+  exp::RunSpec spec;
+  try {
+    // --spec=STRING or a positional spec string (--spec STRING would leave
+    // the string positional anyway — see support::Options conventions).
+    std::string text = options.get_string("spec", "");
+    if (text.empty() && !options.positional().empty()) {
+      text = options.positional().front();
     }
-  }
-  std::cout << "\n";
-
-  rt::ChaosOptions chaos;
-  chaos.seed = static_cast<std::uint64_t>(options.get_int("chaos-seed", 0));
-  chaos.crash_fraction = options.get_double("crash-frac", 0.0);
-  chaos.drop_prob = options.get_double("drop-prob", 0.0);
-  chaos.delay_prob = options.get_double("delay-prob", 0.0);
-  chaos.duplicate_prob = options.get_double("dup-prob", 0.0);
-  chaos.delay_ns = options.get_int("delay-us", 200) * 1000;
-  chaos.crash_window_ns = options.get_int("crash-window-us", 2000) * 1000;
-  rt::ChaosPlan plan(chaos);
-  const bool chaotic = plan.enabled();
-
-  rt::EngineOptions engine_options;
-  engine_options.workers = static_cast<int>(options.get_int("workers", 0));
-  engine_options.epoch_deadline =
-      std::chrono::milliseconds(options.get_int("deadline-ms", 0));
-  if (chaotic && engine_options.epoch_deadline.count() == 0) {
-    // Chaos without a deadline could wait out the full 10 s epoch timeout
-    // per degraded epoch; default to a snappy bound.
-    engine_options.epoch_deadline = std::chrono::milliseconds(500);
-  }
-  if (options.get_flag("legacy")) engine_options.threading = rt::Threading::kThreadPerRank;
-  rt::Engine engine(procs, failed, engine_options);
-  std::cout << "executor: "
-            << (engine.options().threading == rt::Threading::kSharded
-                    ? "sharded"
-                    : "thread-per-rank")
-            << " (" << engine.worker_threads() << " worker threads)\n";
-  if (chaotic) {
-    engine.set_chaos(std::move(plan));
-    std::cout << "chaos: seed=" << chaos.seed << " crash-frac=" << chaos.crash_fraction
-              << " drop=" << chaos.drop_prob << " delay=" << chaos.delay_prob
-              << " dup=" << chaos.duplicate_prob << " deadline="
-              << std::chrono::duration_cast<std::chrono::milliseconds>(
-                     engine_options.epoch_deadline)
-                     .count()
-              << "ms\n";
+    spec = text.empty() ? spec_from_flags(options) : exp::parse_run_spec(text);
+    if (spec.executor == exp::Executor::kSim) {
+      // This example demonstrates the runtime; sim specs belong to ct_sim.
+      spec.executor = exp::Executor::kRtSharded;
+    }
+    if (spec.faults.chaos_enabled() && spec.deadline_ms == 0) {
+      // Chaos without a deadline could wait out the full 10 s epoch timeout
+      // per degraded epoch; default to a snappy bound.
+      spec.deadline_ms = 500;
+    }
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
   }
 
-  const proto::CorrectionConfig correction = parse_correction(
-      options.get_string("correction", "opportunistic-opt"));
+  const bool chaotic = spec.faults.chaos_enabled();
+  std::cout << "spec: " << spec.to_string() << "\n";
 
-  rt::HarnessOptions harness;
-  harness.warmup = 2;
-  harness.iterations = iterations;
-  harness.epoch_timeout = engine_options.epoch_deadline.count() > 0
-                              ? engine_options.epoch_deadline
-                              : harness.epoch_timeout;
-  const rt::HarnessResult result = rt::measure_broadcast(
-      engine,
-      [&]() -> std::unique_ptr<sim::Protocol> {
-        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, correction);
-      },
-      harness);
-
-  // percentile() throws on an empty sample set (all epochs degraded), so
-  // every latency line goes through the guarded accessors.
-  const double p95 =
-      result.latency_us.empty() ? 0.0 : result.latency_us.percentile(0.95);
-  std::cout << "iterations         : " << result.iterations << "\n"
-            << "median latency     : " << result.median_us() << " us\n"
-            << "p95 latency        : " << p95 << " us\n"
-            << "p99 latency        : " << result.p99_us() << " us\n"
-            << "messages/process   : "
-            << (result.messages_per_process.empty()
-                    ? 0.0
-                    : result.messages_per_process.mean())
-            << "\n"
+  const exp::RunRecord result = exp::run(spec);
+  std::cout << "executor           : " << result.executor << " (" << result.workers
+            << " worker threads)\n"
+            << "iterations         : " << result.runs << "\n"
+            << "median latency     : " << result.latency_p50 << " us\n"
+            << "p99 latency        : " << result.latency_p99 << " us\n"
+            << "messages/process   : " << result.messages_per_process << "\n"
             << "incomplete epochs  : " << result.incomplete
             << " (0 = every live rank colored every time)\n"
             << "timeouts           : " << result.timeouts << "\n";
   if (chaotic) {
     std::cout << "degraded epochs    : " << result.epochs_degraded << " / "
-              << result.iterations << "\n"
+              << result.runs << "\n"
               << "ranks crashed      : " << result.ranks_crashed << "\n"
               << "dropped/delayed/dup: " << result.messages_dropped << "/"
-              << result.messages_delayed << "/" << result.messages_duplicated
-              << "\n";
-    if (result.epochs_degraded > 0) print_degradation_report(result.first_degraded);
+              << result.messages_delayed << "/" << result.messages_duplicated << "\n";
+    if (result.epochs_degraded > 0) {
+      std::cout << "first epoch detail:\n  crashed mid-epoch  : ";
+      print_ranks(result.crashed_ranks);
+      std::cout << "\n  uncolored survivors: ";
+      print_ranks(result.uncolored_survivors);
+      std::cout << "\n";
+    }
     // Under chaos, degraded epochs are the expected outcome being studied;
     // success means every epoch terminated and was explained.
     return 0;

@@ -55,6 +55,9 @@ void sample_faults(const Scenario& scenario, support::Xoshiro256ss& rng,
   } else {
     sim::FaultSet::sample_none_into(out, scenario.params.P);
   }
+  // Mid-run deaths stack on top of the static sample; t = 1 is strictly
+  // before any rank's first receive can complete (see runner.hpp).
+  for (const topo::Rank victim : scenario.mid_run_deaths) out.kill_at(victim, 1);
 }
 
 /// Scenario with tree & sync_time resolved; the tree is shared across
@@ -114,6 +117,13 @@ const sim::RunResult& run_prepared(const Prepared& prepared, std::uint64_t rep_s
 }
 
 }  // namespace
+
+sim::FaultSet scenario_faults(const Scenario& scenario, std::uint64_t rep_seed) {
+  support::Xoshiro256ss rng(rep_seed);
+  sim::FaultSet faults;
+  sample_faults(scenario, rng, faults);
+  return faults;
+}
 
 sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,
                         const sim::RunOptions& options) {

@@ -41,10 +41,23 @@ struct Scenario {
   topo::Rank fault_count = 0;
   double fault_fraction = 0.0;
 
+  /// Ranks killed at simulated time 1 in every replication, *after* the
+  /// static sample above — the sim-side mirror of rt::ChaosPlan::kill_at_ns
+  /// "mid-epoch" deaths (a rank's first receive completes no earlier than
+  /// message_cost() >= 3, so these victims process nothing, exactly like a
+  /// chaos kill at ns 0). Used by the RunSpec fault model and the sim/rt
+  /// parity tests.
+  std::vector<topo::Rank> mid_run_deaths;
+
   /// For synchronized tree correction with sync_time == 0 the runner fills
   /// in the fault-free dissemination time automatically.
   bool auto_sync_time = true;
 };
+
+/// The fault set replication `rep_seed` will run under (static sample plus
+/// mid_run_deaths), exposed so callers can tell crashed ranks from uncolored
+/// survivors without re-deriving the RNG stream.
+sim::FaultSet scenario_faults(const Scenario& scenario, std::uint64_t rep_seed);
 
 /// Reusable per-worker buffers for a replication stream. One plan serves any
 /// sequence of replications (any scenario, any P) on one thread at a time;

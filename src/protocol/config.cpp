@@ -32,6 +32,17 @@ CorrectionKind parse_correction_kind(const std::string& text) {
   throw std::invalid_argument("unknown correction kind '" + text + "'");
 }
 
+CorrectionStart parse_correction_start(const std::string& text) {
+  if (text == "sync" || text == "synchronized") return CorrectionStart::kSynchronized;
+  if (text == "overlapped") return CorrectionStart::kOverlapped;
+  throw std::invalid_argument("unknown correction start '" + text +
+                              "' (use sync|overlapped)");
+}
+
+std::string correction_start_name(CorrectionStart start) {
+  return start == CorrectionStart::kSynchronized ? "sync" : "overlapped";
+}
+
 std::string CorrectionConfig::to_string() const {
   std::string result = correction_kind_name(kind);
   if (kind == CorrectionKind::kOpportunistic ||

@@ -55,11 +55,17 @@ struct CorrectionConfig {
   int redundancy = 2;
 
   std::string to_string() const;
+  bool operator==(const CorrectionConfig&) const = default;
 };
 
 /// CLI names: "none", "opportunistic", "opportunistic-plain", "checked",
 /// "failure-proof", "delayed" (optionally ":d" suffix for distance).
 CorrectionKind parse_correction_kind(const std::string& text);
 std::string correction_kind_name(CorrectionKind kind);
+
+/// CLI names: "sync" / "overlapped" (the one string-typed axis every bench
+/// and tool used to re-compare by hand).
+CorrectionStart parse_correction_start(const std::string& text);
+std::string correction_start_name(CorrectionStart start);
 
 }  // namespace ct::proto

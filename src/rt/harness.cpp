@@ -14,6 +14,7 @@ HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
   for (std::int64_t i = 0; i < options.iterations; ++i) {
     auto protocol = factory();
     EpochResult epoch = engine.run_epoch(*protocol, options.epoch_timeout);
+    if (result.iterations == 0) result.first = epoch;
     ++result.iterations;
     result.total_messages += epoch.total_messages;
     result.ranks_crashed += epoch.crashed_mid_epoch;

@@ -36,14 +36,25 @@ struct HarnessResult {
   /// degradation report (crashed ranks, uncolored survivors, gaps) without
   /// re-running; meaningful only when epochs_degraded > 0.
   EpochResult first_degraded;
+  /// First measured epoch, kept whole (degraded or not). exp::run reads its
+  /// crashed_ranks / uncolored_survivors so one RunSpec execution yields the
+  /// same per-rank detail the simulator's keep_per_rank_detail run does.
+  EpochResult first;
 
-  /// Median per-iteration latency; 0 when every iteration timed out.
-  double median_us() const { return latency_us.empty() ? 0.0 : latency_us.median(); }
-  double p50_us() const { return median_us(); }
-  /// p99 completion latency over clean (non-timed-out) iterations.
-  double p99_us() const {
-    return latency_us.empty() ? 0.0 : latency_us.percentile(0.99);
+  /// Percentile over clean (non-timed-out) iteration latencies. Single
+  /// empty-sample policy for every accessor below: when *every* iteration
+  /// timed out (`latency_us` empty, `timeouts` == iterations) this returns
+  /// 0.0 — never NaN and never a throwing percentile() call — so tables and
+  /// JSON reports stay finite for fully-degraded runs. A 0 µs latency is
+  /// unreachable for a real epoch, making the sentinel unambiguous next to
+  /// the timeout counters.
+  double clean_percentile_us(double q) const {
+    return latency_us.empty() ? 0.0 : latency_us.percentile(q);
   }
+  double median_us() const { return clean_percentile_us(0.5); }
+  double p50_us() const { return median_us(); }
+  double p95_us() const { return clean_percentile_us(0.95); }
+  double p99_us() const { return clean_percentile_us(0.99); }
 
   /// Delivered-send throughput of the measured loop (the scaling-table
   /// metric: epochs overlap setup and drain, so messages/s is fairer across

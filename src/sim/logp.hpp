@@ -63,6 +63,8 @@ struct LogP {
   /// End-to-end cost of one uncontended message: send overhead + wire
   /// latency + receive overhead. Equals 2o + L for small messages.
   Time message_cost() const noexcept { return 2 * overhead_time() + wire_time(); }
+
+  bool operator==(const LogP&) const = default;
 };
 
 /// Optional two-level locality: the paper's model assumes "a uniform

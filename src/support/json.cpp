@@ -1,0 +1,166 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ct::support {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prefix() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // "key": <here> — no comma, the key already placed one
+  }
+  if (stack_.empty()) {
+    if (!out_.empty()) throw std::logic_error("JsonWriter: two top-level values");
+    return;
+  }
+  Level& level = stack_.back();
+  if (!level.empty) out_ += ',';
+  level.empty = false;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  stack_.push_back(Level{});
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  stack_.push_back(Level{true, true});
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().array || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  const bool had_members = !stack_.back().empty;
+  stack_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    out_.append(stack_.size() * 2, ' ');
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || !stack_.back().array || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  const bool had_members = !stack_.back().empty;
+  stack_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    out_.append(stack_.size() * 2, ' ');
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().array || key_pending_) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  prefix();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prefix();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  prefix();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t x) {
+  prefix();
+  out_ += std::to_string(x);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t x) {
+  prefix();
+  out_ += std::to_string(x);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double x, int precision) {
+  prefix();
+  if (!std::isfinite(x)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, x);
+  out_ += buf;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty() || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced document");
+  }
+  return out_;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string& text = str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ct::support

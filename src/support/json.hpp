@@ -1,0 +1,77 @@
+#pragma once
+// Minimal streaming JSON writer shared by the bench/report tooling (the
+// BENCH_*.json emitters used to be hand-rolled fprintf chains in
+// tools/bench_report.cpp; this centralises escaping, comma placement and
+// nesting). No DOM: keys appear in exactly the order the caller emits them,
+// which keeps report diffs stable across runs and PRs.
+//
+//   support::JsonWriter w;
+//   w.begin_object()
+//     .field("procs", std::int64_t{1024})
+//     .key("rows").begin_array()
+//       ... w.begin_object().field(...).end_object(); ...
+//     .end_array()
+//   .end_object();
+//   w.write_file("BENCH.json");
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ct::support {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t x);
+  JsonWriter& value(std::uint64_t x);
+  JsonWriter& value(int x) { return value(static_cast<std::int64_t>(x)); }
+  /// Fixed-point with `precision` fractional digits (matching the old
+  /// fprintf "%.Nf" cells). Non-finite values become null — JSON has no NaN.
+  JsonWriter& value(double x, int precision = 6);
+
+  JsonWriter& field(std::string_view k, std::string_view v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, const char* v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, bool v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, std::int64_t v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, std::uint64_t v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, int v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, double v, int precision = 6) {
+    return key(k).value(v, precision);
+  }
+
+  /// The document so far. Throws std::logic_error if containers are still
+  /// open (an unbalanced writer is a bug, not a formatting choice).
+  const std::string& str() const;
+
+  /// Writes str() plus a trailing newline; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// JSON string escaping (quotes not included) — exposed for tests.
+  static std::string escape(std::string_view text);
+
+ private:
+  void prefix();  // comma/newline/indent bookkeeping before any element
+  void raw(std::string_view text) { out_.append(text); }
+
+  struct Level {
+    bool array = false;
+    bool empty = true;
+  };
+  std::string out_;
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace ct::support

@@ -26,6 +26,8 @@ struct TreeSpec {
   /// Human/CLI name, e.g. "binomial", "binomial-inorder", "kary:4",
   /// "lame:2", "optimal". Inverse of parse_tree_spec.
   std::string to_string() const;
+
+  bool operator==(const TreeSpec&) const = default;
 };
 
 /// Parses "binomial", "binomial-inorder", "kary:<k>", "kary-inorder:<k>",

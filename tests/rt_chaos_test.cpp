@@ -9,6 +9,7 @@
 #include <chrono>
 #include <vector>
 
+#include "experiment/run_spec.hpp"
 #include "protocol/tree_broadcast.hpp"
 #include "rt/engine.hpp"
 #include "sim/simulator.hpp"
@@ -112,99 +113,68 @@ TEST(ChaosPlan, EnablementReflectsOptions) {
   EXPECT_EQ(budget.crash_send_budget(6), -1);
 }
 
-// The fault-model parity suite: run each correction algorithm in ct::sim
-// with dies_at mid-broadcast deaths and in ct::rt with the matching
-// ChaosPlan, and require the identical survivor-coloring outcome. The
-// victims die before processing anything in either executor (sim: t = 1,
-// first receive completes at t >= 4 under LogP{2,1,1}; rt: crash_ns = 0,
-// checked before the rank's first step), so the coloring outcome is the
-// timing-independent coverage of the correction algorithm.
-std::vector<Rank> sim_uncolored_survivors(Rank procs,
-                                          const std::vector<Rank>& victims,
-                                          const proto::CorrectionConfig& config) {
-  const topo::Tree tree = topo::make_binomial_interleaved(procs);
-  sim::LogP params;
-  params.P = procs;
-  sim::FaultSet faults = sim::FaultSet::none(procs);
-  for (Rank v : victims) faults.kill_at(v, 1);
-  sim::Simulator simulator(params, faults);
-  proto::CorrectedTreeBroadcast protocol(tree, config);
-  sim::RunOptions options;
-  options.keep_per_rank_detail = true;
-  const sim::RunResult result = simulator.run(protocol, options);
-  std::vector<Rank> uncolored;
-  for (Rank r = 0; r < procs; ++r) {
-    if (std::find(victims.begin(), victims.end(), r) != victims.end()) continue;
-    if (result.colored_at[static_cast<std::size_t>(r)] == sim::kTimeNever) {
-      uncolored.push_back(r);
-    }
+// The fault-model parity suite, spec-driven (DESIGN.md §4e): build ONE
+// RunSpec string per scenario, execute it under exec=sim and exec=rt-*, and
+// require the identical survivor-coloring outcome from the two RunRecords.
+// The kill= victims die before processing anything in either executor (sim:
+// t = 1, first receive completes at t >= 4 under LogP{2,1,1}; rt:
+// crash_ns = 0, checked before the rank's first step), so the coloring
+// outcome is the timing-independent coverage of the correction algorithm.
+std::string parity_cell(Rank procs, const std::vector<Rank>& victims,
+                        proto::CorrectionKind kind) {
+  std::string spec = "bcast:binomial:";
+  spec += proto::correction_kind_name(kind);
+  if (kind == proto::CorrectionKind::kOpportunistic ||
+      kind == proto::CorrectionKind::kOptimizedOpportunistic) {
+    spec += ":4";
   }
-  return uncolored;
+  spec += ":overlapped@P=" + std::to_string(procs);
+  spec += ",kill=";
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    if (i) spec += '+';
+    spec += std::to_string(victims[i]);
+  }
+  spec += ",reps=1,warmup=0";
+  return spec;
 }
 
-struct RtParityOutcome {
-  std::vector<Rank> uncolored_survivors;
-  std::vector<Rank> crashed_ranks;
-};
-
-RtParityOutcome rt_uncolored_survivors(Rank procs, const std::vector<Rank>& victims,
-                                       const proto::CorrectionConfig& config,
-                                       Threading threading,
-                                       std::chrono::nanoseconds timeout) {
-  const topo::Tree tree = topo::make_binomial_interleaved(procs);
-  EngineOptions options;
-  options.threading = threading;
-  if (threading == Threading::kSharded) options.workers = 4;
-  Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
-                options);
-  ChaosPlan plan;
-  for (Rank v : victims) plan.kill_at_ns(v, 0);
-  engine.set_chaos(std::move(plan));
-  proto::CorrectedTreeBroadcast protocol(tree, config);
-  const EpochResult result = engine.run_epoch(protocol, timeout);
-  return RtParityOutcome{result.uncolored_survivors, result.crashed_ranks};
+exp::RunRecord run_cell(const std::string& cell, const std::string& executor) {
+  return exp::run(exp::parse_run_spec(cell + "," + executor));
 }
 
 TEST(ChaosParity, SimAndRtAgreeOnSurvivorColoringUnderMidBroadcastDeaths) {
   const Rank procs = 24;
   const struct {
     proto::CorrectionKind kind;
-    sim::Time sim_delay;
-    std::int64_t rt_delay_ns;
     bool completes;  // guaranteed to color every survivor -> no timeout
   } kinds[] = {
-      {proto::CorrectionKind::kNone, 0, 0, false},
-      {proto::CorrectionKind::kOpportunistic, 0, 0, false},
-      {proto::CorrectionKind::kOptimizedOpportunistic, 0, 0, false},
-      {proto::CorrectionKind::kChecked, 0, 0, true},
-      {proto::CorrectionKind::kFailureProof, 0, 0, true},
-      {proto::CorrectionKind::kDelayed, 4, 100'000, true},
+      {proto::CorrectionKind::kNone, false},
+      {proto::CorrectionKind::kOpportunistic, false},
+      {proto::CorrectionKind::kOptimizedOpportunistic, false},
+      {proto::CorrectionKind::kChecked, true},
+      {proto::CorrectionKind::kFailureProof, true},
+      {proto::CorrectionKind::kDelayed, true},
   };
   support::Xoshiro256ss rng(0x9A17u);
   for (int scenario = 0; scenario < 6; ++scenario) {
     const std::vector<Rank> victims =
         pick_victims(procs, 1 + scenario % 3, rng);
     for (const auto& k : kinds) {
-      const proto::CorrectionConfig sim_config =
-          make_correction(k.kind, k.sim_delay);
-      const proto::CorrectionConfig rt_config =
-          make_correction(k.kind, k.rt_delay_ns);
-      const std::vector<Rank> expected =
-          sim_uncolored_survivors(procs, victims, sim_config);
+      const std::string cell = parity_cell(procs, victims, k.kind);
+      SCOPED_TRACE(cell);
+      const exp::RunRecord expected = run_cell(cell, "exec=sim");
       // A coverage-bounded correction that cannot reach someone never
-      // completes the epoch; bound that case by a short timeout. The
-      // completion-guaranteed algorithms get a generous one they never use.
-      const auto timeout = k.completes || expected.empty()
-                               ? std::chrono::seconds(60)
-                               : std::chrono::milliseconds(400);
-      const RtParityOutcome rt_outcome = rt_uncolored_survivors(
-          procs, victims, rt_config, Threading::kSharded, timeout);
-      EXPECT_EQ(rt_outcome.uncolored_survivors, expected)
-          << "scenario " << scenario << " kind "
-          << static_cast<int>(k.kind);
-      EXPECT_EQ(rt_outcome.crashed_ranks, victims)
-          << "scenario " << scenario << " kind "
-          << static_cast<int>(k.kind);
+      // completes the epoch; bound that case by a short deadline. The
+      // completion-guaranteed algorithms get none (default 10 s timeout,
+      // never used).
+      const bool bounded = !k.completes && !expected.uncolored_survivors.empty();
+      const exp::RunRecord actual = run_cell(
+          cell, bounded ? std::string("deadline-ms=400,exec=rt-sharded:w=4")
+                        : std::string("exec=rt-sharded:w=4"));
+      EXPECT_EQ(actual.uncolored_survivors, expected.uncolored_survivors);
+      EXPECT_EQ(actual.crashed_ranks, expected.crashed_ranks);
+      EXPECT_EQ(expected.crashed_ranks, victims);
+      EXPECT_EQ(expected.incomplete > 0, !expected.uncolored_survivors.empty());
     }
   }
 }
@@ -214,16 +184,14 @@ TEST(ChaosParity, LegacyExecutorMatchesSimForCheckedCorrection) {
   support::Xoshiro256ss rng(0xB0B0u);
   for (int scenario = 0; scenario < 3; ++scenario) {
     const std::vector<Rank> victims = pick_victims(procs, 2, rng);
-    const proto::CorrectionConfig config =
-        make_correction(proto::CorrectionKind::kChecked);
-    const std::vector<Rank> expected =
-        sim_uncolored_survivors(procs, victims, config);
-    EXPECT_TRUE(expected.empty());  // checked correction reaches everyone
-    const RtParityOutcome rt_outcome =
-        rt_uncolored_survivors(procs, victims, config, Threading::kThreadPerRank,
-                               std::chrono::seconds(60));
-    EXPECT_EQ(rt_outcome.uncolored_survivors, expected) << "scenario " << scenario;
-    EXPECT_EQ(rt_outcome.crashed_ranks, victims) << "scenario " << scenario;
+    const std::string cell =
+        parity_cell(procs, victims, proto::CorrectionKind::kChecked);
+    SCOPED_TRACE(cell);
+    const exp::RunRecord expected = run_cell(cell, "exec=sim");
+    EXPECT_TRUE(expected.uncolored_survivors.empty());  // checked reaches everyone
+    const exp::RunRecord actual = run_cell(cell, "exec=rt-tpr");
+    EXPECT_EQ(actual.uncolored_survivors, expected.uncolored_survivors);
+    EXPECT_EQ(actual.crashed_ranks, victims);
   }
 }
 

@@ -145,6 +145,38 @@ TEST(RtHarness, MeasuresIterations) {
   EXPECT_LE(result.messages_per_process.max(), 5.0);
 }
 
+TEST(RtHarness, AllTimeoutRunReportsZeroPercentilesNotNaN) {
+  // Every epoch times out: a failed inner node, no correction, and a tiny
+  // timeout. The percentile accessors share one empty-sample policy — 0.0,
+  // never NaN and never a throwing Samples::percentile() call — so reports
+  // of fully-degraded runs stay finite next to the timeout counters.
+  const Rank procs = 8;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  std::vector<char> failed = no_failures(procs);
+  failed[1] = 1;
+  Engine engine(procs, failed);
+  proto::CorrectionConfig none;
+  none.kind = proto::CorrectionKind::kNone;
+  const ProtocolFactory factory = [&]() -> std::unique_ptr<sim::Protocol> {
+    return std::make_unique<proto::CorrectedTreeBroadcast>(tree, none);
+  };
+  HarnessOptions options;
+  options.warmup = 0;
+  options.iterations = 3;
+  options.epoch_timeout = std::chrono::milliseconds(50);
+  const HarnessResult result = measure_broadcast(engine, factory, options);
+  EXPECT_EQ(result.iterations, 3);
+  EXPECT_EQ(result.timeouts, 3);
+  EXPECT_TRUE(result.latency_us.empty());
+  EXPECT_EQ(result.p50_us(), 0.0);
+  EXPECT_EQ(result.p95_us(), 0.0);
+  EXPECT_EQ(result.p99_us(), 0.0);
+  EXPECT_EQ(result.median_us(), 0.0);
+  // The kept first epoch is the degradation report for the whole run.
+  EXPECT_TRUE(result.first.timed_out);
+  EXPECT_GT(result.first.uncolored_live, 0);
+}
+
 // --- Sharded scheduler: shard-boundary suite -------------------------------
 // The sharded engine carves [0, P) into contiguous slices of ceil(P/N)
 // ranks; these tests pin the boundary cases (uneven split, dead slices,

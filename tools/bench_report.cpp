@@ -1,34 +1,41 @@
-// Perf-trajectory reporter: measures the simulator hot paths end to end and
-// emits a machine-readable BENCH_*.json (events/sec, reps/sec, peak RSS) so
-// successive PRs can be compared number against number. See EXPERIMENTS.md
-// ("Engine throughput reports").
+// Perf-trajectory reporter: measures the simulator and runtime hot paths
+// end to end and emits a machine-readable BENCH_*.json (events/sec,
+// reps/sec, epoch latency, peak RSS) so successive PRs can be compared
+// number against number. See EXPERIMENTS.md ("Engine throughput reports").
+//
+// Every sweep / rt / rt_chaos cell is one exp::RunSpec (DESIGN.md §4e): a
+// registry of spec strings is built up front, each cell runs through the
+// one exp::run dispatcher, and its RunRecord is emitted verbatim — the
+// "spec" key of any JSON row reproduces that exact cell via
+// `ct_sim --spec` (on either substrate, by editing exec=). Only the
+// broadcast section drives the simulator directly: it measures raw
+// events/sec of the discrete-event core, which no RunSpec metric captures.
 //
 // Usage:
-//   bench_report [--out FILE] [--smoke]
+//   bench_report [--out FILE] [--smoke] [--list]
 //
 //   --out FILE   write the JSON report to FILE (default BENCH_report.json)
 //   --smoke      one short iteration of everything — wired into ctest
 //                (label bench-smoke) so the reporter cannot rot
+//   --list       print `section<space>spec` for every registered RunSpec
+//                (canonical form) without running anything; golden-file
+//                tested so the measured matrix is reviewable in diffs
 //
 // CT_PROCS / CT_REPS / CT_SEED env overrides apply to the sweep section.
 
 #include <sys/resource.h>
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "experiment/runner.hpp"
+#include "experiment/run_spec.hpp"
 #include "protocol/tree_broadcast.hpp"
-#include "rt/harness.hpp"
-#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
-#include "support/rng.hpp"
+#include "support/json.hpp"
 #include "topology/factory.hpp"
-#include "topology/gaps.hpp"
 
 namespace {
 
@@ -52,6 +59,8 @@ struct BroadcastResult {
 
 /// Fault-free corrected-tree broadcast, the BM_SimulateBroadcast workload:
 /// repeat until `min_seconds` of wall clock (at least `min_iters` runs).
+/// Deliberately not a RunSpec cell — this times the raw discrete-event core
+/// (events/sec), below the replication layer exp::run measures.
 BroadcastResult measure_broadcast(topo::Rank procs, sim::QueueKind queue,
                                   double min_seconds, int min_iters) {
   const topo::Tree tree = topo::make_binomial_interleaved(procs);
@@ -86,193 +95,93 @@ BroadcastResult measure_broadcast(topo::Rank procs, sim::QueueKind queue,
   return out;
 }
 
-struct SweepResult {
-  topo::Rank procs = 0;
-  std::size_t reps = 0;
-  std::uint64_t seed = 0;
-  std::size_t pool_workers = 0;
-  double fault_fraction = 0.0;
-  double wall_seconds = 0.0;
-  double reps_per_sec = 0.0;
-  double mean_quiescence = 0.0;
+/// One named report section: an ordered list of RunSpec cells.
+struct SpecSection {
+  const char* name;
+  std::vector<std::string> specs;
 };
 
-/// The Monte-Carlo path behind every figure: run_replicated over a
-/// corrected-tree scenario (per-worker ReplicaPlans engaged), one cell of
-/// the procs x fault-fraction throughput matrix.
-SweepResult measure_sweep(topo::Rank procs, double fault_fraction, std::size_t reps,
-                          std::uint64_t seed, const support::ThreadPool& pool) {
-  exp::Scenario scenario;
-  scenario.params = sim::LogP{2, 1, 1, procs};
-  scenario.protocol = exp::ProtocolKind::kCorrectedTree;
-  scenario.tree.kind = topo::TreeKind::kBinomialInterleaved;
-  scenario.correction.kind = proto::CorrectionKind::kChecked;
-  scenario.correction.start = proto::CorrectionStart::kSynchronized;
-  scenario.fault_fraction = fault_fraction;
+/// The data-driven measurement registry. Everything the report runs through
+/// exp::run is declared here as spec strings — `--list` prints exactly this.
+std::vector<SpecSection> spec_sections(bool smoke) {
+  const auto n = [](auto v) { return std::to_string(v); };
 
-  SweepResult out;
-  out.procs = procs;
-  out.reps = reps;
-  out.seed = seed;
-  out.pool_workers = pool.size();
-  out.fault_fraction = scenario.fault_fraction;
-  const auto start = Clock::now();
-  const exp::Aggregate aggregate = exp::run_replicated(scenario, reps, seed, &pool);
-  out.wall_seconds = seconds_since(start);
-  out.reps_per_sec = static_cast<double>(reps) / out.wall_seconds;
-  out.mean_quiescence = aggregate.quiescence_latency.mean();
-  return out;
-}
-
-struct RtResult {
-  topo::Rank procs = 0;
-  const char* threading = "sharded";
-  std::size_t workers = 0;
-  double fault_fraction = 0.0;
-  long long iterations = 0;
-  double wall_seconds = 0.0;
-  double median_latency_us = 0.0;
-  double messages_per_sec = 0.0;
-  long long timeouts = 0;
-  long long incomplete = 0;
-};
-
-/// Fig12-style fault placement: sample until the statically-uncolored set's
-/// largest ring gap is coverable by the prototype's correction (both
-/// directions, distance 4 → gaps up to 8), so every epoch can complete.
-std::vector<char> gap_safe_faults(topo::Rank procs, double fraction,
-                                  const topo::Tree& tree, std::uint64_t seed) {
-  std::vector<char> failed(static_cast<std::size_t>(procs), 0);
-  if (fraction <= 0.0) return failed;
-  support::Xoshiro256ss rng(seed);
-  for (int attempt = 0;; ++attempt) {
-    const sim::FaultSet faults = sim::FaultSet::random_fraction(procs, fraction, rng);
-    std::vector<char> colored(static_cast<std::size_t>(procs), 1);
-    for (topo::Rank r = 1; r < procs; ++r) {
-      for (topo::Rank cur = r; cur != 0; cur = tree.parent(cur)) {
-        if (faults.failed_from_start(cur)) {
-          colored[static_cast<std::size_t>(r)] = 0;
-          break;
-        }
-      }
-    }
-    if (topo::analyze_gaps(colored).max_gap <= 8 || attempt > 1000) {
-      for (topo::Rank r : faults.initially_failed()) {
-        failed[static_cast<std::size_t>(r)] = 1;
-      }
-      return failed;
+  // Sweep throughput matrix: the Monte-Carlo path behind every figure
+  // (run_replicated over corrected-tree scenarios, per-worker ReplicaPlans
+  // engaged), {base P, 8x P} x {fault-free, 2% faults}. The large size runs
+  // an eighth of the replications (events scale ~linearly in P, so every
+  // cell costs about the same wall clock). Smoke keeps only the base size.
+  const exp::Scale scale = exp::default_scale(smoke ? 256 : 8192, smoke ? 4 : 1000);
+  SpecSection sweep{"sweep_matrix", {}};
+  const std::vector<topo::Rank> sweep_sizes =
+      smoke ? std::vector<topo::Rank>{scale.procs}
+            : std::vector<topo::Rank>{scale.procs, scale.procs * 8};
+  for (topo::Rank procs : sweep_sizes) {
+    const std::size_t reps =
+        procs == scale.procs ? scale.reps : std::max<std::size_t>(1, scale.reps / 8);
+    for (const char* f : {"", ",f=0.02"}) {
+      sweep.specs.push_back("bcast:binomial:checked:sync@P=" + n(procs) + f +
+                            ",reps=" + n(reps) + ",seed=" + n(scale.seed) +
+                            ",exec=sim");
     }
   }
-}
 
-/// One row of the rt scaling table: OSU-style corrected-tree broadcast
-/// (optimized overlapped opportunistic, d = 4 — the §4.4 prototype setup)
-/// on the chosen executor backend.
-RtResult measure_rt(topo::Rank procs, rt::Threading threading, double fault_fraction,
-                    std::int64_t iterations, std::int64_t warmup,
-                    std::chrono::nanoseconds timeout, std::uint64_t seed) {
-  const topo::Tree tree = topo::make_binomial_interleaved(procs);
-  const std::vector<char> failed = gap_safe_faults(procs, fault_fraction, tree, seed);
-  rt::EngineOptions engine_options;
-  engine_options.threading = threading;
-  rt::Engine engine(procs, failed, engine_options);
+  // Runtime scaling table (DESIGN.md §4c): the sharded M:N executor across
+  // the §4.4 rank ladder up to the paper's 36 864 ranks (optimized
+  // overlapped opportunistic, d = 4 — the prototype setup), the 2 % failed
+  // variant (gap-safe placement: both directions, d = 4 → gaps up to 8),
+  // and a thread-per-rank A/B at a size the legacy executor still handles.
+  // Smoke shrinks the ladder to one small A/B pair.
+  const char* rt_head = "bcast:binomial:opportunistic:4:overlapped@P=";
+  SpecSection rt{"rt", {}};
+  if (smoke) {
+    rt.specs.push_back(std::string(rt_head) +
+                       "256,reps=3,warmup=1,deadline-ms=10000,exec=rt-sharded");
+    rt.specs.push_back(std::string(rt_head) +
+                       "256,reps=2,warmup=1,deadline-ms=30000,exec=rt-tpr");
+  } else {
+    for (topo::Rank procs : {1024, 4096, 16384, 36864}) {
+      rt.specs.push_back(rt_head + n(procs) +
+                         ",reps=9,deadline-ms=30000,exec=rt-sharded");
+    }
+    rt.specs.push_back(std::string(rt_head) +
+                       "36864,f=0.02,gap=8,reps=5,warmup=1,deadline-ms=30000,"
+                       "exec=rt-sharded");
+    rt.specs.push_back(std::string(rt_head) +
+                       "1024,reps=5,warmup=1,deadline-ms=120000,exec=rt-tpr");
+  }
 
-  proto::CorrectionConfig config;
-  config.kind = proto::CorrectionKind::kOptimizedOpportunistic;
-  config.start = proto::CorrectionStart::kOverlapped;
-  config.distance = 4;
+  // Chaos matrix (DESIGN.md §4d): {1 Ki, 16 Ki} ranks x {no chaos, 2 %
+  // mid-epoch crashes, 2 % crashes + 1 % drops}, checked correction (the
+  // recovery-guaranteed algorithm). All live-rank loss is mid-epoch — no
+  // statically failed ranks — so the no-chaos cell doubles as the
+  // injection-hooks-compile-to-no-ops regression guard. Smoke keeps a
+  // single small crash+drop cell.
+  SpecSection chaos{"rt_chaos", {}};
+  const std::string chaos_seed = ",chaos-seed=" + n(std::uint64_t{0x5eed5eed});
+  if (smoke) {
+    chaos.specs.push_back("bcast:binomial:checked:overlapped@P=256" + chaos_seed +
+                          ",crash-frac=0.02,drop-prob=0.01,reps=2,warmup=1,"
+                          "deadline-ms=2000,exec=rt-sharded");
+  } else {
+    for (topo::Rank procs : {1024, 16384}) {
+      // Checked correction's probe rate is wall-clock-paced in the runtime,
+      // so its epochs are far heavier than the opportunistic rt rows
+      // (~4 s at 16 Ki); the deadline and iteration count scale with P.
+      const bool big = procs > 4096;
+      const std::string run_scale = ",reps=" + n(big ? 3 : 9) +
+                                    ",warmup=" + n(big ? 1 : 2) +
+                                    ",deadline-ms=" + n(big ? 30000 : 2000) +
+                                    ",exec=rt-sharded";
+      const std::string head = "bcast:binomial:checked:overlapped@P=" + n(procs);
+      chaos.specs.push_back(head + run_scale);
+      chaos.specs.push_back(head + chaos_seed + ",crash-frac=0.02" + run_scale);
+      chaos.specs.push_back(head + chaos_seed +
+                            ",crash-frac=0.02,drop-prob=0.01" + run_scale);
+    }
+  }
 
-  rt::HarnessOptions harness;
-  harness.warmup = warmup;
-  harness.iterations = iterations;
-  harness.epoch_timeout = timeout;
-  const rt::HarnessResult result = rt::measure_broadcast(
-      engine,
-      [&]() -> std::unique_ptr<sim::Protocol> {
-        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, config);
-      },
-      harness);
-
-  RtResult out;
-  out.procs = procs;
-  out.threading = threading == rt::Threading::kSharded ? "sharded" : "thread-per-rank";
-  out.workers = engine.worker_threads();
-  out.fault_fraction = fault_fraction;
-  out.iterations = result.iterations;
-  out.wall_seconds = result.wall_seconds;
-  out.median_latency_us = result.median_us();
-  out.messages_per_sec = result.messages_per_sec();
-  out.timeouts = result.timeouts;
-  out.incomplete = result.incomplete;
-  return out;
-}
-
-struct RtChaosResult {
-  topo::Rank procs = 0;
-  double crash_fraction = 0.0;
-  double drop_prob = 0.0;
-  long long iterations = 0;
-  double wall_seconds = 0.0;
-  double p50_latency_us = 0.0;
-  double p99_latency_us = 0.0;
-  double messages_per_sec = 0.0;
-  long long epochs_degraded = 0;
-  long long ranks_crashed = 0;
-  long long messages_dropped = 0;
-  long long messages_delayed = 0;
-  long long messages_duplicated = 0;
-};
-
-/// One cell of the chaos matrix (DESIGN.md §4d): checked correction (the
-/// recovery-guaranteed algorithm) under mid-epoch crashes and drops from a
-/// deterministic ChaosPlan. All live-rank loss is mid-epoch here — no
-/// statically failed ranks — so the no-chaos cell doubles as the
-/// injection-hooks-compile-to-no-ops regression guard.
-RtChaosResult measure_rt_chaos(topo::Rank procs, double crash_fraction,
-                               double drop_prob, std::int64_t iterations,
-                               std::int64_t warmup, std::uint64_t seed,
-                               std::chrono::seconds deadline) {
-  const topo::Tree tree = topo::make_binomial_interleaved(procs);
-  rt::EngineOptions engine_options;
-  engine_options.epoch_deadline = deadline;
-  rt::Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
-                    engine_options);
-  rt::ChaosOptions chaos;
-  chaos.seed = seed;
-  chaos.crash_fraction = crash_fraction;
-  chaos.drop_prob = drop_prob;
-  engine.set_chaos(rt::ChaosPlan(chaos));
-
-  proto::CorrectionConfig config;
-  config.kind = proto::CorrectionKind::kChecked;
-  config.start = proto::CorrectionStart::kOverlapped;
-
-  rt::HarnessOptions harness;
-  harness.warmup = warmup;
-  harness.iterations = iterations;
-  harness.epoch_timeout = engine_options.epoch_deadline;
-  const rt::HarnessResult result = rt::measure_broadcast(
-      engine,
-      [&]() -> std::unique_ptr<sim::Protocol> {
-        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, config);
-      },
-      harness);
-
-  RtChaosResult out;
-  out.procs = procs;
-  out.crash_fraction = crash_fraction;
-  out.drop_prob = drop_prob;
-  out.iterations = result.iterations;
-  out.wall_seconds = result.wall_seconds;
-  out.p50_latency_us = result.p50_us();
-  out.p99_latency_us = result.p99_us();
-  out.messages_per_sec = result.messages_per_sec();
-  out.epochs_degraded = result.epochs_degraded;
-  out.ranks_crashed = result.ranks_crashed;
-  out.messages_dropped = result.messages_dropped;
-  out.messages_delayed = result.messages_delayed;
-  out.messages_duplicated = result.messages_duplicated;
-  return out;
+  return {sweep, rt, chaos};
 }
 
 double peak_rss_mb() {
@@ -286,15 +195,32 @@ double peak_rss_mb() {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_report.json";
   bool smoke = false;
+  bool list = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_report [--out FILE] [--smoke]\n");
+      std::fprintf(stderr, "usage: bench_report [--out FILE] [--smoke] [--list]\n");
       return 2;
     }
+  }
+
+  const std::vector<SpecSection> sections = spec_sections(smoke);
+
+  if (list) {
+    // Canonical form (parse -> to_string): validates every registered spec
+    // and keeps the golden file stable against cosmetic registry edits.
+    for (const SpecSection& section : sections) {
+      for (const std::string& text : section.specs) {
+        std::printf("%s %s\n", section.name,
+                    exp::parse_run_spec(text).to_string().c_str());
+      }
+    }
+    return 0;
   }
 
   const double min_seconds = smoke ? 0.0 : 2.0;
@@ -310,173 +236,107 @@ int main(int argc, char** argv) {
   broadcasts.push_back(measure_broadcast(sizes.back(), sim::QueueKind::kBinaryHeap,
                                          min_seconds, min_iters));
 
-  // Sweep throughput matrix: {base P, 8x P} x {fault-free, 2% faults}. The
-  // large size runs an eighth of the replications (events scale ~linearly
-  // in P, so every cell costs about the same wall clock). Smoke keeps only
-  // the base size to stay ctest-fast.
-  const exp::Scale scale = exp::default_scale(smoke ? 256 : 8192, smoke ? 4 : 1000);
-  const support::ThreadPool pool;  // hardware concurrency, shared by all cells
-  std::vector<SweepResult> sweeps;
-  const std::vector<topo::Rank> sweep_sizes =
-      smoke ? std::vector<topo::Rank>{scale.procs}
-            : std::vector<topo::Rank>{scale.procs, scale.procs * 8};
-  for (topo::Rank procs : sweep_sizes) {
-    const std::size_t reps =
-        procs == scale.procs ? scale.reps : std::max<std::size_t>(1, scale.reps / 8);
-    for (double fault_fraction : {0.0, 0.02}) {
-      sweeps.push_back(measure_sweep(procs, fault_fraction, reps, scale.seed, pool));
+  // Run every registered cell through the one dispatcher, keeping the
+  // parsed spec next to its record (the compat objects below need axes like
+  // fault_fraction that the JSON row only carries inside the spec string).
+  struct Cell {
+    exp::RunSpec spec;
+    exp::RunRecord record;
+  };
+  const support::ThreadPool pool;  // hardware concurrency, shared by sim cells
+  std::vector<std::vector<Cell>> results(sections.size());
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    for (const std::string& text : sections[s].specs) {
+      const exp::RunSpec spec = exp::parse_run_spec(text);
+      results[s].push_back(Cell{spec, exp::run(spec, &pool)});
     }
   }
+  const std::vector<Cell>& sweeps = results[0];
+  const std::vector<Cell>& rt_rows = results[1];
+
   // Legacy headline cell (base P, 2% faults): kept as the top-level "sweep"
   // object so cross-PR comparisons and the bench-smoke check keep working.
-  const SweepResult& sweep = sweeps[1];
-
-  // Runtime scaling table (DESIGN.md §4c): the sharded M:N executor across
-  // the §4.4 rank ladder up to the paper's 36 864 ranks, the 2 % failed
-  // variant, and a thread-per-rank A/B at a size the legacy executor still
-  // handles. Smoke shrinks the ladder to one small A/B pair.
-  const std::uint64_t rt_seed = 0x5eed5eed;
-  std::vector<RtResult> rt_rows;
-  if (smoke) {
-    rt_rows.push_back(measure_rt(256, rt::Threading::kSharded, 0.0, 3, 1,
-                                 std::chrono::seconds(10), rt_seed));
-    rt_rows.push_back(measure_rt(256, rt::Threading::kThreadPerRank, 0.0, 2, 1,
-                                 std::chrono::seconds(30), rt_seed));
-  } else {
-    for (topo::Rank procs : {1024, 4096, 16384, 36864}) {
-      rt_rows.push_back(measure_rt(procs, rt::Threading::kSharded, 0.0, 9, 2,
-                                   std::chrono::seconds(30), rt_seed));
-    }
-    rt_rows.push_back(measure_rt(36864, rt::Threading::kSharded, 0.02, 5, 1,
-                                 std::chrono::seconds(30), rt_seed));
-    rt_rows.push_back(measure_rt(1024, rt::Threading::kThreadPerRank, 0.0, 5, 1,
-                                 std::chrono::minutes(2), rt_seed));
-  }
-  // Chaos matrix (DESIGN.md §4d): {1 Ki, 16 Ki} ranks x {no chaos, 2 %
-  // mid-epoch crashes, 2 % crashes + 1 % drops}, checked correction. Smoke
-  // keeps a single small crash+drop cell.
-  std::vector<RtChaosResult> chaos_rows;
-  if (smoke) {
-    chaos_rows.push_back(
-        measure_rt_chaos(256, 0.02, 0.01, 2, 1, rt_seed, std::chrono::seconds(2)));
-  } else {
-    for (topo::Rank procs : {1024, 16384}) {
-      // Checked correction's probe rate is wall-clock-paced in the runtime,
-      // so its epochs are far heavier than the opportunistic rt rows
-      // (~4 s at 16 Ki); the deadline and iteration count scale with P.
-      const auto deadline = std::chrono::seconds(procs > 4096 ? 30 : 2);
-      const std::int64_t iters = procs > 4096 ? 3 : 9;
-      const std::int64_t warm = procs > 4096 ? 1 : 2;
-      chaos_rows.push_back(
-          measure_rt_chaos(procs, 0.0, 0.0, iters, warm, rt_seed, deadline));
-      chaos_rows.push_back(
-          measure_rt_chaos(procs, 0.02, 0.0, iters, warm, rt_seed, deadline));
-      chaos_rows.push_back(
-          measure_rt_chaos(procs, 0.02, 0.01, iters, warm, rt_seed, deadline));
-    }
-  }
+  const Cell& sweep = sweeps[1];
+  const double sweep_reps_per_sec =
+      sweep.record.wall_seconds > 0.0
+          ? static_cast<double>(sweep.record.runs) / sweep.record.wall_seconds
+          : 0.0;
 
   // A/B pair: the thread-per-rank row vs the fault-free sharded row at the
   // same rank count.
-  RtResult ab_sharded, ab_legacy;
-  for (const RtResult& legacy : rt_rows) {
-    if (std::strcmp(legacy.threading, "thread-per-rank") != 0) continue;
-    for (const RtResult& row : rt_rows) {
-      if (row.procs == legacy.procs && row.fault_fraction == 0.0 &&
-          std::strcmp(row.threading, "sharded") == 0) {
-        ab_sharded = row;
-        ab_legacy = legacy;
+  const Cell* ab_sharded = nullptr;
+  const Cell* ab_legacy = nullptr;
+  for (const Cell& legacy : rt_rows) {
+    if (legacy.spec.executor != exp::Executor::kRtThreadPerRank) continue;
+    for (const Cell& row : rt_rows) {
+      if (row.spec.executor == exp::Executor::kRtSharded &&
+          row.spec.params.P == legacy.spec.params.P &&
+          row.spec.faults.fraction == 0.0) {
+        ab_sharded = &row;
+        ab_legacy = &legacy;
       }
     }
   }
-  const double ab_speedup = ab_legacy.messages_per_sec > 0.0
-                                ? ab_sharded.messages_per_sec / ab_legacy.messages_per_sec
-                                : 0.0;
+  const double ab_speedup =
+      ab_legacy && ab_legacy->record.messages_per_sec > 0.0
+          ? ab_sharded->record.messages_per_sec / ab_legacy->record.messages_per_sec
+          : 0.0;
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (!out) {
+  support::JsonWriter w;
+  w.begin_object()
+      .field("generated_by", "tools/bench_report")
+      .field("smoke", smoke);
+  w.key("broadcast").begin_array();
+  for (const BroadcastResult& b : broadcasts) {
+    w.begin_object()
+        .field("procs", static_cast<std::int64_t>(b.procs))
+        .field("queue", b.queue)
+        .field("iterations", b.iterations)
+        .field("wall_seconds", b.wall_seconds, 3)
+        .field("events_per_sec", b.events_per_sec, 0)
+        .field("messages_per_sec", b.messages_per_sec, 0)
+        .field("events_per_run", b.events_per_run)
+        .field("messages_per_run", b.messages_per_run)
+        .end_object();
+  }
+  w.end_array();
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    w.key(sections[s].name).begin_array();
+    for (const Cell& cell : results[s]) cell.record.write_json(w);
+    w.end_array();
+  }
+  w.key("sweep")
+      .begin_object()
+      .field("procs", static_cast<std::int64_t>(sweep.record.procs))
+      .field("reps", sweep.record.runs)
+      .field("seed", sweep.spec.seed)
+      .field("fault_fraction", sweep.spec.faults.fraction, 3)
+      .field("pool_workers", sweep.record.workers)
+      .field("wall_seconds", sweep.record.wall_seconds, 3)
+      .field("reps_per_sec", sweep_reps_per_sec, 3)
+      .field("mean_quiescence", sweep.record.aggregate.quiescence_latency.mean(), 4)
+      .end_object();
+  w.key("rt_ab")
+      .begin_object()
+      .field("procs",
+             static_cast<std::int64_t>(ab_sharded ? ab_sharded->record.procs : 0))
+      .field("sharded_messages_per_sec",
+             ab_sharded ? ab_sharded->record.messages_per_sec : 0.0, 0)
+      .field("thread_per_rank_messages_per_sec",
+             ab_legacy ? ab_legacy->record.messages_per_sec : 0.0, 0)
+      .field("speedup", ab_speedup, 2)
+      .end_object();
+  w.field("peak_rss_mb", peak_rss_mb(), 1).end_object();
+
+  if (!w.write_file(out_path)) {
     std::fprintf(stderr, "bench_report: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"generated_by\": \"tools/bench_report\",\n");
-  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(out, "  \"broadcast\": [\n");
-  for (std::size_t i = 0; i < broadcasts.size(); ++i) {
-    const BroadcastResult& b = broadcasts[i];
-    std::fprintf(out,
-                 "    {\"procs\": %d, \"queue\": \"%s\", \"iterations\": %d, "
-                 "\"wall_seconds\": %.3f, \"events_per_sec\": %.0f, "
-                 "\"messages_per_sec\": %.0f, \"events_per_run\": %lld, "
-                 "\"messages_per_run\": %lld}%s\n",
-                 b.procs, b.queue, b.iterations, b.wall_seconds, b.events_per_sec,
-                 b.messages_per_sec, static_cast<long long>(b.events_per_run),
-                 static_cast<long long>(b.messages_per_run),
-                 i + 1 < broadcasts.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  const auto print_sweep = [out](const SweepResult& s) {
-    std::fprintf(out,
-                 "{\"procs\": %d, \"reps\": %zu, \"seed\": %llu, "
-                 "\"fault_fraction\": %.3f, \"pool_workers\": %zu, "
-                 "\"wall_seconds\": %.3f, \"reps_per_sec\": %.3f, "
-                 "\"mean_quiescence\": %.4f}",
-                 s.procs, s.reps, static_cast<unsigned long long>(s.seed),
-                 s.fault_fraction, s.pool_workers, s.wall_seconds, s.reps_per_sec,
-                 s.mean_quiescence);
-  };
-  std::fprintf(out, "  \"sweep_matrix\": [\n");
-  for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    std::fprintf(out, "    ");
-    print_sweep(sweeps[i]);
-    std::fprintf(out, "%s\n", i + 1 < sweeps.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"sweep\": ");
-  print_sweep(sweep);
-  std::fprintf(out, ",\n");
-  std::fprintf(out, "  \"rt\": [\n");
-  for (std::size_t i = 0; i < rt_rows.size(); ++i) {
-    const RtResult& r = rt_rows[i];
-    std::fprintf(out,
-                 "    {\"procs\": %d, \"threading\": \"%s\", \"workers\": %zu, "
-                 "\"fault_fraction\": %.3f, \"iterations\": %lld, "
-                 "\"wall_seconds\": %.3f, \"median_latency_us\": %.1f, "
-                 "\"messages_per_sec\": %.0f, \"timeouts\": %lld, "
-                 "\"incomplete\": %lld}%s\n",
-                 r.procs, r.threading, r.workers, r.fault_fraction, r.iterations,
-                 r.wall_seconds, r.median_latency_us, r.messages_per_sec, r.timeouts,
-                 r.incomplete, i + 1 < rt_rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"rt_chaos\": [\n");
-  for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
-    const RtChaosResult& c = chaos_rows[i];
-    std::fprintf(out,
-                 "    {\"procs\": %d, \"crash_fraction\": %.3f, \"drop_prob\": "
-                 "%.3f, \"iterations\": %lld, \"wall_seconds\": %.3f, "
-                 "\"p50_latency_us\": %.1f, \"p99_latency_us\": %.1f, "
-                 "\"messages_per_sec\": %.0f, \"epochs_degraded\": %lld, "
-                 "\"ranks_crashed\": %lld, \"messages_dropped\": %lld, "
-                 "\"messages_delayed\": %lld, \"messages_duplicated\": %lld}%s\n",
-                 c.procs, c.crash_fraction, c.drop_prob, c.iterations,
-                 c.wall_seconds, c.p50_latency_us, c.p99_latency_us,
-                 c.messages_per_sec, c.epochs_degraded, c.ranks_crashed,
-                 c.messages_dropped, c.messages_delayed, c.messages_duplicated,
-                 i + 1 < chaos_rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out,
-               "  \"rt_ab\": {\"procs\": %d, \"sharded_messages_per_sec\": %.0f, "
-               "\"thread_per_rank_messages_per_sec\": %.0f, \"speedup\": %.2f},\n",
-               ab_sharded.procs, ab_sharded.messages_per_sec,
-               ab_legacy.messages_per_sec, ab_speedup);
-  std::fprintf(out, "  \"peak_rss_mb\": %.1f\n}\n", peak_rss_mb());
-  std::fclose(out);
 
   std::printf(
       "bench_report: wrote %s (sweep %.1f reps/s, rt A/B at P=%d: %.1fx, "
       "peak RSS %.1f MB)\n",
-      out_path.c_str(), sweep.reps_per_sec, ab_sharded.procs, ab_speedup,
-      peak_rss_mb());
+      out_path.c_str(), sweep_reps_per_sec,
+      ab_sharded ? ab_sharded->record.procs : 0, ab_speedup, peak_rss_mb());
   return 0;
 }

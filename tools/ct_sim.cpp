@@ -1,19 +1,24 @@
-// ct_sim — general-purpose scenario runner: every protocol, tree, correction
-// algorithm, LogP/LogGP parameter and fault model in this library from one
-// command line. The Swiss-army knife behind ad-hoc experiments that the
-// figure benches don't cover.
+// ct_sim — general-purpose scenario runner: every collective, protocol,
+// tree, correction algorithm, LogP/LogGP parameter, fault model and
+// executor in this library from one command line. The Swiss-army knife
+// behind ad-hoc experiments that the figure benches don't cover.
+//
+// Every run is one exp::RunSpec cell (DESIGN.md §4e); pass the spec string
+// directly, or build one from flags. The canonical spec is echoed so any
+// run can be reproduced — including on the other substrate by just editing
+// its exec= parameter.
 //
 // Examples:
+//   ct_sim "bcast:binomial:checked:overlapped@P=1024,f=2%,exec=sim"
 //   ct_sim --tree=lame:3 --correction=checked --start=sync --procs 65536 \
 //          --fault-rate 0.01 --reps 1000
 //   ct_sim --protocol=gossip --gossip-time 40 --procs 16384 --reps 50
-//   ct_sim --protocol=ack --tree=binomial --procs 8192
 //   ct_sim --tree=binomial --correction=opportunistic --distance 2 \
 //          --L 4 --o 2 --bytes 16 --G 1 --csv
 
 #include <iostream>
 
-#include "experiment/runner.hpp"
+#include "experiment/run_spec.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -23,7 +28,9 @@ void print_usage() {
   std::cout <<
       R"(ct_sim — corrected-trees scenario runner
 
-  --protocol=tree|ack|gossip     protocol family            [tree]
+  --spec "STRING"                full RunSpec cell; overrides all flags below
+  --collective=bcast|reduce|allreduce                          [bcast]
+  --protocol=tree|ack|gossip     protocol family               [tree]
   --tree=SPEC                    binomial, binomial-inorder, kary:K,
                                  kary-inorder:K, lame:K, optimal [binomial]
   --correction=KIND              none, opportunistic, opportunistic-plain,
@@ -35,8 +42,58 @@ void print_usage() {
   --procs N  --reps N  --seed N  scale                        [4096/100/..]
   --faults N | --fault-rate F    failures per run             [0]
   --L --o --g --bytes --G --O    LogP / LogGP parameters      [2/1/1/1/0/0]
-  --csv                          machine-readable output
+  --exec=sim|rt-sharded|rt-tpr   executor substrate           [sim]
+  --csv                          machine-readable output (sim executor)
 )";
+}
+
+ct::exp::RunSpec spec_from_flags(const ct::support::Options& options) {
+  using namespace ct;
+  exp::RunSpec spec;
+  spec.collective = exp::parse_collective(options.get_string("collective", "bcast"));
+  spec.params.L = options.get_int("L", 2);
+  spec.params.o = options.get_int("o", 1);
+  spec.params.g = options.get_int("g", spec.params.o);
+  spec.params.G = options.get_int("G", 0);
+  spec.params.O = options.get_int("O", 0);
+  spec.params.bytes = options.get_int("bytes", 1);
+  spec.params.P = static_cast<topo::Rank>(options.get_int("procs", 4096));
+
+  spec.tree = topo::parse_tree_spec(options.get_string("tree", "binomial"));
+  spec.correction.kind =
+      proto::parse_correction_kind(options.get_string("correction", "opportunistic"));
+  spec.correction.distance = static_cast<int>(options.get_int("distance", 4));
+  spec.correction.start =
+      proto::parse_correction_start(options.get_string("start", "overlapped"));
+  if (options.get_flag("left-only")) {
+    spec.correction.directions = proto::CorrectionDirections::kLeftOnly;
+  }
+  spec.correction.delay = options.get_int("delay", 0);  // 0 = substrate default
+
+  const std::string protocol = options.get_string("protocol", "tree");
+  if (protocol == "tree") {
+    spec.protocol = exp::ProtocolKind::kCorrectedTree;
+  } else if (protocol == "ack") {
+    spec.protocol = exp::ProtocolKind::kAckTree;
+  } else if (protocol == "gossip") {
+    spec.protocol = exp::ProtocolKind::kGossip;
+    spec.gossip_time = options.get_int("gossip-time", 40);
+  } else {
+    throw std::invalid_argument("unknown --protocol '" + protocol + "'");
+  }
+
+  spec.faults.count = static_cast<topo::Rank>(options.get_int("faults", 0));
+  spec.faults.fraction = options.get_double("fault-rate", 0.0);
+
+  spec.reps = options.get_int("reps", 100);
+  spec.seed = static_cast<std::uint64_t>(options.get_int("seed", 0x5eed5eed));
+
+  exp::parse_executor(options.get_string("exec", "sim"), spec);
+  if (spec.workers == 0) {
+    spec.workers = static_cast<int>(options.get_int("workers", 0));
+  }
+  if (spec.executor == exp::Executor::kSim) spec.workers = 0;
+  return spec;
 }
 
 }  // namespace
@@ -49,55 +106,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  exp::Scenario scenario;
-  scenario.params.L = options.get_int("L", 2);
-  scenario.params.o = options.get_int("o", 1);
-  scenario.params.g = options.get_int("g", scenario.params.o);
-  scenario.params.G = options.get_int("G", 0);
-  scenario.params.O = options.get_int("O", 0);
-  scenario.params.bytes = options.get_int("bytes", 1);
-  scenario.params.P = static_cast<topo::Rank>(options.get_int("procs", 4096));
-
-  const std::string protocol = options.get_string("protocol", "tree");
-  scenario.tree = topo::parse_tree_spec(options.get_string("tree", "binomial"));
-  scenario.correction.kind =
-      proto::parse_correction_kind(options.get_string("correction", "opportunistic"));
-  scenario.correction.distance = static_cast<int>(options.get_int("distance", 4));
-  scenario.correction.start = options.get_string("start", "overlapped") == "sync"
-                                  ? proto::CorrectionStart::kSynchronized
-                                  : proto::CorrectionStart::kOverlapped;
-  if (options.get_flag("left-only")) {
-    scenario.correction.directions = proto::CorrectionDirections::kLeftOnly;
-  }
-  scenario.correction.delay =
-      options.get_int("delay", 2 * scenario.params.message_cost());
-
-  if (protocol == "tree") {
-    scenario.protocol = exp::ProtocolKind::kCorrectedTree;
-  } else if (protocol == "ack") {
-    scenario.protocol = exp::ProtocolKind::kAckTree;
-  } else if (protocol == "gossip") {
-    scenario.protocol = exp::ProtocolKind::kGossip;
-    scenario.gossip.budget = proto::GossipConfig::Budget::kTime;
-    scenario.gossip.gossip_time = options.get_int("gossip-time", 40);
-    scenario.gossip.correction = scenario.correction;
-    scenario.gossip.correction.start = proto::CorrectionStart::kSynchronized;
-    scenario.gossip.correction.sync_time = scenario.gossip.gossip_time;
-  } else {
-    std::cerr << "unknown --protocol '" << protocol << "'\n";
+  exp::RunSpec spec;
+  try {
+    // --spec=STRING or a positional spec string.
+    std::string text = options.get_string("spec", "");
+    if (text.empty() && !options.positional().empty()) {
+      text = options.positional().front();
+    }
+    spec = text.empty() ? spec_from_flags(options) : exp::parse_run_spec(text);
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
     print_usage();
     return 2;
   }
 
-  scenario.fault_count = static_cast<topo::Rank>(options.get_int("faults", 0));
-  scenario.fault_fraction = options.get_double("fault-rate", 0.0);
-
-  const auto reps = static_cast<std::size_t>(options.get_int("reps", 100));
-  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 0x5eed5eed));
-
   const support::ThreadPool pool;
-  const exp::Aggregate agg = exp::run_replicated(scenario, reps, seed, &pool);
+  const exp::RunRecord record = exp::run(spec, &pool);
 
+  if (spec.executor != exp::Executor::kSim) {
+    std::cout << "spec: " << record.spec << "\n"
+              << "executor          : " << record.executor << " (" << record.workers
+              << " worker threads)\n"
+              << "iterations        : " << record.runs << "\n"
+              << "median latency    : " << record.latency_p50 << " us\n"
+              << "p99 latency       : " << record.latency_p99 << " us\n"
+              << "messages/process  : " << record.messages_per_process << "\n"
+              << "messages/s        : " << record.messages_per_sec << "\n"
+              << "incomplete epochs : " << record.incomplete << "\n"
+              << "timeouts          : " << record.timeouts << "\n";
+    return (record.incomplete == 0 && record.timeouts == 0) ? 0 : 1;
+  }
+
+  const exp::Aggregate& agg = record.aggregate;
   support::Table table({"metric", "mean", "p5", "p50", "p95", "max"});
   auto row = [&](const char* name, const support::Samples& samples, int precision) {
     if (samples.empty()) {
@@ -119,13 +160,10 @@ int main(int argc, char** argv) {
   if (options.get_flag("csv")) {
     table.print_csv(std::cout);
   } else {
-    std::cout << "protocol=" << protocol << " tree=" << scenario.tree.to_string()
-              << " correction=" << scenario.correction.to_string()
-              << " P=" << scenario.params.P << " reps=" << reps << " seed=" << seed
-              << "\n\n";
+    std::cout << "spec: " << record.spec << "\n\n";
     table.print(std::cout);
-    std::cout << "\nruns leaving live processes uncolored: " << agg.not_fully_colored
-              << " / " << agg.runs << "\n";
+    std::cout << "\nruns leaving live processes uncolored: " << record.incomplete
+              << " / " << record.runs << "\n";
   }
   return 0;
 }
