@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <deque>
+#include <thread>
 #include <vector>
 
 #include "rt/engine.hpp"
@@ -71,6 +76,144 @@ void BM_ShardInboxBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch_size));
 }
 BENCHMARK(BM_ShardInboxBatch)->Arg(1)->Arg(16)->Arg(256);
+
+// --- cross-shard delivery under contention ----------------------------------
+//
+// S worker threads exchange envelope batches through the executor's two
+// cross-shard backends — the locked MPSC ShardInbox (one per shard) vs the
+// lock-free SPSC ring mesh (one ring per ordered pair) — driven directly,
+// so the contention profile is isolated from protocol and scheduling cost.
+// Two traffic shapes: all-pairs (every shard batches to every other shard
+// each round — the densest mesh load) and random-peer (each shard picks one
+// pseudo-random destination per round — the sparse, skewed shape of real
+// tree traffic). items/sec counts envelopes end-to-end (pushed and drained).
+
+constexpr std::size_t kStormBatch = 16;
+constexpr std::size_t kStormRounds = 128;
+
+/// One storm: S threads, kStormRounds rounds of batched pushes plus
+/// cooperative draining, terminated by per-producer done markers (tagged
+/// kCorrection) so consumers know when their column is dry. Returns total
+/// envelopes exchanged. Mesh pushes retry with a self-drain between
+/// attempts, so bounded rings cannot deadlock a push cycle; the inbox
+/// capacity covers a whole storm, matching the engine's default headroom.
+std::int64_t cross_shard_storm(std::size_t num_shards, bool mesh, bool all_pairs) {
+  std::deque<rt::SpscRing> rings;
+  std::deque<rt::ShardInbox> inboxes;
+  if (mesh) {
+    for (std::size_t i = 0; i < num_shards * num_shards; ++i) rings.emplace_back(1024);
+  } else {
+    for (std::size_t i = 0; i < num_shards; ++i) inboxes.emplace_back(std::size_t{1} << 16);
+  }
+  std::barrier start(static_cast<std::ptrdiff_t>(num_shards));
+  std::atomic<std::int64_t> total{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      threads.emplace_back([&, s] {
+        std::vector<rt::Envelope> batch(kStormBatch, make_envelope(1));
+        std::vector<rt::Envelope> marker(1, make_envelope(0));
+        marker[0].msg.tag = sim::tag::kCorrection;
+        std::vector<rt::Envelope> drain;
+        std::uint64_t rng = 0x9e3779b97f4a7c15ull ^ (s * 0xbf58476d1ce4e5b9ull);
+        std::int64_t sent = 0;
+        std::size_t done_seen = 0;
+        const auto drain_own = [&] {
+          if (mesh) {
+            for (std::size_t from = 0; from < num_shards; ++from) {
+              if (from != s) rings[from * num_shards + s].pop_all_into(drain);
+            }
+          } else {
+            inboxes[s].drain_into(drain);
+          }
+          for (const rt::Envelope& e : drain) {
+            if (e.msg.tag == sim::tag::kCorrection) ++done_seen;
+          }
+          drain.clear();
+        };
+        const auto push_to = [&](std::size_t d, const std::vector<rt::Envelope>& data) {
+          if (mesh) {
+            std::size_t off = 0;
+            while (off < data.size()) {
+              off += rings[s * num_shards + d].push_batch(data.data() + off,
+                                                          data.size() - off);
+              if (off < data.size()) {
+                // Full ring: drain our own column so a push cycle cannot
+                // deadlock, then yield — the consumer may need the core
+                // (the engine parks on its Doorbell here instead).
+                drain_own();
+                std::this_thread::yield();
+              }
+            }
+          } else {
+            inboxes[d].push_batch(data);  // capacity covers the whole storm
+          }
+          sent += static_cast<std::int64_t>(data.size());
+        };
+        start.arrive_and_wait();
+        for (std::size_t round = 0; round < kStormRounds; ++round) {
+          if (all_pairs) {
+            for (std::size_t d = 0; d < num_shards; ++d) {
+              if (d != s) push_to(d, batch);
+            }
+          } else {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            push_to((s + 1 + rng % (num_shards - 1)) % num_shards, batch);
+          }
+          drain_own();
+        }
+        for (std::size_t d = 0; d < num_shards; ++d) {
+          if (d != s) push_to(d, marker);
+        }
+        while (done_seen < num_shards - 1) {
+          drain_own();
+          std::this_thread::yield();
+        }
+        total.fetch_add(sent, std::memory_order_relaxed);
+      });
+    }
+  }  // jthreads join before the queues go away
+  return total.load(std::memory_order_relaxed);
+}
+
+void BM_CrossShardAllPairs(benchmark::State& state) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+  const bool mesh = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cross_shard_storm(num_shards, mesh, true));
+  }
+  const auto per_storm = static_cast<std::int64_t>(
+      num_shards * (num_shards - 1) * (kStormRounds * kStormBatch + 1));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * per_storm);
+  state.SetLabel(mesh ? "spsc-mesh" : "locked-inbox");
+}
+BENCHMARK(BM_CrossShardAllPairs)
+    ->ArgNames({"workers", "mesh"})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({16, 0})->Args({16, 1})
+    ->UseRealTime();
+
+void BM_CrossShardRandomPeer(benchmark::State& state) {
+  const auto num_shards = static_cast<std::size_t>(state.range(0));
+  const bool mesh = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cross_shard_storm(num_shards, mesh, false));
+  }
+  const auto per_storm = static_cast<std::int64_t>(
+      num_shards * (kStormRounds * kStormBatch + num_shards - 1));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * per_storm);
+  state.SetLabel(mesh ? "spsc-mesh" : "locked-inbox");
+}
+BENCHMARK(BM_CrossShardRandomPeer)
+    ->ArgNames({"workers", "mesh"})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({16, 0})->Args({16, 1})
+    ->UseRealTime();
 
 // --- whole-epoch costs ------------------------------------------------------
 

@@ -126,6 +126,11 @@ std::string executor_token(const RunSpec& spec) {
   if (spec.executor != Executor::kSim && spec.workers > 0) {
     out += ":w=" + std::to_string(spec.workers);
   }
+  if (spec.rt_locked_inbox) out += ":inbox";
+  if (spec.rt_pin) out += ":pin";
+  if (spec.rt_mesh_capacity > 0) {
+    out += ":mesh-cap=" + std::to_string(spec.rt_mesh_capacity);
+  }
   return out;
 }
 
@@ -146,12 +151,29 @@ void parse_executor(const std::string& text, RunSpec& spec) {
   for (std::size_t i = 1; i < tokens.size(); ++i) {
     if (tokens[i].rfind("w=", 0) == 0) {
       spec.workers = static_cast<int>(parse_int("exec:w", tokens[i].substr(2)));
+    } else if (tokens[i] == "inbox") {
+      spec.rt_locked_inbox = true;
+    } else if (tokens[i] == "pin") {
+      spec.rt_pin = true;
+    } else if (tokens[i].rfind("mesh-cap=", 0) == 0) {
+      spec.rt_mesh_capacity = parse_int("exec:mesh-cap", tokens[i].substr(9));
+      if (spec.rt_mesh_capacity < 1) {
+        bad_spec("exec:mesh-cap must be >= 1");
+      }
     } else {
       bad_spec("unknown executor option '" + tokens[i] + "'");
     }
   }
   if (spec.executor == Executor::kSim && spec.workers > 0) {
     bad_spec("exec=sim takes no ':w=' worker count (pass a ThreadPool to run())");
+  }
+  if (spec.executor != Executor::kRtSharded &&
+      (spec.rt_locked_inbox || spec.rt_pin || spec.rt_mesh_capacity > 0)) {
+    bad_spec("executor options ':inbox', ':pin', ':mesh-cap' apply to "
+             "exec=rt-sharded only");
+  }
+  if (spec.rt_locked_inbox && spec.rt_mesh_capacity > 0) {
+    bad_spec("':mesh-cap' sizes the SPSC mesh — it contradicts ':inbox'");
   }
 }
 
@@ -390,6 +412,15 @@ void RunSpec::validate() const {
   }
   if (protocol == ProtocolKind::kGossip && faults.gap_limit > 0) {
     bad_spec("gap= placement limits need a tree protocol");
+  }
+  if (executor != Executor::kRtSharded &&
+      (rt_locked_inbox || rt_pin || rt_mesh_capacity > 0)) {
+    bad_spec("executor options ':inbox', ':pin', ':mesh-cap' apply to "
+             "exec=rt-sharded only");
+  }
+  if (rt_mesh_capacity < 0) bad_spec("exec:mesh-cap must be >= 1");
+  if (rt_locked_inbox && rt_mesh_capacity > 0) {
+    bad_spec("':mesh-cap' sizes the SPSC mesh — it contradicts ':inbox'");
   }
 }
 
@@ -642,6 +673,13 @@ RunRecord run_rt(const RunSpec& spec) {
                                  ? rt::Threading::kSharded
                                  : rt::Threading::kThreadPerRank;
   engine_options.workers = spec.workers;
+  if (spec.rt_locked_inbox) {
+    engine_options.cross_shard = rt::CrossShard::kLockedInbox;
+  }
+  engine_options.pin_threads = spec.rt_pin;
+  if (spec.rt_mesh_capacity > 0) {
+    engine_options.mesh_capacity = static_cast<std::size_t>(spec.rt_mesh_capacity);
+  }
   if (spec.deadline_ms > 0) {
     engine_options.epoch_deadline = std::chrono::milliseconds(spec.deadline_ms);
   }

@@ -108,6 +108,13 @@ struct RunSpec {
   int workers = 0;           ///< rt-sharded shard count; 0 = hardware
   std::int64_t deadline_ms = 0;  ///< rt epoch deadline+timeout; 0 = 10 s timeout
 
+  // --- rt-sharded executor knobs (exec=rt-sharded:w=8:inbox:pin:mesh-cap=N).
+  // Defaults (mesh, no pinning, engine-default capacity) are canonical, so
+  // existing spec strings and golden outputs are unchanged.
+  bool rt_locked_inbox = false;     ///< ':inbox' — legacy locked MPSC inbox
+  bool rt_pin = false;              ///< ':pin' — shard→core thread pinning
+  std::int64_t rt_mesh_capacity = 0;  ///< ':mesh-cap=N' per-pair ring; 0 = default
+
   /// Canonical spec string; parse_run_spec(to_string()) == *this.
   std::string to_string() const;
 
@@ -128,9 +135,10 @@ struct RunSpec {
 /// offending token.
 RunSpec parse_run_spec(const std::string& text);
 
-/// Parses one exec= token — "sim", "rt-sharded[:w=N]", "rt-tpr" (alias
-/// "rt-thread-per-rank") — into spec.executor / spec.workers. The shared
-/// executor-name table for CLIs taking the executor as its own flag.
+/// Parses one exec= token — "sim", "rt-sharded[:w=N][:inbox][:pin]
+/// [:mesh-cap=N]", "rt-tpr" (alias "rt-thread-per-rank") — into
+/// spec.executor and the rt knobs. The shared executor-name table for CLIs
+/// taking the executor as its own flag.
 /// Throws std::invalid_argument on unknown names or options.
 void parse_executor(const std::string& text, RunSpec& spec);
 

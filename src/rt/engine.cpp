@@ -455,6 +455,16 @@ Engine::Engine(Rank num_procs, std::vector<char> failed, EngineOptions options)
     throw std::invalid_argument("failed flag vector must have P entries");
   }
   if (failed_[0]) throw std::invalid_argument("rank 0 (the root) cannot fail");
+  if (options_.inbox_capacity == 0) {
+    throw std::invalid_argument(
+        "EngineOptions::inbox_capacity must be >= 1 (0 would make the "
+        "cross-shard inbox unable to accept any envelope)");
+  }
+  if (options_.mesh_capacity == 0) {
+    throw std::invalid_argument(
+        "EngineOptions::mesh_capacity must be >= 1 (0 would make every "
+        "SPSC ring unable to accept any envelope)");
+  }
   live_count_ = 0;
   for (char f : failed_) live_count_ += (f == 0);
   impl_ = options_.threading == Threading::kThreadPerRank

@@ -13,7 +13,10 @@
 //    hardware_concurrency), each owning a contiguous slice of ranks whose
 //    state machines it steps cooperatively. Intra-shard delivery is a plain
 //    per-rank ring buffer (no locks — single-threaded within a shard);
-//    cross-shard delivery batches through one bounded MPSC inbox per shard.
+//    cross-shard delivery batches through a lock-free SPSC ring per ordered
+//    shard pair (or, behind EngineOptions::cross_shard, the legacy locked
+//    MPSC inbox kept for A/B). Workers only step ranks with pending work —
+//    an active-set run queue replaces the full slice scan per pass.
 //    This is the path that reaches the paper's 36 864-rank prototype scale.
 //
 //  * kThreadPerRank — the original executor: one OS thread and one
@@ -94,14 +97,36 @@ enum class Threading {
   kThreadPerRank,  ///< legacy 1:1 — kept for A/B comparison
 };
 
+/// Cross-shard delivery structure of the sharded executor (DESIGN.md §4f).
+enum class CrossShard {
+  kSpscMesh,     ///< lock-free SPSC ring per ordered shard pair (default)
+  kLockedInbox,  ///< legacy mutex MPSC inbox per shard — kept for A/B
+};
+
 struct EngineOptions {
   Threading threading = Threading::kSharded;
   /// Sharded path: worker (= shard) count; <= 0 means hardware_concurrency.
-  /// Clamped to the rank count (no empty shards).
+  /// Clamped to the rank count (no empty shards) and to an oversubscription
+  /// cap of max(16, 8 × hardware_concurrency()) — past that, extra shards
+  /// only grow the S² ring mesh and timeshare a fixed core budget.
   int workers = 0;
-  /// Sharded path: cross-shard inbox capacity in envelopes, per shard.
-  /// Producers stage overflow locally and retry, so this only bounds memory.
+  /// Sharded path: cross-shard delivery backend.
+  CrossShard cross_shard = CrossShard::kSpscMesh;
+  /// Sharded path (kLockedInbox): cross-shard inbox capacity in envelopes,
+  /// per shard. Producers stage overflow locally and retry, so this only
+  /// bounds memory. Must be >= 1 (the Engine constructor rejects 0).
   std::size_t inbox_capacity = std::size_t{1} << 16;
+  /// Sharded path (kSpscMesh): per-ordered-pair ring capacity in envelopes,
+  /// rounded up to a power of two. Mesh memory is S² × capacity ×
+  /// sizeof(Envelope); backpressure (staged retry) keeps any capacity
+  /// correct, so small rings are safe. Must be >= 1 (constructor rejects 0).
+  std::size_t mesh_capacity = 1024;
+  /// Sharded path: pin worker s to core (s mod hardware_concurrency()).
+  /// Best effort (Linux only; silently a no-op elsewhere or on failure).
+  /// With contiguous rank slices this keeps a shard's rank state and the
+  /// rings it owns on the node that first touches them — the NUMA story is
+  /// placement by first touch plus a stable shard→core map.
+  bool pin_threads = false;
   /// Hard upper bound on any epoch's wall time; 0 = none. Combined with the
   /// per-call run_epoch timeout (the smaller positive bound wins), so chaos
   /// soaks always terminate: on expiry the engine force-quiesces and the

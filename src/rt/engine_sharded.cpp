@@ -1,10 +1,23 @@
-// Sharded M:N executor (DESIGN.md §4c): N worker threads, each owning a
-// contiguous slice of ranks whose unchanged sim::Protocol state machines it
-// steps cooperatively. Intra-shard delivery lands in per-rank LocalFifo ring
-// buffers (no locks — single-threaded within a shard); cross-shard delivery
-// is staged per destination during a scheduling pass and flushed with one
-// lock acquisition per destination shard into its bounded MPSC ShardInbox,
-// so lock traffic is O(shards²) per pass instead of O(messages).
+// Sharded M:N executor (DESIGN.md §4c, §4f): N worker threads, each owning
+// a contiguous slice of ranks whose unchanged sim::Protocol state machines
+// it steps cooperatively. Intra-shard delivery lands in per-rank LocalFifo
+// ring buffers (no locks — single-threaded within a shard); cross-shard
+// delivery is staged per destination during a scheduling pass and flushed
+// as whole batches into a lock-free SPSC ring per ordered shard pair (the
+// default), or into the legacy bounded MPSC ShardInbox behind
+// EngineOptions::cross_shard — kept so A/B runs can interleave both paths
+// in one binary. Either way the synchronization traffic per pass is
+// O(shards²) for the whole engine, never O(messages); with the mesh it is
+// two uncontended cache-line publishes per pair instead of a lock.
+//
+// Scheduling within a shard is an active set, not a slice sweep: a run
+// queue holds exactly the ranks with pending work (seeded with every live
+// rank once per epoch so begin()-time state is noticed), and delivery,
+// timer expiry, and chaos events re-arm ranks as work appears. Idle ranks
+// cost nothing per pass — at 36Ki ranks on one core this, not protocol
+// cost, was the dominant term. Ranks with no queue entry can still owe
+// events, so three side watch lists cover them: pending timers, scheduled
+// chaos crashes, and chaos-delayed envelopes.
 //
 // Concurrency contract (same as the legacy executor relies on, now spelled
 // out): during an epoch, protocol callbacks for rank `me` may only call
@@ -15,6 +28,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <bit>
 #include <deque>
 #include <memory>
 #include <thread>
@@ -23,6 +37,11 @@
 #include "rt/engine_impl.hpp"
 #include "rt/shard_queue.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace ct::rt::detail {
 
 namespace {
@@ -30,6 +49,19 @@ namespace {
 using topo::Rank;
 
 constexpr std::chrono::microseconds kIdleWait{50};
+
+/// Best-effort shard→core pinning (EngineOptions::pin_threads). Failure is
+/// ignored: affinity is a performance hint, never a correctness need.
+void pin_to_core(std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core), &set);
+  static_cast<void>(pthread_setaffinity_np(pthread_self(), sizeof(set), &set));
+#else
+  static_cast<void>(core);
+#endif
+}
 
 // Per-rank-step drain bounds. Everything already in the outbox when a step
 // begins is drained in full — that backlog is bounded by protocol fan-out
@@ -56,17 +88,12 @@ class ShardedImpl final : public Engine::Impl {
         fifo_(static_cast<std::size_t>(num_procs)),
         outbox_(static_cast<std::size_t>(num_procs)),
         timers_(static_cast<std::size_t>(num_procs)),
-        colored_(static_cast<std::size_t>(num_procs), 0),
-        completed_(static_cast<std::size_t>(num_procs), 0),
-        sends_(static_cast<std::size_t>(num_procs), 0),
-        rank_data_(static_cast<std::size_t>(num_procs), 0),
-        completion_ns_(static_cast<std::size_t>(num_procs), -1),
-        crash_at_ns_(static_cast<std::size_t>(num_procs), -1),
-        crash_budget_(static_cast<std::size_t>(num_procs), -1),
-        crashed_(static_cast<std::size_t>(num_procs), 0),
+        core_(static_cast<std::size_t>(num_procs)),
         dropped_(static_cast<std::size_t>(num_procs), 0),
         delayed_stat_(static_cast<std::size_t>(num_procs), 0),
         duped_(static_cast<std::size_t>(num_procs), 0),
+        use_mesh_(options.cross_shard == CrossShard::kSpscMesh),
+        pin_threads_(options.pin_threads),
         context_(*this),
         epoch_barrier_(build_shards(options) + 1) {
     threads_.reserve(shards_.size());
@@ -101,6 +128,26 @@ class ShardedImpl final : public Engine::Impl {
     bool fired = false;
   };
 
+  /// Per-rank hot scalars, one cache line per rank. A step used to touch
+  /// ~eight parallel arrays — eight cache-miss streams once P outgrows the
+  /// L2 — and at 16Ki–36Ki ranks those misses, not protocol work, dominated
+  /// the epoch. One line holds everything a step reads or writes outside
+  /// the fifo/outbox/timer payloads. alignas(64) also makes the line
+  /// owner-exclusive: no false sharing across a shard boundary.
+  struct alignas(64) RankCore {
+    std::int64_t sends = 0;
+    std::int64_t rank_data = 0;
+    std::int64_t completion_ns = -1;
+    std::int64_t crash_at_ns = -1;
+    std::int64_t crash_budget = -1;
+    char colored = 0;
+    char completed = 0;
+    char crashed = 0;
+    char queued = 0;         // rank is in its shard's run_queue
+    char timer_watched = 0;  // rank is on its shard's timer_watch
+  };
+  static_assert(sizeof(RankCore) == 64);
+
   /// An envelope held back by the chaos layer until release_ns. Owned by
   /// the *sending* shard — the network keeps in-flight messages even if
   /// the sender crashes after the send.
@@ -113,15 +160,35 @@ class ShardedImpl final : public Engine::Impl {
   /// shard map is one division; live_ranks caches the slice minus failures.
   struct Shard {
     Shard(Rank lo_in, Rank hi_in, std::size_t inbox_capacity, std::size_t num_shards)
-        : lo(lo_in), hi(hi_in), inbox(inbox_capacity), staged(num_shards) {}
+        : lo(lo_in),
+          hi(hi_in),
+          inbox(inbox_capacity),
+          mail_mask((num_shards + 63) / 64),
+          staged(num_shards) {}
 
     Rank lo;
     Rank hi;
     std::vector<Rank> live_ranks;
-    ShardInbox inbox;
+    ShardInbox inbox;      // cross-shard mail, kLockedInbox mode only
+    Doorbell bell;         // parking/wakeup, kSpscMesh mode only
+    /// Mesh dirty flags: producer `from` sets bit (from mod 64) of word
+    /// (from div 64) after publishing into ring (from → this shard), so the
+    /// owner drains and polls O(S/64) words instead of O(S) ring indices —
+    /// at 16 shards that is one cache line instead of sixteen, and it is
+    /// what keeps the idle-park predicate cheap. Never grown after
+    /// construction (vector<atomic> cannot reallocate).
+    std::vector<std::atomic<std::uint64_t>> mail_mask;
     std::vector<Envelope> drain;                 // reusable inbox drain buffer
     std::vector<std::vector<Envelope>> staged;   // outgoing, per destination shard
     std::vector<Delayed> delayed;                // chaos-delayed, awaiting release
+
+    // Active-set scheduler (owner-thread only between the epoch barriers).
+    // run_queue is a FIFO with a consumed prefix [0, run_head); queued_
+    // flags keep membership O(1).
+    std::vector<Rank> run_queue;
+    std::size_t run_head = 0;
+    std::vector<Rank> timer_watch;  // ranks with >= 1 unfired timer
+    std::vector<Rank> crash_watch;  // ranks with a scheduled chaos crash
   };
 
   // The sim::Context facade handed to protocol callbacks.
@@ -137,24 +204,27 @@ class ShardedImpl final : public Engine::Impl {
       // and then runs the on_sent callback.
       const auto slot = static_cast<std::size_t>(from);
       impl_.outbox_[slot].push_back(
-          Envelope{sim::Message{from, to, tag, payload, impl_.rank_data_[slot]},
+          Envelope{sim::Message{from, to, tag, payload, impl_.core_[slot].rank_data},
                    impl_.epoch_});
     }
 
     void set_rank_data(Rank r, std::int64_t data) override {
-      impl_.rank_data_[static_cast<std::size_t>(r)] = data;
+      impl_.core_[static_cast<std::size_t>(r)].rank_data = data;
     }
     std::int64_t rank_data(Rank r) const override {
-      return impl_.rank_data_[static_cast<std::size_t>(r)];
+      return impl_.core_[static_cast<std::size_t>(r)].rank_data;
     }
     void set_timer(Rank on, sim::Time when, std::int64_t id) override {
       impl_.timers_[static_cast<std::size_t>(on)].push_back({when, id, false});
+      // The owning shard must notice the expiry even if `on` never gets
+      // another queue entry — register it on the shard's timer watch list.
+      impl_.register_timer_watch(on);
     }
     void mark_colored(Rank r) override {
-      impl_.colored_[static_cast<std::size_t>(r)] = 1;
+      impl_.core_[static_cast<std::size_t>(r)].colored = 1;
     }
     bool is_colored(Rank r) const override {
-      return impl_.colored_[static_cast<std::size_t>(r)] != 0;
+      return impl_.core_[static_cast<std::size_t>(r)].colored != 0;
     }
     void note_correction_start() override {
       impl_.correction_started_.store(true, std::memory_order_relaxed);
@@ -165,14 +235,24 @@ class ShardedImpl final : public Engine::Impl {
   };
 
   /// Carves [0, P) into contiguous slices of ceil(P / workers) ranks and
-  /// returns the shard count (for the barrier's participant total).
+  /// returns the shard count (for the barrier's participant total). In mesh
+  /// mode also lays out the S² SPSC rings, ordered producer-major so the
+  /// consumer column for shard s is rings_[from * S + s].
   std::ptrdiff_t build_shards(const EngineOptions& options) {
     const auto p = static_cast<std::size_t>(num_procs_);
-    std::size_t workers = options.workers > 0
-                              ? static_cast<std::size_t>(options.workers)
-                              : std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    std::size_t workers =
+        options.workers > 0 ? static_cast<std::size_t>(options.workers) : hw;
+    // Oversubscription cap (see EngineOptions::workers): shards beyond this
+    // only inflate the S² mesh and timeshare the same cores. Generous floor
+    // of 16 so multi-worker tests behave identically on small CI hosts.
+    workers = std::min(workers, std::max<std::size_t>(16, 8 * hw));
     workers = std::min(workers, p);
     chunk_ = (p + workers - 1) / workers;
+    // Round-up reciprocal for the delivery path's shard lookup: exact for
+    // every rank and chunk below 2^32 (rank·e < 2^64 in the usual round-up
+    // bound). chunk_ == 1 wraps the reciprocal to 0; shard_of branches.
+    chunk_mul_ = ~std::uint64_t{0} / chunk_ + 1;
     const std::size_t num_shards = (p + chunk_ - 1) / chunk_;
     for (std::size_t s = 0; s < num_shards; ++s) {
       const auto lo = static_cast<Rank>(s * chunk_);
@@ -180,6 +260,15 @@ class ShardedImpl final : public Engine::Impl {
       Shard& shard = shards_.emplace_back(lo, hi, options.inbox_capacity, num_shards);
       for (Rank r = lo; r < hi; ++r) {
         if (!failed_[static_cast<std::size_t>(r)]) shard.live_ranks.push_back(r);
+      }
+    }
+    if (use_mesh_) {
+      // Diagonal rings are never touched (same-shard mail takes the
+      // LocalFifo); give them the minimum footprint.
+      for (std::size_t from = 0; from < num_shards; ++from) {
+        for (std::size_t to = 0; to < num_shards; ++to) {
+          rings_.emplace_back(from == to ? 1 : options.mesh_capacity);
+        }
       }
     }
     return static_cast<std::ptrdiff_t>(num_shards);
@@ -203,32 +292,48 @@ class ShardedImpl final : public Engine::Impl {
     started_.store(false, std::memory_order_release);
     crash_active_ = chaos_ != nullptr && chaos_->crashes_enabled();
     link_active_ = chaos_ != nullptr && chaos_->links_enabled();
+    for (Shard& shard : shards_) {
+      shard.inbox.clear();
+      shard.drain.clear();
+      for (auto& staged : shard.staged) staged.clear();
+      shard.delayed.clear();
+      // Seed the active set with every live rank: the first pass must step
+      // each one once so begin()-time coloring and outboxes are noticed
+      // (and already-satisfied ranks complete immediately).
+      shard.run_queue.assign(shard.live_ranks.begin(), shard.live_ranks.end());
+      shard.run_head = 0;
+      shard.timer_watch.clear();
+      shard.crash_watch.clear();
+      for (std::atomic<std::uint64_t>& word : shard.mail_mask) {
+        word.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (SpscRing& ring : rings_) ring.clear();  // both sides parked at the barrier
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
       fifo_[slot].clear();
       outbox_[slot].clear();
       timers_[slot].clear();
-      colored_[slot] = 0;
-      completed_[slot] = 0;
-      sends_[slot] = 0;
-      rank_data_[slot] = 0;
-      completion_ns_[slot] = -1;
+      core_[slot].colored = 0;
+      core_[slot].completed = 0;
+      core_[slot].sends = 0;
+      core_[slot].rank_data = 0;
+      core_[slot].completion_ns = -1;
+      core_[slot].queued = static_cast<char>(!failed_[slot]);
+      core_[slot].timer_watched = 0;
       if (crash_active_) {
-        crashed_[slot] = 0;
-        crash_at_ns_[slot] = failed_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
-        crash_budget_[slot] = failed_[slot] ? -1 : chaos_->crash_send_budget(r);
+        core_[slot].crashed = 0;
+        core_[slot].crash_at_ns = failed_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
+        core_[slot].crash_budget = failed_[slot] ? -1 : chaos_->crash_send_budget(r);
+        if (core_[slot].crash_at_ns >= 0) {
+          shards_[shard_of(slot)].crash_watch.push_back(r);
+        }
       }
       if (link_active_) {
         dropped_[slot] = 0;
         delayed_stat_[slot] = 0;
         duped_[slot] = 0;
       }
-    }
-    for (Shard& shard : shards_) {
-      shard.inbox.clear();
-      shard.drain.clear();
-      for (auto& staged : shard.staged) staged.clear();
-      shard.delayed.clear();
     }
   }
 
@@ -247,16 +352,16 @@ class ShardedImpl final : public Engine::Impl {
         result.rank_state[slot] = RankEnd::kFailedAtStart;
         continue;
       }
-      result.total_messages += sends_[slot];
-      result.rank_completion_ns.push_back(completion_ns_[slot]);
-      result.completion_ns = std::max(result.completion_ns, completion_ns_[slot]);
-      if (crash_active_ && crashed_[slot]) {
+      result.total_messages += core_[slot].sends;
+      result.rank_completion_ns.push_back(core_[slot].completion_ns);
+      result.completion_ns = std::max(result.completion_ns, core_[slot].completion_ns);
+      if (crash_active_ && core_[slot].crashed) {
         result.rank_state[slot] = RankEnd::kCrashed;
         result.crashed_ranks.push_back(r);
         ++result.crashed_mid_epoch;
         continue;
       }
-      if (!colored_[slot]) {
+      if (!core_[slot].colored) {
         result.rank_state[slot] = RankEnd::kUncolored;
         result.uncolored_survivors.push_back(r);
         ++result.uncolored_live;
@@ -293,6 +398,12 @@ class ShardedImpl final : public Engine::Impl {
   }
 
   void worker_main(std::size_t s) {
+    if (pin_threads_) {
+      // Stable shard→core map; with contiguous rank slices and first-touch
+      // allocation this keeps a shard's rank state and its consumer ring
+      // column on the core (and NUMA node) that works them.
+      pin_to_core(s % std::max(1u, std::thread::hardware_concurrency()));
+    }
     for (;;) {
       epoch_barrier_.arrive_and_wait();  // epoch start (or shutdown)
       if (shutdown_.load(std::memory_order_acquire)) return;
@@ -301,54 +412,186 @@ class ShardedImpl final : public Engine::Impl {
     }
   }
 
+  /// Adds `r` (owned by `shard`) to the active set if absent.
+  void activate(Shard& shard, Rank r) {
+    const auto slot = static_cast<std::size_t>(r);
+    if (!core_[slot].queued) {
+      core_[slot].queued = 1;
+      shard.run_queue.push_back(r);
+    }
+  }
+
+  /// Called from Context::set_timer. Legal callers are the coordinator
+  /// (begin(), before the start barrier) and the shard owning `on` (the
+  /// callback contract), so the watch list write is always single-threaded.
+  void register_timer_watch(Rank on) {
+    const auto slot = static_cast<std::size_t>(on);
+    if (!core_[slot].timer_watched) {
+      core_[slot].timer_watched = 1;
+      shards_[shard_of(slot)].timer_watch.push_back(on);
+    }
+  }
+
+  /// Claims pending cross-shard mail — every ring of the mesh column (or
+  /// the locked inbox) in one batch — delivers it into the per-rank fifos,
+  /// and activates the receivers.
+  bool drain_cross_shard(std::size_t s, Shard& shard) {
+    if (use_mesh_) {
+      const std::size_t num_shards = shards_.size();
+      for (std::size_t word = 0; word < shard.mail_mask.size(); ++word) {
+        if (shard.mail_mask[word].load(std::memory_order_relaxed) == 0) continue;
+        // Clear before popping: a bit set for mail we then miss re-arms the
+        // next pass (harmless empty pop); clearing after could lose one.
+        std::uint64_t bits = shard.mail_mask[word].exchange(0, std::memory_order_acquire);
+        while (bits != 0) {
+          const std::size_t from = (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          rings_[from * num_shards + s].pop_all_into(shard.drain);
+        }
+      }
+    } else {
+      shard.inbox.drain_into(shard.drain);
+    }
+    if (shard.drain.empty()) return false;
+    for (Envelope& envelope : shard.drain) {
+      const auto dst = static_cast<std::size_t>(envelope.msg.dst);
+      fifo_[dst].push(std::move(envelope));
+      activate(shard, static_cast<Rank>(dst));
+    }
+    shard.drain.clear();
+    return true;
+  }
+
+  /// Fires due timers for watched ranks and compacts the watch list down to
+  /// ranks that still owe one. Index loop: on_timer may set a new timer,
+  /// which appends to this very list.
+  bool scan_timer_watch(Shard& shard, sim::Time pass_now) {
+    bool any = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < shard.timer_watch.size(); ++i) {
+      const Rank r = shard.timer_watch[i];
+      const auto slot = static_cast<std::size_t>(r);
+      if (crash_active_ && core_[slot].crashed) {
+        core_[slot].timer_watched = 0;
+        continue;
+      }
+      auto& timers = timers_[slot];
+      if (fire_due_timers(r, timers, pass_now)) {
+        any = true;
+        activate(shard, r);  // the handler may have queued sends
+      }
+      bool pending = false;
+      for (const Timer& timer : timers) {
+        if (!timer.fired) {
+          pending = true;
+          break;
+        }
+      }
+      if (pending) {
+        shard.timer_watch[keep++] = r;
+      } else {
+        core_[slot].timer_watched = 0;
+      }
+    }
+    shard.timer_watch.resize(keep);
+    return any;
+  }
+
+  /// Triggers due scheduled chaos crashes — these must fire even for ranks
+  /// with no queue entry, or an idle victim would survive and the
+  /// completion countdown would hang on it.
+  bool scan_crash_watch(Shard& shard, sim::Time pass_now) {
+    bool any = false;
+    std::size_t keep = 0;
+    for (const Rank r : shard.crash_watch) {
+      const auto slot = static_cast<std::size_t>(r);
+      if (core_[slot].crashed) continue;  // a send-budget crash already took it
+      if (pass_now >= core_[slot].crash_at_ns) {
+        crash_rank(slot);
+        any = true;
+        continue;
+      }
+      shard.crash_watch[keep++] = r;
+    }
+    shard.crash_watch.resize(keep);
+    return any;
+  }
+
   /// One worker's epoch: scheduling passes until every live rank completed
-  /// (or the epoch timed out). Each pass batch-drains the cross-shard
-  /// inbox, steps every owned live rank, and flushes staged cross-shard
-  /// sends; an idle pass parks on the inbox condvar for kIdleWait.
+  /// (or the epoch timed out). Each pass batch-drains cross-shard mail,
+  /// services the watch lists, steps the active set (bounded per pass so
+  /// flushes and the deadline stay responsive), and flushes staged
+  /// cross-shard sends; an idle pass parks for kIdleWait.
   void shard_epoch(std::size_t s) {
     Shard& shard = shards_[s];
     if (shard.live_ranks.empty()) {
       // Entirely-failed slice (possible whenever workers > live ranks): it
       // neither steps protocol state nor receives traffic — deliver() drops
       // failed destinations at the source — so park in long slices instead
-      // of spin-polling. finish_epoch() kicks every inbox, so the end-of-
-      // epoch barrier is never kept waiting on this shard.
+      // of spin-polling. finish_epoch() kicks every shard, so the end-of-
+      // epoch barrier is never kept waiting on this one.
       while (!epoch_done_.load(std::memory_order_acquire)) {
-        shard.inbox.wait_for_mail(std::chrono::milliseconds(5));
+        if (use_mesh_) {
+          shard.bell.wait(std::chrono::milliseconds(5), [] { return false; });
+        } else {
+          shard.inbox.wait_for_mail(std::chrono::milliseconds(5));
+        }
       }
       return;
     }
+    // Per-pass step bound: an activation cascade (each step re-arming the
+    // ranks it delivered to) may otherwise run arbitrarily long before the
+    // next flush/drain/deadline checkpoint. A full slice's worth keeps the
+    // pass no heavier than the old sweep; leftovers stay queued in order.
+    const std::size_t step_budget =
+        std::max<std::size_t>(shard.live_ranks.size(), 1024);
     while (!epoch_done_.load(std::memory_order_acquire)) {
-      bool progress = false;
-
-      shard.inbox.drain_into(shard.drain);
-      if (!shard.drain.empty()) {
-        progress = true;
-        for (Envelope& envelope : shard.drain) {
-          fifo_[static_cast<std::size_t>(envelope.msg.dst)].push(std::move(envelope));
-        }
-        shard.drain.clear();
-      }
+      bool progress = drain_cross_shard(s, shard);
 
       const sim::Time pass_now = now();
       if (link_active_ && !shard.delayed.empty()) {
         progress |= release_delayed(s, shard, pass_now);
       }
+      if (crash_active_ && !shard.crash_watch.empty()) {
+        progress |= scan_crash_watch(shard, pass_now);
+      }
+      if (!shard.timer_watch.empty()) {
+        progress |= scan_timer_watch(shard, pass_now);
+      }
+
       bool deadline_hit = timeout_ns_ > 0 && pass_now > timeout_ns_;
       std::size_t stepped = 0;
-      for (Rank r : shard.live_ranks) {
+      while (shard.run_head < shard.run_queue.size() && stepped < step_budget) {
+        const Rank r = shard.run_queue[shard.run_head++];
+        const auto slot = static_cast<std::size_t>(r);
+        core_[slot].queued = 0;
         progress |= step_rank(s, shard, r, pass_now);
-        // A pass over a large slice can outlive the deadline by itself
-        // (thousands of ranks, each draining capped-but-real backlogs), so
-        // the deadline is also checked on a stride *inside* the pass — the
-        // per-pass check alone would let one slow pass overshoot unboundedly.
+        // Receive/chained-send caps can leave backlog behind; re-arm so the
+        // rank resumes without waiting for fresh mail.
+        if (!fifo_[slot].empty() || !outbox_[slot].empty()) activate(shard, r);
+        // A pass can outlive the deadline by itself (thousands of active
+        // ranks, each draining capped-but-real backlogs), so the deadline
+        // is also checked on a stride *inside* the pass — the per-pass
+        // check alone would let one slow pass overshoot unboundedly.
         if (timeout_ns_ > 0 && (++stepped & 0x3FFu) == 0 && now() > timeout_ns_) {
           deadline_hit = true;
           break;
         }
       }
+      if (shard.run_head > 0) {
+        if (shard.run_head == shard.run_queue.size()) {
+          shard.run_queue.clear();
+        } else {
+          shard.run_queue.erase(
+              shard.run_queue.begin(),
+              shard.run_queue.begin() + static_cast<std::ptrdiff_t>(shard.run_head));
+        }
+        shard.run_head = 0;
+      }
+      // A budget-cut pass must not park on top of runnable work.
+      progress |= !shard.run_queue.empty();
 
-      progress |= flush_staged(shard);
+      progress |= flush_staged(s, shard);
 
       if (deadline_hit && !epoch_done_.load(std::memory_order_acquire)) {
         timed_out_.store(true, std::memory_order_relaxed);
@@ -357,9 +600,23 @@ class ShardedImpl final : public Engine::Impl {
       }
 
       if (!progress && !epoch_done_.load(std::memory_order_acquire)) {
-        shard.inbox.wait_for_mail(kIdleWait);
+        if (use_mesh_) {
+          shard.bell.wait(kIdleWait, [&] { return mesh_has_mail(shard); });
+        } else {
+          shard.inbox.wait_for_mail(kIdleWait);
+        }
       }
     }
+  }
+
+  /// Consumer-side poll: one mask word per 64 producers instead of a walk
+  /// over every ring index line in the column. Relaxed loads suffice — the
+  /// Doorbell's seq_cst fence pair orders them against the park decision.
+  bool mesh_has_mail(const Shard& shard) const {
+    for (const std::atomic<std::uint64_t>& word : shard.mail_mask) {
+      if (word.load(std::memory_order_relaxed) != 0) return true;
+    }
+    return false;
   }
 
   /// Steps one rank: pending receives, then the send queue (on_sent may
@@ -371,7 +628,7 @@ class ShardedImpl final : public Engine::Impl {
     bool progress = false;
 
     if (crash_active_) {
-      if (crashed_[slot]) {
+      if (core_[slot].crashed) {
         // A dead rank's fifo still receives traffic (deliver() only checks
         // the construction-time failed flags — crash state is owner-local,
         // never read cross-thread). Discard it so the ring stays bounded.
@@ -380,7 +637,7 @@ class ShardedImpl final : public Engine::Impl {
         }
         return false;
       }
-      if (crash_at_ns_[slot] >= 0 && pass_now >= crash_at_ns_[slot]) {
+      if (core_[slot].crash_at_ns >= 0 && pass_now >= core_[slot].crash_at_ns) {
         crash_rank(slot);
         return true;
       }
@@ -394,7 +651,6 @@ class ShardedImpl final : public Engine::Impl {
       ++received;
       if (envelope.epoch == epoch_) protocol_->on_receive(context_, r, envelope.msg);
     }
-
     auto& outbox = outbox_[slot];
     if (!outbox.empty()) {
       progress = true;
@@ -402,14 +658,14 @@ class ShardedImpl final : public Engine::Impl {
       const std::size_t limit = outbox.size() + kMaxChainedSends;
       std::size_t i = 0;
       for (; i < outbox.size() && i < limit; ++i) {
-        if (crash_active_ && crash_budget_[slot] >= 0 &&
-            sends_[slot] >= crash_budget_[slot]) {
+        if (crash_active_ && core_[slot].crash_budget >= 0 &&
+            core_[slot].sends >= core_[slot].crash_budget) {
           // Step-count crash: the unsent outbox tail dies with the rank.
           crash_rank(slot);
           return true;
         }
         const Envelope out = outbox[i];  // copy: on_sent may grow the outbox
-        ++sends_[slot];
+        ++core_[slot].sends;
         if (link_active_) {
           deliver_chaos(s, shard, slot, out, pass_now);
         } else {
@@ -429,9 +685,9 @@ class ShardedImpl final : public Engine::Impl {
     auto& timers = timers_[slot];
     if (!timers.empty()) progress |= fire_due_timers(r, timers, pass_now);
 
-    if (!completed_[slot] && colored_[slot] && outbox.empty()) {
-      completed_[slot] = 1;
-      completion_ns_[slot] = now();
+    if (!core_[slot].completed && core_[slot].colored && outbox.empty()) {
+      core_[slot].completed = 1;
+      core_[slot].completion_ns = now();
       if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_count_) {
         finish_epoch();
       }
@@ -439,15 +695,26 @@ class ShardedImpl final : public Engine::Impl {
     return progress;
   }
 
-  /// Same-shard destinations go straight into the rank's LocalFifo; other
-  /// shards' traffic is staged per destination and flushed at pass end.
-  /// Failed destinations are dropped, indistinguishable from success.
+  /// Same-shard destinations go straight into the rank's LocalFifo (and
+  /// onto the active set); other shards' traffic is staged per destination
+  /// and flushed at pass end. Failed destinations are dropped,
+  /// indistinguishable from success.
+  /// shard(r) = r / chunk_, strength-reduced to one high multiply — this
+  /// runs once per delivered message, and the integer divide was measurable
+  /// on the single-shard ladder cells.
+  std::size_t shard_of(std::size_t rank) const noexcept {
+    if (chunk_mul_ == 0) return rank;  // chunk_ == 1
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(rank) * chunk_mul_) >> 64);
+  }
+
   void deliver(std::size_t s, Shard& shard, const Envelope& envelope) {
     const auto dst = static_cast<std::size_t>(envelope.msg.dst);
     if (failed_[dst]) return;
-    const std::size_t dest_shard = dst / chunk_;
+    const std::size_t dest_shard = shard_of(dst);
     if (dest_shard == s) {
       fifo_[dst].push(envelope);
+      activate(shard, envelope.msg.dst);
     } else {
       shard.staged[dest_shard].push_back(envelope);
     }
@@ -459,7 +726,7 @@ class ShardedImpl final : public Engine::Impl {
   void deliver_chaos(std::size_t s, Shard& shard, std::size_t slot,
                      const Envelope& envelope, sim::Time pass_now) {
     const ChaosPlan::Verdict verdict =
-        chaos_->classify(epoch_, envelope.msg.src, sends_[slot]);
+        chaos_->classify(epoch_, envelope.msg.src, core_[slot].sends);
     if (verdict.drop) {
       ++dropped_[slot];
       return;  // on_sent still fires at the caller: the paper's fail-stop
@@ -499,44 +766,59 @@ class ShardedImpl final : public Engine::Impl {
   /// credits the completion countdown so no surviving peer waits on it.
   /// completion_ns stays -1 — the rank never completed, it died.
   void crash_rank(std::size_t slot) {
-    crashed_[slot] = 1;
+    core_[slot].crashed = 1;
     outbox_[slot].clear();
     timers_[slot].clear();
     fifo_[slot].clear();
-    if (!completed_[slot]) {
-      completed_[slot] = 1;
+    if (!core_[slot].completed) {
+      core_[slot].completed = 1;
       if (completed_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_count_) {
         finish_epoch();
       }
     }
   }
 
-  /// One push_batch (== one lock) per destination shard with staged traffic.
-  /// A full inbox accepts a prefix; the leftover stays staged in order and
-  /// is retried next pass, preserving per-sender FIFO.
-  bool flush_staged(Shard& shard) {
+  /// One batch publish per destination shard with staged traffic — a single
+  /// release store on the pair's ring (mesh) or one push_batch under the
+  /// inbox lock (legacy). A full ring/inbox accepts a prefix; the leftover
+  /// stays staged in order and is retried next pass, preserving per-sender
+  /// FIFO — the same backpressure contract either way, so the PR4
+  /// chained-send bound and the epoch deadline behave identically.
+  bool flush_staged(std::size_t s, Shard& shard) {
     bool any = false;
-    for (std::size_t d = 0; d < shards_.size(); ++d) {
+    const std::size_t num_shards = shards_.size();
+    for (std::size_t d = 0; d < num_shards; ++d) {
       std::vector<Envelope>& staged = shard.staged[d];
       if (staged.empty()) continue;
-      const std::size_t accepted = shards_[d].inbox.push_batch(staged);
+      const std::size_t accepted =
+          use_mesh_
+              ? rings_[s * num_shards + d].push_batch(staged.data(), staged.size())
+              : shards_[d].inbox.push_batch(staged);
       if (accepted == staged.size()) {
         staged.clear();
       } else if (accepted > 0) {
         staged.erase(staged.begin(), staged.begin() + static_cast<std::ptrdiff_t>(accepted));
       }
-      any |= accepted > 0;
+      if (accepted > 0) {
+        any = true;
+        if (use_mesh_) {
+          shards_[d].mail_mask[s >> 6].fetch_or(std::uint64_t{1} << (s & 63),
+                                                std::memory_order_release);
+          shards_[d].bell.notify();
+        }
+      }
     }
     return any;
   }
 
+  /// Index loop: on_timer may call set_timer and grow the vector mid-scan.
   bool fire_due_timers(Rank r, std::vector<Timer>& timers, sim::Time pass_now) {
     bool fired = false;
-    for (auto& timer : timers) {
-      if (!timer.fired && timer.when <= pass_now) {
-        timer.fired = true;
+    for (std::size_t i = 0; i < timers.size(); ++i) {
+      if (!timers[i].fired && timers[i].when <= pass_now) {
+        timers[i].fired = true;
         fired = true;
-        protocol_->on_timer(context_, r, timer.id);
+        protocol_->on_timer(context_, r, timers[i].id);
       }
     }
     return fired;
@@ -544,38 +826,46 @@ class ShardedImpl final : public Engine::Impl {
 
   void finish_epoch() {
     epoch_done_.store(true, std::memory_order_release);
-    for (Shard& shard : shards_) shard.inbox.kick();
+    for (Shard& shard : shards_) {
+      if (use_mesh_) {
+        shard.bell.kick();
+      } else {
+        shard.inbox.kick();
+      }
+    }
   }
 
   Rank num_procs_;
   const std::vector<char>& failed_;
   Rank live_count_;
 
-  std::size_t chunk_ = 1;       // ranks per shard; shard(r) = r / chunk_
+  std::size_t chunk_ = 1;        // ranks per shard; shard(r) = r / chunk_
+  std::uint64_t chunk_mul_ = 0;  // ceil(2^64 / chunk_); 0 when chunk_ == 1
   std::deque<Shard> shards_;    // deque: Shard holds a mutex, must not move
+  /// SPSC mesh, producer-major: rings_[from * S + to]. Deque for the same
+  /// reason as shards_ — the rings hold atomics and must not move.
+  std::deque<SpscRing> rings_;
 
   std::vector<LocalFifo> fifo_;
   std::vector<std::vector<Envelope>> outbox_;
   std::vector<std::vector<Timer>> timers_;
-  std::vector<char> colored_;
-  std::vector<char> completed_;
-  std::vector<std::int64_t> sends_;
-  std::vector<std::int64_t> rank_data_;
-  std::vector<std::int64_t> completion_ns_;
+  /// Per-rank hot scalars (see RankCore). Entries are only read/written by
+  /// the owning shard during an epoch.
+  std::vector<RankCore> core_;
 
-  // Chaos state. Per-rank entries are only read/written by the owning
-  // shard during an epoch; crash_active_/link_active_ are latched in
-  // reset_epoch (before the start barrier) so the no-chaos hot path costs
-  // two branch-on-false per pass.
+  // Chaos state. crash_active_/link_active_ are latched in reset_epoch
+  // (before the start barrier) so the no-chaos hot path costs two
+  // branch-on-false per pass; the link-stat arrays are cold relative to
+  // RankCore and stay out of its cache line.
   const ChaosPlan* chaos_ = nullptr;
   bool crash_active_ = false;
   bool link_active_ = false;
-  std::vector<std::int64_t> crash_at_ns_;
-  std::vector<std::int64_t> crash_budget_;
-  std::vector<char> crashed_;
   std::vector<std::int64_t> dropped_;
   std::vector<std::int64_t> delayed_stat_;
   std::vector<std::int64_t> duped_;
+
+  bool use_mesh_ = true;
+  bool pin_threads_ = false;
 
   sim::Protocol* protocol_ = nullptr;
   std::int64_t epoch_ = 0;

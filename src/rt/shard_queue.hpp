@@ -1,18 +1,34 @@
 #pragma once
-// Delivery structures for the sharded M:N runtime (DESIGN.md §4c). Two
-// tiers, matching the two kinds of traffic a shard sees:
+// Delivery structures for the sharded M:N runtime (DESIGN.md §4c, §4f).
+// Three tiers, matching the kinds of traffic a shard sees:
 //
 //  * LocalFifo — intra-shard delivery. A plain growable ring buffer, one per
 //    rank, touched only by the worker thread that owns the rank's shard, so
 //    pushes and pops are straight-line code with no atomics or locks.
 //
-//  * ShardInbox — cross-shard delivery. One bounded MPSC inbox per shard:
+//  * SpscRing — cross-shard delivery, default path. One bounded lock-free
+//    ring per *ordered shard pair*: exactly one producing shard, exactly one
+//    consuming shard, so the only synchronization is an acquire/release pair
+//    on the head and tail indices. Batches amortize even that: one release
+//    store publishes a whole staged batch, one acquire load claims every
+//    pending envelope. Per-sender FIFO holds by construction — a sender's
+//    envelopes to one destination traverse a single ring in push order.
+//
+//  * ShardInbox — cross-shard delivery, legacy path (EngineOptions::
+//    cross_shard = kLockedInbox). One bounded MPSC inbox per shard:
 //    producing shards append whole batches under a single lock acquisition
-//    (staged per destination during the scheduling pass) and the owning
-//    shard drains everything with one swap, so lock traffic per pass is
-//    O(shards²) for the whole engine instead of O(messages).
+//    and the owner drains everything with one swap. Kept for interleaved
+//    A/B against the mesh.
+//
+//  * Doorbell — parking for the mesh path, where there is no inbox lock to
+//    sleep on. An eventcount: waiters advertise themselves, producers ring
+//    only when someone is parked, and a seq_cst fence pair on each side
+//    closes the classic sleep/publish race (same lost-wakeup discipline as
+//    ShardInbox::kick, without touching the mutex on the hot path).
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -62,6 +78,138 @@ class LocalFifo {
   std::vector<Envelope> buffer_;  // capacity always a power of two (or empty)
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+};
+
+/// Bounded lock-free SPSC ring of envelopes for one ordered shard pair.
+/// Producer and consumer touch disjoint cache lines (indices padded apart,
+/// each side caching the other's last-seen index), so an uncontended
+/// push+pop round trip costs two atomic RMW-free publishes. Capacity is
+/// rounded up to a power of two. Backpressure is cooperative: push_batch
+/// accepts a prefix and the producer keeps the rest staged, exactly like
+/// the locked inbox path.
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(std::max<std::size_t>(capacity, 1)) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer: appends up to `n` envelopes of `data` in order; returns how
+  /// many were accepted (a full ring accepts a prefix). One release store
+  /// publishes the whole batch.
+  std::size_t push_batch(const Envelope* data, std::size_t n) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+    }
+    const std::size_t accepted = std::min(n, free);
+    for (std::size_t i = 0; i < accepted; ++i) {
+      slots_[static_cast<std::size_t>(tail + i) & mask_] = data[i];
+    }
+    if (accepted > 0) tail_.store(tail + accepted, std::memory_order_release);
+    return accepted;
+  }
+
+  /// Consumer: appends every pending envelope to `out` (FIFO) and frees the
+  /// slots with one release store; returns how many were claimed.
+  std::size_t pop_all_into(std::vector<Envelope>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return 0;
+    }
+    const auto pending = static_cast<std::size_t>(tail_cache_ - head);
+    for (std::size_t i = 0; i < pending; ++i) {
+      out.push_back(slots_[static_cast<std::size_t>(head + i) & mask_]);
+    }
+    head_.store(head + pending, std::memory_order_release);
+    return pending;
+  }
+
+  /// Consumer-side poll: may this ring have mail? (Exact for the consumer —
+  /// only the producer moves tail past it.)
+  bool poll() const noexcept {
+    return tail_.load(std::memory_order_acquire) !=
+           head_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets the ring between epochs. Caller must guarantee both sides are
+  /// quiescent (the engine's epoch barrier does).
+  void clear() noexcept {
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    head_cache_ = 0;
+    tail_cache_ = 0;
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<Envelope> slots_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer publishes
+  alignas(64) std::uint64_t head_cache_ = 0;        // producer-local
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer publishes
+  alignas(64) std::uint64_t tail_cache_ = 0;        // consumer-local
+};
+
+/// Eventcount for the mesh path: lets a shard park when its incoming rings
+/// are empty without producers paying a lock on every publish. Producers
+/// call notify() after a publish — it is a single seq_cst fence plus one
+/// relaxed load unless a waiter is actually parked. The fence pair (waiter:
+/// advertise, fence, re-check rings; producer: publish, fence, check
+/// waiters) guarantees at least one side observes the other, so a publish
+/// concurrent with wait entry either wakes the waiter or is seen by its
+/// re-check.
+class Doorbell {
+ public:
+  /// Producer side: wake the owner if it is (or is about to be) parked.
+  void notify() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) == 0) return;
+    {
+      const std::scoped_lock lock(mutex_);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Unconditional wake (epoch end, shutdown) — the once-per-epoch analogue
+  /// of ShardInbox::kick.
+  void kick() {
+    {
+      const std::scoped_lock lock(mutex_);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Owner side: parks until `has_mail()` turns true, a notify/kick fires,
+  /// or `timeout` elapses. `has_mail` must be safe to call repeatedly (it
+  /// polls the incoming rings).
+  template <class Rep, class Period, class Pred>
+  void wait(std::chrono::duration<Rep, Period> timeout, Pred&& has_mail) {
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!has_mail()) {
+      std::unique_lock lock(mutex_);
+      const std::uint64_t entry_generation = generation_;
+      cv_.wait_for(lock, timeout, [&] {
+        return generation_ != entry_generation || has_mail();
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> waiters_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
 };
 
 /// Bounded MPSC inbox: many producing shards, one draining owner. Producers

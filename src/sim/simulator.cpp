@@ -196,16 +196,30 @@ class Simulator::ContextImpl final : public Context {
   void drive_loop(Queue& queue, Protocol& protocol, const RunOptions& options,
                   std::int64_t& processed) {
     const std::int64_t max_events = options.max_events;
-    // The event is popped into a stack slot before dispatch, so handlers may
-    // push into the queue freely; no reference into queue storage survives.
+    // Whole ticks are dispatched through drain_tick — one queue scan per
+    // tick instead of per event, with the queue guaranteeing the dispatch
+    // order stays bit-identical to one-at-a-time pops (same-tick pushes
+    // included; see event_queue.hpp). The sink copies each event to a stack
+    // slot before dispatch, so handlers may push freely. The calendar
+    // returns 0 when the earliest event needs the overflow merge; that rare
+    // tick takes the single-pop path below.
     Event event;
-    while (!queue.empty()) {
-      queue.pop_into(event);
+    const auto sink = [&](const Event& next) {
       if (++processed > max_events) {
         throw std::runtime_error("simulation exceeded max_events (runaway protocol?)");
       }
-      now_ = event.time;
-      dispatch<kTraced>(event, protocol, options);
+      now_ = next.time;
+      dispatch<kTraced>(next, protocol, options);
+    };
+    while (!queue.empty()) {
+      if (queue.drain_tick(sink) == 0) {
+        queue.pop_into(event);
+        if (++processed > max_events) {
+          throw std::runtime_error("simulation exceeded max_events (runaway protocol?)");
+        }
+        now_ = event.time;
+        dispatch<kTraced>(event, protocol, options);
+      }
     }
   }
 

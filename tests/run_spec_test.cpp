@@ -58,6 +58,24 @@ TEST(RunSpecRoundTrip, EveryExecutor) {
   }
 }
 
+TEST(RunSpecRoundTrip, RtShardedCrossShardKnobs) {
+  // The PR6 executor options: ':inbox' (legacy locked MPSC), ':pin'
+  // (shard→core pinning) and ':mesh-cap=N' (per-pair ring capacity).
+  RunSpec spec = base_spec();
+  spec.executor = Executor::kRtSharded;
+  spec.workers = 8;
+  spec.rt_locked_inbox = true;
+  expect_roundtrip(spec);
+  spec.rt_pin = true;
+  expect_roundtrip(spec);
+  spec.rt_locked_inbox = false;
+  spec.rt_mesh_capacity = 64;
+  expect_roundtrip(spec);
+  spec.rt_pin = false;
+  spec.rt_mesh_capacity = 2;
+  expect_roundtrip(spec);
+}
+
 TEST(RunSpecRoundTrip, EveryProtocol) {
   for (const ProtocolKind p : {ProtocolKind::kCorrectedTree, ProtocolKind::kAckTree,
                                ProtocolKind::kGossip}) {
@@ -201,6 +219,17 @@ TEST(RunSpecParse, RejectsMalformedSpecs) {
   expect_rejected("bcast:binomial:checked:overlapped@P=8,exec=rt-sharded:x=2",
                   "executor option");
   expect_rejected("bcast:binomial:checked:overlapped@P=8,exec=sim:w=2", "ThreadPool");
+  expect_rejected("bcast:binomial:checked:overlapped@P=8,exec=rt-sharded:mesh-cap=0",
+                  "mesh-cap must be >= 1");
+  expect_rejected("bcast:binomial:checked:overlapped@P=8,exec=sim:inbox",
+                  "rt-sharded only");
+  expect_rejected("bcast:binomial:checked:overlapped@P=8,exec=rt-tpr:pin",
+                  "rt-sharded only");
+  expect_rejected("bcast:binomial:checked:overlapped@P=8,exec=rt-tpr:mesh-cap=4",
+                  "rt-sharded only");
+  expect_rejected(
+      "bcast:binomial:checked:overlapped@P=8,exec=rt-sharded:inbox:mesh-cap=4",
+      "contradicts");
 }
 
 TEST(RunSpecParse, RejectsInconsistentAxes) {

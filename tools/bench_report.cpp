@@ -147,6 +147,26 @@ std::vector<SpecSection> spec_sections(bool smoke) {
     rt.specs.push_back(std::string(rt_head) +
                        "36864,f=0.02,gap=8,reps=5,warmup=1,deadline-ms=30000,"
                        "exec=rt-sharded");
+    // Oversubscribed rows (DESIGN.md §4f): the worker count forced past the
+    // host's cores, so cross-shard delivery and scheduler idle cost — not
+    // protocol work — dominate. These are the cells where the SPSC mesh +
+    // active-set scheduler has to beat the locked-inbox slice sweep; the
+    // spec parses under older binaries too, so they interleave for A/B
+    // (recipe in EXPERIMENTS.md).
+    for (topo::Rank procs : {16384, 36864}) {
+      rt.specs.push_back(rt_head + n(procs) +
+                         ",reps=7,warmup=1,deadline-ms=30000,exec=rt-sharded:w=8");
+    }
+    // Timer-driven oversubscribed row: delayed correction under 2 % static
+    // faults. Between timer firings only a handful of ranks are runnable,
+    // so this cell isolates scheduler idle cost — full-slice sweeps versus
+    // the active set + doorbell park. It is also where executor timing
+    // fidelity shows: a sluggish scheduler fires the probe timers late and
+    // silently skips probe rounds (see the messages/process caveat in
+    // EXPERIMENTS.md, BENCH_PR6).
+    rt.specs.push_back(
+        "bcast:binomial:delayed:overlapped@P=36864,f=0.02,gap=8,reps=5,"
+        "warmup=1,deadline-ms=30000,exec=rt-sharded:w=8");
     rt.specs.push_back(std::string(rt_head) +
                        "1024,reps=5,warmup=1,deadline-ms=120000,exec=rt-tpr");
   }
@@ -194,6 +214,7 @@ double peak_rss_mb() {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_report.json";
+  std::string filter;
   bool smoke = false;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
@@ -203,8 +224,12 @@ int main(int argc, char** argv) {
       list = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      filter = argv[i] + 9;
     } else {
-      std::fprintf(stderr, "usage: bench_report [--out FILE] [--smoke] [--list]\n");
+      std::fprintf(stderr,
+                   "usage: bench_report [--out FILE] [--smoke] [--list] "
+                   "[--filter=SUBSTRING]\n");
       return 2;
     }
   }
@@ -223,18 +248,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // --filter=SUBSTRING runs the subset of registered cells whose --list
+  // line ("<section> <canonical spec>") contains the substring — the knob
+  // that makes interleaved A/B against an older binary practical (run one
+  // cell, alternate binaries, repeat; see EXPERIMENTS.md). The list output
+  // and the full-run JSON layout are unchanged; compat objects whose source
+  // cell is filtered away are simply omitted.
+  const auto matches = [&](const char* section, const exp::RunSpec& spec) {
+    if (filter.empty()) return true;
+    return (std::string(section) + " " + spec.to_string()).find(filter) !=
+           std::string::npos;
+  };
+
   const double min_seconds = smoke ? 0.0 : 2.0;
   const int min_iters = smoke ? 1 : 3;
   std::vector<BroadcastResult> broadcasts;
-  const std::vector<topo::Rank> sizes =
-      smoke ? std::vector<topo::Rank>{256} : std::vector<topo::Rank>{1024, 8192, 65536};
-  for (topo::Rank procs : sizes) {
-    broadcasts.push_back(
-        measure_broadcast(procs, sim::QueueKind::kCalendar, min_seconds, min_iters));
+  if (filter.empty()) {
+    const std::vector<topo::Rank> sizes =
+        smoke ? std::vector<topo::Rank>{256}
+              : std::vector<topo::Rank>{1024, 8192, 65536};
+    for (topo::Rank procs : sizes) {
+      broadcasts.push_back(
+          measure_broadcast(procs, sim::QueueKind::kCalendar, min_seconds, min_iters));
+    }
+    // Fallback-queue comparison at the largest size (A/B on identical runs).
+    broadcasts.push_back(measure_broadcast(sizes.back(), sim::QueueKind::kBinaryHeap,
+                                           min_seconds, min_iters));
   }
-  // Fallback-queue comparison at the largest size (A/B on identical runs).
-  broadcasts.push_back(measure_broadcast(sizes.back(), sim::QueueKind::kBinaryHeap,
-                                         min_seconds, min_iters));
 
   // Run every registered cell through the one dispatcher, keeping the
   // parsed spec next to its record (the compat objects below need axes like
@@ -248,6 +288,7 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < sections.size(); ++s) {
     for (const std::string& text : sections[s].specs) {
       const exp::RunSpec spec = exp::parse_run_spec(text);
+      if (!matches(sections[s].name, spec)) continue;
       results[s].push_back(Cell{spec, exp::run(spec, &pool)});
     }
   }
@@ -256,10 +297,11 @@ int main(int argc, char** argv) {
 
   // Legacy headline cell (base P, 2% faults): kept as the top-level "sweep"
   // object so cross-PR comparisons and the bench-smoke check keep working.
-  const Cell& sweep = sweeps[1];
+  // Under --filter the cell may not have run; the object is then omitted.
+  const Cell* sweep = sweeps.size() > 1 ? &sweeps[1] : nullptr;
   const double sweep_reps_per_sec =
-      sweep.record.wall_seconds > 0.0
-          ? static_cast<double>(sweep.record.runs) / sweep.record.wall_seconds
+      sweep && sweep->record.wall_seconds > 0.0
+          ? static_cast<double>(sweep->record.runs) / sweep->record.wall_seconds
           : 0.0;
 
   // A/B pair: the thread-per-rank row vs the fault-free sharded row at the
@@ -305,27 +347,29 @@ int main(int argc, char** argv) {
     for (const Cell& cell : results[s]) cell.record.write_json(w);
     w.end_array();
   }
-  w.key("sweep")
-      .begin_object()
-      .field("procs", static_cast<std::int64_t>(sweep.record.procs))
-      .field("reps", sweep.record.runs)
-      .field("seed", sweep.spec.seed)
-      .field("fault_fraction", sweep.spec.faults.fraction, 3)
-      .field("pool_workers", sweep.record.workers)
-      .field("wall_seconds", sweep.record.wall_seconds, 3)
-      .field("reps_per_sec", sweep_reps_per_sec, 3)
-      .field("mean_quiescence", sweep.record.aggregate.quiescence_latency.mean(), 4)
-      .end_object();
-  w.key("rt_ab")
-      .begin_object()
-      .field("procs",
-             static_cast<std::int64_t>(ab_sharded ? ab_sharded->record.procs : 0))
-      .field("sharded_messages_per_sec",
-             ab_sharded ? ab_sharded->record.messages_per_sec : 0.0, 0)
-      .field("thread_per_rank_messages_per_sec",
-             ab_legacy ? ab_legacy->record.messages_per_sec : 0.0, 0)
-      .field("speedup", ab_speedup, 2)
-      .end_object();
+  if (sweep) {
+    w.key("sweep")
+        .begin_object()
+        .field("procs", static_cast<std::int64_t>(sweep->record.procs))
+        .field("reps", sweep->record.runs)
+        .field("seed", sweep->spec.seed)
+        .field("fault_fraction", sweep->spec.faults.fraction, 3)
+        .field("pool_workers", sweep->record.workers)
+        .field("wall_seconds", sweep->record.wall_seconds, 3)
+        .field("reps_per_sec", sweep_reps_per_sec, 3)
+        .field("mean_quiescence", sweep->record.aggregate.quiescence_latency.mean(), 4)
+        .end_object();
+  }
+  if (ab_sharded) {
+    w.key("rt_ab")
+        .begin_object()
+        .field("procs", static_cast<std::int64_t>(ab_sharded->record.procs))
+        .field("sharded_messages_per_sec", ab_sharded->record.messages_per_sec, 0)
+        .field("thread_per_rank_messages_per_sec",
+               ab_legacy ? ab_legacy->record.messages_per_sec : 0.0, 0)
+        .field("speedup", ab_speedup, 2)
+        .end_object();
+  }
   w.field("peak_rss_mb", peak_rss_mb(), 1).end_object();
 
   if (!w.write_file(out_path)) {
@@ -338,5 +382,11 @@ int main(int argc, char** argv) {
       "peak RSS %.1f MB)\n",
       out_path.c_str(), sweep_reps_per_sec,
       ab_sharded ? ab_sharded->record.procs : 0, ab_speedup, peak_rss_mb());
+  if (!filter.empty()) {
+    std::size_t cells = 0;
+    for (const std::vector<Cell>& section : results) cells += section.size();
+    std::printf("bench_report: --filter=%s matched %zu cell(s)\n", filter.c_str(),
+                cells);
+  }
   return 0;
 }
