@@ -23,7 +23,9 @@ namespace {
 using namespace ct;
 
 rt::Envelope make_envelope(std::int64_t i) {
-  return rt::Envelope{sim::Message{0, 1, sim::tag::kTree, i, i}, 1};
+  return rt::Envelope{
+      sim::Message{.src = 0, .dst = 1, .tag = sim::tag::kTree, .payload = i, .data = i},
+      /*epoch=*/1};
 }
 
 // --- delivery primitives ----------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "experiment/runner.hpp"
 #include "protocol/tree_broadcast.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
 #include "topology/factory.hpp"
@@ -109,6 +110,45 @@ void BM_SweepThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(reps));
 }
 BENCHMARK(BM_SweepThroughput)->Arg(1024)->Arg(8192);
+
+// Heap-queue churn in isolation: interleaved push / pop_into waves over the
+// binary-heap fallback queue, the path the PR7 direct-sift pop_into (one
+// hole-percolation pass instead of std::pop_heap's sift-down + sift-up and
+// a 48-byte Event move per level) speeds up. Wave shape approximates a
+// broadcast frontier: push a burst of out-of-order timestamps, drain half,
+// repeat — items/sec counts pops.
+void BM_EventHeapChurn(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  support::Xoshiro256ss rng(11);
+  sim::detail::EventHeapQueue queue;
+  sim::detail::Event event;
+  std::int64_t pops = 0;
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    sim::Time base = 0;
+    for (int wave = 0; wave < 8; ++wave) {
+      for (std::size_t i = 0; i < burst; ++i) {
+        event.time = base + static_cast<sim::Time>(rng.below(64));
+        event.kind = sim::detail::EventKind::kRecvDone;
+        event.seq = seq++;
+        event.msg.dst = static_cast<topo::Rank>(i);
+        queue.push(event);
+      }
+      for (std::size_t i = 0; i < burst / 2; ++i) {
+        queue.pop_into(event);
+        benchmark::DoNotOptimize(event.time);
+        ++pops;
+      }
+      base += 64;
+    }
+    while (!queue.empty()) {
+      queue.pop_into(event);
+      ++pops;
+    }
+  }
+  state.SetItemsProcessed(pops);
+}
+BENCHMARK(BM_EventHeapChurn)->Arg(256)->Arg(4096);
 
 // Topology-build cost: the CSR Tree constructor (nested children flattened
 // into offsets + child list, depth/subtree indexing, validation) — tracked

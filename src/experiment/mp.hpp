@@ -1,0 +1,47 @@
+#pragma once
+// Multi-process sweep sharding (DESIGN.md §4g). Replications are
+// embarrassingly parallel and bit-deterministic — replication i's whole RNG
+// stream is derive_seed(seed, i) regardless of who runs it — so a sweep can
+// fan out across *processes*, not just pool threads: no shared allocator,
+// no shared LLC-line ping-pong, and the OS scheduler balances whole slices.
+//
+// run_replicated_mp forks `procs` workers; worker k runs the contiguous rep
+// slice [k*chunk, min(reps, (k+1)*chunk)) through run_replicated_range
+// (same global rep indices, same derive_seed stream) and streams its
+// Aggregate back over a pipe as raw counters + raw double bytes (same
+// machine, same binary — the doubles round-trip bit-exactly). The parent
+// merges slices in ascending k order; Samples::merge appends values, so the
+// merged Aggregate is byte-identical to the single-process sweep. That
+// invariant is asserted by `sweep_shard --check` (a bench-smoke ctest
+// entry) and documented in EXPERIMENTS.md.
+//
+// Fork discipline: call this before the process spawns any threads (thread
+// pools, rt engines). A forked child inherits only the calling thread;
+// locks held by unforked pool threads would deadlock it. tools/sweep_shard
+// and bench_report's sweep_mp section both fork before constructing their
+// ThreadPool.
+
+#include <cstdint>
+#include <string>
+
+#include "experiment/runner.hpp"
+
+namespace ct::exp {
+
+/// Result of a sharded sweep: the merged aggregate plus bookkeeping the
+/// bench report wants.
+struct MpSweepResult {
+  Aggregate aggregate;
+  int procs_used = 1;       // actual worker count after clamping
+  bool forked = false;      // false: fell back to the in-process path
+  std::string error;        // non-empty if a worker failed (result is partial)
+};
+
+/// Runs `reps` replications of `scenario` sharded across `procs` forked
+/// worker processes and merges the per-process Aggregates bit-identically
+/// to run_replicated(scenario, reps, seed). procs <= 1 (or a non-POSIX
+/// build, or reps < procs) degrades to the in-process serial path.
+MpSweepResult run_replicated_mp(const Scenario& scenario, std::size_t reps,
+                                std::uint64_t seed, int procs);
+
+}  // namespace ct::exp

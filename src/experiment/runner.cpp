@@ -31,6 +31,15 @@ void Aggregate::add(const sim::RunResult& result) {
   }
 }
 
+void Aggregate::reserve(std::size_t reps) {
+  coloring_latency.reserve(reps);
+  quiescence_latency.reserve(reps);
+  messages_per_process.reserve(reps);
+  max_gap.reserve(reps);
+  gap_count.reserve(reps);
+  correction_time.reserve(reps);
+}
+
 void Aggregate::merge(const Aggregate& other) {
   coloring_latency.merge(other.coloring_latency);
   quiescence_latency.merge(other.quiescence_latency);
@@ -138,12 +147,20 @@ const sim::RunResult& run_once(const Scenario& scenario, std::uint64_t rep_seed,
 
 Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
                          const support::ThreadPool* pool) {
+  return run_replicated_range(scenario, 0, reps, seed, pool);
+}
+
+Aggregate run_replicated_range(const Scenario& scenario, std::size_t rep_begin,
+                               std::size_t rep_end, std::uint64_t seed,
+                               const support::ThreadPool* pool) {
   const Prepared prepared = prepare(scenario);
+  const std::size_t reps = rep_end > rep_begin ? rep_end - rep_begin : 0;
 
   if (!pool || pool->size() <= 1 || reps < 2) {
     Aggregate aggregate;
+    aggregate.reserve(reps);
     ReplicaPlan plan;  // reused across every replication
-    for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t rep = rep_begin; rep < rep_end; ++rep) {
       aggregate.add(run_prepared(prepared, support::derive_seed(seed, rep), {}, plan));
     }
     return aggregate;
@@ -164,12 +181,13 @@ Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64
       reps, chunk, [&](std::size_t worker, std::size_t begin, std::size_t end) {
         Aggregate local;
         for (std::size_t rep = begin; rep < end; ++rep) {
-          local.add(
-              run_prepared(prepared, support::derive_seed(seed, rep), {}, plans[worker]));
+          local.add(run_prepared(prepared, support::derive_seed(seed, rep_begin + rep), {},
+                                 plans[worker]));
         }
         partial[begin / chunk] = std::move(local);
       });
   Aggregate aggregate;
+  aggregate.reserve(reps);
   for (const Aggregate& part : partial) aggregate.merge(part);
   return aggregate;
 }

@@ -90,6 +90,10 @@ struct Aggregate {
 
   void add(const sim::RunResult& result);
   void merge(const Aggregate& other);
+  /// Pre-sizes every Samples store for `reps` add() calls (an upper bound —
+  /// some series only record a subset of runs) so the replication loop's
+  /// aggregation allocates nothing (alloc_guard_test).
+  void reserve(std::size_t reps);
 };
 
 /// Runs `reps` replications of `scenario`; replication i uses the RNG
@@ -101,6 +105,17 @@ struct Aggregate {
 /// across its replications.
 Aggregate run_replicated(const Scenario& scenario, std::size_t reps, std::uint64_t seed,
                          const support::ThreadPool* pool = nullptr);
+
+/// Replications [rep_begin, rep_end) of the same stream: replication i
+/// still uses derive_seed(seed, i) with its *global* index, so slices
+/// reproduce exactly the runs the full sweep would execute and
+/// concatenating slice aggregates in ascending order is byte-identical to
+/// run_replicated(scenario, rep_end, seed) started at rep 0. This is the
+/// multi-process sharding entry point (exp::run_replicated_mp,
+/// tools/sweep_shard): each worker process runs one slice.
+Aggregate run_replicated_range(const Scenario& scenario, std::size_t rep_begin,
+                               std::size_t rep_end, std::uint64_t seed,
+                               const support::ThreadPool* pool = nullptr);
 
 /// Single replication, exposed for tests and detailed inspection.
 sim::RunResult run_once(const Scenario& scenario, std::uint64_t rep_seed,

@@ -47,14 +47,18 @@ class EngineStates {
  public:
   EngineStates(std::unique_ptr<CorrectionScratch>& owned, CorrectionScratch* scratch,
                std::vector<State> CorrectionScratch::* member, Rank num_procs) {
-    CorrectionScratch& store =
-        scratch ? *scratch : *(owned = std::make_unique<CorrectionScratch>());
-    epoch_ = ++store.epoch;
-    vec_ = &(store.*member);
+    store_ = scratch ? scratch : (owned = std::make_unique<CorrectionScratch>()).get();
+    epoch_ = ++store_->epoch;
+    vec_ = &(store_->*member);
     if (vec_->size() < static_cast<std::size_t>(num_procs)) {
       vec_->resize(static_cast<std::size_t>(num_procs));
     }
   }
+
+  /// New run over the same vector: bump the store epoch so every entry reads
+  /// as value-initialised again — exactly what constructing a fresh
+  /// EngineStates over this scratch would do.
+  void reset() { epoch_ = ++store_->epoch; }
 
   State& operator[](Rank r) {
     State& s = (*vec_)[static_cast<std::size_t>(r)];
@@ -66,6 +70,7 @@ class EngineStates {
   }
 
  private:
+  CorrectionScratch* store_ = nullptr;
   std::vector<State>* vec_ = nullptr;
   std::uint64_t epoch_ = 0;
 };
@@ -124,6 +129,8 @@ class OpportunisticEngine final : public CorrectionEngine {
     if (msg.tag != sim::tag::kCorrection) return;
     send_next(ctx, me);
   }
+
+  void reset() override { state_.reset(); }
 
  private:
   void send_next(sim::Context& ctx, Rank me) {
@@ -205,6 +212,8 @@ class CheckedEngine final : public CorrectionEngine {
     }
     send_next(ctx, me);
   }
+
+  void reset() override { state_.reset(); }
 
  private:
   void send_next(sim::Context& ctx, Rank me) {
@@ -304,6 +313,8 @@ class FailureProofEngine final : public CorrectionEngine {
     }
   }
 
+  void reset() override { state_.reset(); }
+
  private:
   void maybe_send(sim::Context& ctx, Rank me) {
     auto& s = state_[me];
@@ -393,6 +404,8 @@ class DelayedEngine final : public CorrectionEngine {
     }
   }
 
+  void reset() override { state_.reset(); }
+
  private:
   sim::Time delay_;
   std::unique_ptr<CorrectionScratch> owned_;
@@ -424,6 +437,20 @@ std::unique_ptr<CorrectionEngine> make_correction_engine(const CorrectionConfig&
       return std::make_unique<DelayedEngine>(num_procs, config.delay, scratch);
   }
   throw std::logic_error("unreachable correction kind");
+}
+
+CorrectionEngine* acquire_correction_engine(const CorrectionConfig& config, Rank num_procs,
+                                            CorrectionScratch& scratch) {
+  if (config.kind == CorrectionKind::kNone) return nullptr;
+  if (scratch.engine_cache && scratch.engine_config == config &&
+      scratch.engine_procs == num_procs) {
+    scratch.engine_cache->reset();
+    return scratch.engine_cache.get();
+  }
+  scratch.engine_cache = make_correction_engine(config, num_procs, &scratch);
+  scratch.engine_config = config;
+  scratch.engine_procs = num_procs;
+  return scratch.engine_cache.get();
 }
 
 }  // namespace ct::proto

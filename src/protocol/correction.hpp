@@ -100,18 +100,32 @@ struct DelayedState {
 
 }  // namespace detail
 
+class CorrectionEngine;
+
 /// Reusable per-rank state buffers for the correction engines. A
 /// make_correction_engine call binds the engine to the vector matching its
 /// kind (growing it to P on first use) and bumps `epoch`, invalidating
 /// whatever the previous run left behind without touching the O(P) entries.
-/// exp::ReplicaPlan keeps one scratch per pool worker; each replication
-/// constructs one engine, so the four vectors never conflict.
+/// exp::ReplicaPlan keeps one scratch per pool worker; at most one engine
+/// drives the scratch at a time, so the four vectors never conflict.
+///
+/// The scratch also caches the engine object itself: across the reps of one
+/// sweep cell the (config, P) pair never changes, so
+/// acquire_correction_engine() can hand the same engine back after a reset()
+/// instead of a per-rep make_unique — the last steady-state allocation on
+/// the replication hot path (pinned by alloc_guard_test). The cache hands
+/// the engine out serially: protocols sharing one scratch must not be alive
+/// at the same time (the same contract the state vectors already impose).
 struct CorrectionScratch {
   std::uint64_t epoch = 0;
   std::vector<detail::OpportunisticState> opportunistic;
   std::vector<detail::CheckedState> checked;
   std::vector<detail::FailureProofState> failure_proof;
   std::vector<detail::DelayedState> delayed;
+
+  std::unique_ptr<CorrectionEngine> engine_cache;  // see acquire_correction_engine
+  CorrectionConfig engine_config{};                // what the cache was built for
+  topo::Rank engine_procs = 0;
 };
 
 class CorrectionEngine {
@@ -126,6 +140,13 @@ class CorrectionEngine {
   /// A correction-tagged send of `me` completed.
   virtual void on_sent(sim::Context& ctx, topo::Rank me, const sim::Message& msg) = 0;
   virtual void on_timer(sim::Context& ctx, topo::Rank me, std::int64_t id);
+
+  /// Re-arms the engine for a fresh run over the same scratch: bumps the
+  /// state epoch so every per-rank entry reads as freshly value-initialised
+  /// again. Equivalent to constructing a new engine with the same arguments
+  /// (that is all construction does beyond storing them). Drives the
+  /// engine-reuse cache in CorrectionScratch.
+  virtual void reset() = 0;
 
  protected:
   /// Signed ring offset of `other` as seen from `me`: positive = closer on
@@ -143,5 +164,16 @@ class CorrectionEngine {
 std::unique_ptr<CorrectionEngine> make_correction_engine(const CorrectionConfig& config,
                                                          topo::Rank num_procs,
                                                          CorrectionScratch* scratch = nullptr);
+
+/// Borrowing variant for the replication hot path: returns the scratch's
+/// cached engine (after reset()) when (config, num_procs) match what the
+/// cache was built for, else rebuilds the cache via make_correction_engine.
+/// The scratch owns the engine; the pointer stays valid until the next
+/// acquire with a different (config, num_procs) — callers on the ReplicaPlan
+/// path hold it for exactly one replication. Returns nullptr for
+/// CorrectionKind::kNone.
+CorrectionEngine* acquire_correction_engine(const CorrectionConfig& config,
+                                            topo::Rank num_procs,
+                                            CorrectionScratch& scratch);
 
 }  // namespace ct::proto

@@ -12,7 +12,13 @@ CorrectedGossipBroadcast::CorrectedGossipBroadcast(Rank num_procs, GossipConfig 
                                                    CorrectionScratch* correction_scratch)
     : num_procs_(num_procs),
       config_(config),
-      engine_(make_correction_engine(config.correction, num_procs, correction_scratch)),
+      owned_engine_(correction_scratch
+                        ? nullptr
+                        : make_correction_engine(config.correction, num_procs, nullptr)),
+      engine_(correction_scratch
+                  ? acquire_correction_engine(config.correction, num_procs,
+                                              *correction_scratch)
+                  : owned_engine_.get()),
       rng_(config.seed),
       state_(owned_scratch_, scratch, num_procs) {
   if (config_.budget == GossipConfig::Budget::kTime && config_.gossip_time <= 0) {

@@ -69,7 +69,10 @@ class CorrectedGossipBroadcast final : public sim::Protocol {
 
   topo::Rank num_procs_;
   GossipConfig config_;
-  std::unique_ptr<CorrectionEngine> engine_;
+  // Borrowed from the scratch's reuse cache when a caller scratch is given
+  // (see CorrectedTreeBroadcast), privately owned otherwise.
+  std::unique_ptr<CorrectionEngine> owned_engine_;
+  CorrectionEngine* engine_ = nullptr;
   support::Xoshiro256ss rng_;
 
   std::unique_ptr<GossipScratch> owned_scratch_;  // when no caller scratch given

@@ -16,7 +16,12 @@ CorrectedTreeBroadcast::CorrectedTreeBroadcast(const topo::Tree& tree,
     : tree_(tree),
       config_(config),
       payload_(payload),
-      engine_(make_correction_engine(config, tree.num_procs(), correction_scratch)),
+      owned_engine_(correction_scratch
+                        ? nullptr
+                        : make_correction_engine(config, tree.num_procs(), nullptr)),
+      engine_(correction_scratch ? acquire_correction_engine(config, tree.num_procs(),
+                                                             *correction_scratch)
+                                 : owned_engine_.get()),
       state_(owned_scratch_, scratch, tree.num_procs()) {
   if (engine_ && config_.start == CorrectionStart::kSynchronized &&
       config_.sync_time <= 0) {

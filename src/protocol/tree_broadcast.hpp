@@ -53,7 +53,11 @@ class CorrectedTreeBroadcast final : public sim::Protocol {
   const topo::Tree& tree_;
   CorrectionConfig config_;
   std::int64_t payload_;
-  std::unique_ptr<CorrectionEngine> engine_;
+  // With a caller scratch the engine is borrowed from its reuse cache
+  // (acquire_correction_engine) — zero steady-state allocations on the
+  // ReplicaPlan path; otherwise owned_engine_ holds a private one.
+  std::unique_ptr<CorrectionEngine> owned_engine_;
+  CorrectionEngine* engine_ = nullptr;
 
   std::unique_ptr<TreeScratch> owned_scratch_;  // when no caller scratch given
   RankScratchView<TreeCell> state_;

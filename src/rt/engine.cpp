@@ -86,9 +86,10 @@ class ThreadPerRankImpl final : public Engine::Impl {
       // then receives the on_sent callback. Delivery to failed ranks is
       // dropped there, indistinguishable from success for the protocol.
       const auto slot = static_cast<std::size_t>(from);
-      impl_.outbox_[slot].push_back(
-          Envelope{sim::Message{from, to, tag, payload, impl_.rank_data_[slot]},
-                   impl_.epoch_});
+      impl_.outbox_[slot].push_back(Envelope{
+          sim::Message{.src = from, .dst = to, .tag = tag, .payload = payload,
+                       .data = impl_.rank_data_[slot]},
+          impl_.epoch_});
     }
 
     void set_rank_data(Rank r, std::int64_t data) override {
@@ -343,7 +344,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
         protocol_->on_sent(context_, me, out.msg);
         progress = true;
       } else if (mailboxes_[slot].try_pop(envelope)) {
-        if (envelope.epoch == epoch_) {
+        if (envelope.epoch() == static_cast<std::int32_t>(epoch_)) {
           protocol_->on_receive(context_, me, envelope.msg);
         }
         progress = true;
@@ -375,7 +376,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
           continue;
         }
         if (mailboxes_[slot].pop_for(envelope, kIdleWait)) {
-          if (envelope.epoch == epoch_) {
+          if (envelope.epoch() == static_cast<std::int32_t>(epoch_)) {
             protocol_->on_receive(context_, me, envelope.msg);
           }
           maybe_complete();

@@ -203,9 +203,10 @@ class ShardedImpl final : public Engine::Impl {
       // Queued on the sender's outbox; the shard stepping `from` delivers it
       // and then runs the on_sent callback.
       const auto slot = static_cast<std::size_t>(from);
-      impl_.outbox_[slot].push_back(
-          Envelope{sim::Message{from, to, tag, payload, impl_.core_[slot].rank_data},
-                   impl_.epoch_});
+      impl_.outbox_[slot].push_back(Envelope{
+          sim::Message{.src = from, .dst = to, .tag = tag, .payload = payload,
+                       .data = impl_.core_[slot].rank_data},
+          impl_.epoch_});
     }
 
     void set_rank_data(Rank r, std::int64_t data) override {
@@ -434,10 +435,15 @@ class ShardedImpl final : public Engine::Impl {
 
   /// Claims pending cross-shard mail — every ring of the mesh column (or
   /// the locked inbox) in one batch — delivers it into the per-rank fifos,
-  /// and activates the receivers.
+  /// and activates the receivers. On the mesh path envelopes go straight
+  /// from the ring slot into the destination fifo (one 32-byte copy); the
+  /// old route staged them through shard.drain first, doubling the byte
+  /// traffic of every cross-shard hop. The locked inbox keeps the drain
+  /// buffer — its one-swap contract needs a vector to swap into.
   bool drain_cross_shard(std::size_t s, Shard& shard) {
     if (use_mesh_) {
       const std::size_t num_shards = shards_.size();
+      std::size_t claimed = 0;
       for (std::size_t word = 0; word < shard.mail_mask.size(); ++word) {
         if (shard.mail_mask[word].load(std::memory_order_relaxed) == 0) continue;
         // Clear before popping: a bit set for mail we then miss re-arms the
@@ -446,16 +452,20 @@ class ShardedImpl final : public Engine::Impl {
         while (bits != 0) {
           const std::size_t from = (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
           bits &= bits - 1;
-          rings_[from * num_shards + s].pop_all_into(shard.drain);
+          claimed += rings_[from * num_shards + s].consume_all([&](const Envelope& envelope) {
+            const auto dst = static_cast<std::size_t>(envelope.msg.dst);
+            fifo_[dst].push(envelope);
+            activate(shard, static_cast<Rank>(dst));
+          });
         }
       }
-    } else {
-      shard.inbox.drain_into(shard.drain);
+      return claimed > 0;
     }
+    shard.inbox.drain_into(shard.drain);
     if (shard.drain.empty()) return false;
-    for (Envelope& envelope : shard.drain) {
+    for (const Envelope& envelope : shard.drain) {
       const auto dst = static_cast<std::size_t>(envelope.msg.dst);
-      fifo_[dst].push(std::move(envelope));
+      fifo_[dst].push(envelope);
       activate(shard, static_cast<Rank>(dst));
     }
     shard.drain.clear();
@@ -649,7 +659,9 @@ class ShardedImpl final : public Engine::Impl {
     while (received < kMaxStepReceives && fifo.pop(envelope)) {
       progress = true;
       ++received;
-      if (envelope.epoch == epoch_) protocol_->on_receive(context_, r, envelope.msg);
+      if (envelope.epoch() == static_cast<std::int32_t>(epoch_)) {
+        protocol_->on_receive(context_, r, envelope.msg);
+      }
     }
     auto& outbox = outbox_[slot];
     if (!outbox.empty()) {
@@ -664,14 +676,17 @@ class ShardedImpl final : public Engine::Impl {
           crash_rank(slot);
           return true;
         }
-        const Envelope out = outbox[i];  // copy: on_sent may grow the outbox
         ++core_[slot].sends;
+        // Delivery reads the envelope in place — deliver/deliver_chaos never
+        // touch this rank's outbox. Only on_sent can grow (and reallocate)
+        // it, so only the 32-byte message it needs is copied to the stack.
         if (link_active_) {
-          deliver_chaos(s, shard, slot, out, pass_now);
+          deliver_chaos(s, shard, slot, outbox[i], pass_now);
         } else {
-          deliver(s, shard, out);
+          deliver(s, shard, outbox[i]);
         }
-        protocol_->on_sent(context_, r, out.msg);
+        const sim::Message sent = outbox[i].msg;
+        protocol_->on_sent(context_, r, sent);
       }
       if (i == outbox.size()) {
         outbox.clear();

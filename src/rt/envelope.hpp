@@ -1,8 +1,15 @@
 #pragma once
 // The runtime's wire unit: a simulator Message plus the epoch (benchmark
 // iteration) it belongs to. Every delivery structure of the runtime — the
-// legacy per-rank Mailbox, the sharded LocalFifo and the cross-shard
-// ShardInbox — moves Envelopes; receivers drop stale-epoch leftovers.
+// legacy per-rank Mailbox, the sharded LocalFifo and the cross-shard SPSC
+// mesh / ShardInbox — moves Envelopes; receivers drop stale-epoch
+// leftovers.
+//
+// The epoch rides in Message::spare (the word that used to be struct
+// padding), so an Envelope is exactly one 32-byte Message: two per cache
+// line on every ring, 20 % less byte traffic per hop than the old
+// {Message, int64} pair, and `msg` can be handed to protocol callbacks by
+// reference with no repack.
 
 #include <cstdint>
 
@@ -12,7 +19,15 @@ namespace ct::rt {
 
 struct Envelope {
   sim::Message msg;
-  std::int64_t epoch = 0;
+
+  Envelope() = default;
+  Envelope(const sim::Message& m, std::int64_t epoch) : msg(m) {
+    msg.spare = static_cast<std::int32_t>(epoch);
+  }
+
+  std::int32_t epoch() const noexcept { return msg.spare; }
 };
+static_assert(sizeof(Envelope) == sizeof(sim::Message),
+              "the epoch must pack into Message::spare, not widen the envelope");
 
 }  // namespace ct::rt

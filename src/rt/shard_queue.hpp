@@ -43,21 +43,43 @@ namespace ct::rt {
 
 /// Growable power-of-two ring buffer of envelopes. Single-threaded by
 /// design: only the shard worker that owns the receiving rank touches it.
+///
+/// The first four slots live inline in the object: tree traffic delivers
+/// one or two envelopes to a rank per pass, so with a heap-backed ring the
+/// per-rank array was mostly pointers to 16-slot allocations holding one
+/// envelope each — P allocations per engine and an extra cache-miss
+/// indirection on every delivery. The inline tier removes both for the
+/// common case; rank 0 and other fan-in hot spots spill to the heap ring
+/// exactly as before.
 class LocalFifo {
  public:
+  static constexpr std::size_t kInlineSlots = 4;
+
   bool empty() const noexcept { return size_ == 0; }
   std::size_t size() const noexcept { return size_; }
 
-  void push(Envelope envelope) {
-    if (size_ == buffer_.size()) grow();
-    buffer_[(head_ + size_) & (buffer_.size() - 1)] = std::move(envelope);
+  void push(const Envelope& envelope) {
+    const std::size_t capacity = buffer_.empty() ? kInlineSlots : buffer_.size();
+    if (size_ == capacity) {
+      grow();
+      buffer_[(head_ + size_) & (buffer_.size() - 1)] = envelope;
+    } else if (buffer_.empty()) {
+      inline_[(head_ + size_) & (kInlineSlots - 1)] = envelope;
+    } else {
+      buffer_[(head_ + size_) & (buffer_.size() - 1)] = envelope;
+    }
     ++size_;
   }
 
   bool pop(Envelope& out) {
     if (size_ == 0) return false;
-    out = std::move(buffer_[head_]);
-    head_ = (head_ + 1) & (buffer_.size() - 1);
+    if (buffer_.empty()) {
+      out = inline_[head_];
+      head_ = (head_ + 1) & (kInlineSlots - 1);
+    } else {
+      out = buffer_[head_];
+      head_ = (head_ + 1) & (buffer_.size() - 1);
+    }
     --size_;
     return true;
   }
@@ -66,16 +88,23 @@ class LocalFifo {
 
  private:
   void grow() {
-    const std::size_t capacity = buffer_.empty() ? 16 : buffer_.size() * 2;
+    const std::size_t capacity = buffer_.empty() ? 4 * kInlineSlots : buffer_.size() * 2;
     std::vector<Envelope> next(capacity);
-    for (std::size_t i = 0; i < size_; ++i) {
-      next[i] = std::move(buffer_[(head_ + i) & (buffer_.size() - 1)]);
+    if (buffer_.empty()) {
+      for (std::size_t i = 0; i < size_; ++i) {
+        next[i] = inline_[(head_ + i) & (kInlineSlots - 1)];
+      }
+    } else {
+      for (std::size_t i = 0; i < size_; ++i) {
+        next[i] = buffer_[(head_ + i) & (buffer_.size() - 1)];
+      }
     }
     buffer_.swap(next);
     head_ = 0;
   }
 
-  std::vector<Envelope> buffer_;  // capacity always a power of two (or empty)
+  Envelope inline_[kInlineSlots];   // tier 0: no allocation, no indirection
+  std::vector<Envelope> buffer_;    // tier 1 (power-of-two), engaged on spill
   std::size_t head_ = 0;
   std::size_t size_ = 0;
 };
@@ -127,6 +156,26 @@ class SpscRing {
     const auto pending = static_cast<std::size_t>(tail_cache_ - head);
     for (std::size_t i = 0; i < pending; ++i) {
       out.push_back(slots_[static_cast<std::size_t>(head + i) & mask_]);
+    }
+    head_.store(head + pending, std::memory_order_release);
+    return pending;
+  }
+
+  /// Consumer: visits every pending envelope in FIFO order through `fn`
+  /// (const reference into the ring slot — no intermediate copy) and frees
+  /// the whole batch with one release store; returns how many were
+  /// consumed. `fn` may push into LocalFifos or other consumer-owned
+  /// structures but must not touch this ring.
+  template <class Fn>
+  std::size_t consume_all(Fn&& fn) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return 0;
+    }
+    const auto pending = static_cast<std::size_t>(tail_cache_ - head);
+    for (std::size_t i = 0; i < pending; ++i) {
+      fn(static_cast<const Envelope&>(slots_[static_cast<std::size_t>(head + i) & mask_]));
     }
     head_.store(head + pending, std::memory_order_release);
     return pending;

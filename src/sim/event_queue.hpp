@@ -13,6 +13,15 @@
 // (the old front()/pop_front() contract needed a dispatch-safety invariant
 // for that; the fused pop removed it along with a second Event copy).
 //
+// Storage is SoA: the 32-byte Message payload is parked in a slot pool on
+// push and fetched back exactly once on pop. Everything the comparator
+// needs — (time, lane priority, seq) — plus the pool slot is packed into a
+// 16-byte EventKey, so heap sifts move 16 bytes instead of 48 and calendar
+// lanes hold 8-byte ord words instead of whole events. The ord word orders
+// as (lane, seq, slot); seq is globally unique per run, so the slot bits
+// never decide a comparison and the pop order is bit-identical to the old
+// by-value (time, priority, seq) heap.
+//
 // CalendarQueue (the default) is a classic calendar queue specialised for
 // LogP ticks: a power-of-two ring of per-tick buckets, each bucket holding
 // one FIFO lane per EventKind. All LogP offsets (overhead, port period,
@@ -23,7 +32,9 @@
 // occupancy is tracked as a bitmask in a side array (one byte per bucket,
 // so the whole ring's occupancy map stays cache-resident): the pop path
 // finds the first live lane with a bit scan instead of probing six lane
-// vectors.
+// vectors. A bucket only ever holds one tick's events at a time (farther
+// pushes overflow), so the bucket's time lives once in a side array rather
+// than per entry.
 
 #include <algorithm>
 #include <bit>
@@ -56,12 +67,12 @@ enum class EventKind : std::uint8_t {
 inline constexpr int kNumLanes = 6;
 inline constexpr int priority(EventKind kind) noexcept { return static_cast<int>(kind); }
 
-/// One scheduled simulator event, packed into 48 bytes (one copy per push
-/// and pop, so the size is hot-path bandwidth). The acting rank is not
-/// stored: receive-side events (lanes 0-2) act on msg.dst, send-side events
-/// act on msg.src, and the rank-only kinds (kSendStart, kRecvStart, kTimer)
-/// stash their rank in the matching Message field. Timer ids ride in
-/// msg.payload — timers carry no message of their own.
+/// One scheduled simulator event as the queues' interchange type (the
+/// drive loop fills one on push and receives one per pop). The acting rank
+/// is not stored: receive-side events (lanes 0-2) act on msg.dst, send-side
+/// events act on msg.src, and the rank-only kinds (kSendStart, kRecvStart,
+/// kTimer) stash their rank in the matching Message field. Timer ids ride
+/// in msg.payload — timers carry no message of their own.
 struct Event {
   Time time = 0;
   std::uint32_t seq = 0;  // insertion order; deterministic tie-break
@@ -73,7 +84,9 @@ struct Event {
   }
   std::int64_t timer_id() const noexcept { return msg.payload; }
 
-  // Min-heap on (time, kind priority, seq).
+  // Min-heap on (time, kind priority, seq). Kept as the reference total
+  // order (the SoA ord word below must agree with it; see perf_smoke_test's
+  // AoS oracle).
   friend bool operator>(const Event& a, const Event& b) noexcept {
     if (a.time != b.time) return a.time > b.time;
     const int pa = priority(a.kind);
@@ -82,42 +95,158 @@ struct Event {
     return a.seq > b.seq;
   }
 };
-static_assert(sizeof(Event) == 48, "Event is copied per push/pop; keep it packed");
+static_assert(sizeof(Event) == 48, "Event crosses the queue API by value; keep it packed");
 
-/// Plain binary min-heap over Events with a reusable backing vector.
-/// Used standalone as the fallback queue (RunOptions::queue == kBinaryHeap)
-/// and as the CalendarQueue's far-future overflow tier.
+// ---------------------------------------------------------------------------
+// SoA key lane: ord word + EventKey + message slot pool.
+// ---------------------------------------------------------------------------
+
+/// Packed secondary key: lane(3) | seq(32) | slot(29), so unsigned compare
+/// orders by (lane priority, seq) — seq is unique, the slot bits are inert
+/// ballast that rides along to find the payload again.
+using Ord = std::uint64_t;
+
+inline constexpr int kSlotBits = 29;
+inline constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;  // 536M in-flight events
+
+inline constexpr Ord make_ord(EventKind kind, std::uint32_t seq, std::uint32_t slot) noexcept {
+  return (static_cast<Ord>(kind) << 61) | (static_cast<Ord>(seq) << kSlotBits) |
+         static_cast<Ord>(slot);
+}
+inline constexpr EventKind ord_kind(Ord ord) noexcept {
+  return static_cast<EventKind>(ord >> 61);
+}
+inline constexpr std::uint32_t ord_seq(Ord ord) noexcept {
+  return static_cast<std::uint32_t>(ord >> kSlotBits);
+}
+inline constexpr std::uint32_t ord_slot(Ord ord) noexcept {
+  return static_cast<std::uint32_t>(ord & (kMaxSlots - 1u));
+}
+
+/// The 16-byte comparison key the heap sifts move around. (time, ord)
+/// compares exactly like the 48-byte Event's (time, priority, seq).
+struct EventKey {
+  Time time = 0;
+  Ord ord = 0;
+
+  friend bool operator>(const EventKey& a, const EventKey& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.ord > b.ord;
+  }
+};
+static_assert(sizeof(EventKey) == 16, "heap sifts move EventKeys; keep the key lane packed");
+
+/// Slab of parked Message payloads with a free-list. A payload is written
+/// once on push and read once on pop; slot recycling keeps the slab at the
+/// run's high-water mark of in-flight events (no steady-state allocation).
+class MessagePool {
+ public:
+  std::uint32_t acquire(const Message& msg) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      assert(slot + 1 < kMaxSlots && "event slot pool exhausted (2^29 in-flight events)");
+      slots_.emplace_back();
+    }
+    slots_[slot] = msg;
+    return slot;
+  }
+
+  void release(std::uint32_t slot) { free_.push_back(slot); }
+
+  const Message& get(std::uint32_t slot) const noexcept { return slots_[slot]; }
+
+  /// Forgets every slot (live or free) but keeps both vectors' capacity.
+  void clear() noexcept {
+    slots_.clear();
+    free_.clear();
+  }
+
+ private:
+  std::vector<Message> slots_;
+  std::vector<std::uint32_t> free_;  // LIFO: hot slots stay cache-resident
+};
+
+/// Reconstructs the caller-facing Event from a popped key and releases the
+/// payload slot back to the pool.
+inline void materialize(const EventKey& key, MessagePool& pool, Event& out) {
+  const std::uint32_t slot = ord_slot(key.ord);
+  out.time = key.time;
+  out.seq = ord_seq(key.ord);
+  out.kind = ord_kind(key.ord);
+  out.msg = pool.get(slot);
+  pool.release(slot);
+}
+
+/// Plain binary min-heap over 16-byte EventKeys with a reusable backing
+/// vector. Used standalone under EventHeapQueue (RunOptions::queue ==
+/// kBinaryHeap) and as the CalendarQueue's far-future overflow tier. The
+/// payloads live in the owning queue's MessagePool — sifts never touch
+/// them.
 class EventMinHeap {
  public:
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
-  const Event& top() const noexcept { return heap_.front(); }
+  const EventKey& top() const noexcept { return heap_.front(); }
 
-  void push(const Event& event) {
-    heap_.push_back(event);
+  void push(const EventKey& key) {
+    heap_.push_back(key);
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
-  /// Removes the minimum into `out` (by copy; the heap sift moves it anyway).
-  void pop_into(Event& out) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    out = heap_.back();
+  /// Removes the minimum into `out` with one sift: the root goes straight
+  /// to the caller, then the former back element sinks from the hole at the
+  /// root (classic hole-percolation). std::pop_heap would sift the back
+  /// element to the bottom and bubble it up again — twice the key moves for
+  /// the same result: under a strict total order (seq is unique) every
+  /// valid heap layout pops the same sequence.
+  void pop_into(EventKey& out) {
+    out = heap_.front();
+    const EventKey last = heap_.back();
     heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t hole = 0;
+    for (;;) {
+      std::size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child] > heap_[child + 1]) ++child;
+      if (!(last > heap_[child])) break;
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    heap_[hole] = last;
   }
 
   void clear() noexcept { heap_.clear(); }  // keeps capacity
 
  private:
-  std::vector<Event> heap_;
+  std::vector<EventKey> heap_;
 };
 
-/// Fallback queue: a thin shim giving the heap the engine contract.
+/// Fallback queue: the key heap plus its payload pool, giving the engine
+/// contract.
 class EventHeapQueue {
  public:
-  void reset() noexcept { heap_.clear(); }
-  void push(const Event& event) { heap_.push(event); }
+  void reset() noexcept {
+    heap_.clear();
+    pool_.clear();
+  }
+
+  void push(const Event& event) {
+    heap_.push(EventKey{event.time, make_ord(event.kind, event.seq, pool_.acquire(event.msg))});
+  }
+
   bool empty() const noexcept { return heap_.empty(); }
-  void pop_into(Event& out) { heap_.pop_into(out); }
+
+  void pop_into(Event& out) {
+    EventKey key;
+    heap_.pop_into(key);
+    materialize(key, pool_, out);
+  }
 
   /// Batched same-tick dispatch: pops and sinks events while they share the
   /// earliest timestamp. The heap's pop order IS the (time, lane, seq) total
@@ -127,12 +256,12 @@ class EventHeapQueue {
   template <class Sink>
   std::int64_t drain_tick(Sink&& sink) {
     Event event;
-    heap_.pop_into(event);
+    pop_into(event);
     const Time tick = event.time;
     std::int64_t dispatched = 1;
     sink(event);
     while (!heap_.empty() && heap_.top().time == tick) {
-      heap_.pop_into(event);
+      pop_into(event);
       ++dispatched;
       sink(event);
     }
@@ -141,6 +270,7 @@ class EventHeapQueue {
 
  private:
   EventMinHeap heap_;
+  MessagePool pool_;
 };
 
 /// Calendar queue: ring of per-tick buckets x priority lanes + overflow heap.
@@ -162,10 +292,12 @@ class CalendarQueue {
     if (want * kNumLanes != lanes_.size()) {
       lanes_.assign(want * kNumLanes, Lane{});
       lane_mask_.assign(want, 0);
+      bucket_time_.assign(want, 0);
       live_bits_.assign((want + 63) / 64, 0);
       mask_ = want - 1;
     }
     assert(ring_count_ == 0 && overflow_.empty());
+    pool_.clear();
     cursor_ = 0;
   }
 
@@ -183,20 +315,27 @@ class CalendarQueue {
     std::fill(live_bits_.begin(), live_bits_.end(), 0);
     ring_count_ = 0;
     overflow_.clear();
+    pool_.clear();
     cursor_ = 0;
   }
 
   void push(const Event& event) {
     assert(event.time >= cursor_);
+    const std::uint32_t slot = pool_.acquire(event.msg);
     if (event.time - cursor_ >= static_cast<Time>(lane_mask_.size())) {
-      overflow_.push(event);
+      overflow_.push(EventKey{event.time, make_ord(event.kind, event.seq, slot)});
       return;
     }
     const std::size_t idx = static_cast<std::size_t>(event.time) & mask_;
     const int lane = priority(event.kind);
-    if (lane_mask_[idx] == 0) set_live(idx);
+    if (lane_mask_[idx] == 0) {
+      set_live(idx);
+      bucket_time_[idx] = event.time;  // one tick per live bucket (window bound)
+    }
+    assert(bucket_time_[idx] == event.time);
     lane_mask_[idx] |= static_cast<std::uint8_t>(1u << lane);
-    lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)].items.push_back(event);
+    lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)].items.push_back(
+        make_ord(event.kind, event.seq, slot));
     ++ring_count_;
   }
 
@@ -204,7 +343,9 @@ class CalendarQueue {
 
   void pop_into(Event& out) {
     if (ring_count_ == 0) {
-      overflow_.pop_into(out);
+      EventKey key;
+      overflow_.pop_into(key);
+      materialize(key, pool_, out);
       cursor_ = out.time;
       return;
     }
@@ -215,23 +356,23 @@ class CalendarQueue {
     const std::size_t idx = next_live_bucket(static_cast<std::size_t>(cursor_) & mask_);
     const int lane = std::countr_zero(lane_mask_[idx]);
     Lane& l = lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)];
-    const Event& candidate = l.items[l.head];
-    // Merge with the overflow tier under the exact (time, lane, seq) order.
+    const Ord candidate = l.items[l.head];
+    const Time candidate_time = bucket_time_[idx];
+    // Merge with the overflow tier under the exact (time, lane, seq) order
+    // (ord compare == (lane, seq) compare; the slot bits never decide).
     if (!overflow_.empty()) {
-      const Event& over = overflow_.top();
-      const int over_pri = priority(over.kind);
-      const bool overflow_wins =
-          over.time < candidate.time ||
-          (over.time == candidate.time &&
-           (over_pri < lane || (over_pri == lane && over.seq < candidate.seq)));
-      if (overflow_wins) {
-        overflow_.pop_into(out);
+      const EventKey& over = overflow_.top();
+      if (over.time < candidate_time ||
+          (over.time == candidate_time && over.ord < candidate)) {
+        EventKey key;
+        overflow_.pop_into(key);
+        materialize(key, pool_, out);
         cursor_ = out.time;
         return;
       }
     }
-    out = candidate;
-    cursor_ = out.time;
+    materialize(EventKey{candidate_time, candidate}, pool_, out);
+    cursor_ = candidate_time;
     if (++l.head == l.items.size()) {
       l.items.clear();  // keeps capacity for the next burst
       l.head = 0;
@@ -245,8 +386,9 @@ class CalendarQueue {
   /// one call when that tick lives wholly in the ring, walking the bucket's
   /// lanes in place (no scratch copy). The per-event queue touches shrink
   /// from a live-bucket bit scan + overflow merge + cursor store to one
-  /// vector index and a one-byte preemption test — the dominant win at LogP
-  /// scale, where a tick bursts tens of thousands of arrivals.
+  /// 8-byte ord load, a pool fetch, and a one-byte preemption test — the
+  /// dominant win at LogP scale, where a tick bursts tens of thousands of
+  /// arrivals.
   ///
   /// Ordering is bit-identical to repeated pop_into:
   ///  * every event in bucket `idx` has the same time t while cursor_ == t
@@ -254,7 +396,8 @@ class CalendarQueue {
   ///    wrapped index can never alias a different tick);
   ///  * same-lane same-tick pushes append behind the walk index and are
   ///    picked up in seq order (the lane vector is walked by index, and the
-  ///    Event is copied out before dispatch, so reallocation is safe);
+  ///    Event is materialised into a stack slot before dispatch, so
+  ///    reallocation is safe);
   ///  * a lower-lane (= higher-priority) same-tick push preempts via the
   ///    lane-mask test and the walk restarts from the lowest live lane,
   ///    exactly like pop_into's per-pop lane rescan.
@@ -268,13 +411,14 @@ class CalendarQueue {
     const std::size_t idx = next_live_bucket(static_cast<std::size_t>(cursor_) & mask_);
     int lane = std::countr_zero(lane_mask_[idx]);
     Lane* l = &lanes_[idx * kNumLanes + static_cast<std::size_t>(lane)];
-    const Time tick = l->items[l->head].time;
+    const Time tick = bucket_time_[idx];
     if (!overflow_.empty() && overflow_.top().time <= tick) return 0;
     cursor_ = tick;
     std::int64_t dispatched = 0;
+    Event event;
     for (;;) {
       while (l->head < l->items.size()) {
-        const Event event = l->items[l->head];
+        materialize(EventKey{tick, l->items[l->head]}, pool_, event);
         ++l->head;
         --ring_count_;
         ++dispatched;
@@ -299,7 +443,7 @@ class CalendarQueue {
 
  private:
   struct Lane {
-    std::vector<Event> items;
+    std::vector<Ord> items;  // 8-byte key words; payloads live in pool_
     std::size_t head = 0;
   };
 
@@ -327,12 +471,14 @@ class CalendarQueue {
 
   std::vector<Lane> lanes_;                // bucket-major: lanes_[idx*6 + lane]
   std::vector<std::uint8_t> lane_mask_;    // per-bucket non-empty-lane bits
+  std::vector<Time> bucket_time_;          // the single tick a live bucket holds
   std::vector<std::uint64_t> live_bits_;   // one bit per bucket: lane_mask_ != 0
   std::size_t mask_ = 0;
   std::size_t ring_count_ = 0;
   Time cursor_ = 0;  // time of the most recent pop; never decreases
 
-  EventMinHeap overflow_;  // events beyond the ring window (far timers)
+  EventMinHeap overflow_;  // far-future keys; payloads share pool_
+  MessagePool pool_;       // parked payloads for ring + overflow
 };
 
 }  // namespace ct::sim::detail

@@ -31,6 +31,11 @@ struct Message {
   topo::Rank src = topo::kNoRank;
   topo::Rank dst = topo::kNoRank;
   Tag tag = 0;
+  /// Spare word (formerly struct padding, made addressable). Protocols and
+  /// the simulator leave it zero; the threaded runtime stamps its delivery
+  /// epoch here so an rt::Envelope is exactly one 32-byte Message on every
+  /// queue. Construction sites use designated initializers and skip it.
+  std::int32_t spare = 0;
   /// Protocol metadata (gossip rounds, correction distances, ack flags).
   std::int64_t payload = 0;
   /// Data plane: the collective's payload word. Executors stamp this
@@ -40,5 +45,6 @@ struct Message {
   /// which phase (tree, gossip or correction) colored them.
   std::int64_t data = 0;
 };
+static_assert(sizeof(Message) == 32, "Message rides every queue by value; keep it packed");
 
 }  // namespace ct::sim

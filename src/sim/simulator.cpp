@@ -107,7 +107,8 @@ class Simulator::ContextImpl final : public Context {
     check_rank(to);
     RankState& rs = rank(from);
     if (rs.dies_at <= now_) return;  // dead processes stay silent
-    const std::uint32_t idx = alloc_msg(Message{from, to, tag, payload, rs.data});
+    const std::uint32_t idx = alloc_msg(
+        Message{.src = from, .dst = to, .tag = tag, .payload = payload, .data = rs.data});
     if (rs.send_head == kNilMsg) {
       // Idle send port: schedule its pickup of this message.
       rs.send_head = rs.send_tail = idx;

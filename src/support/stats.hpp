@@ -42,6 +42,10 @@ class Samples {
 
   void add(double x);
   void merge(const Samples& other);
+  /// Pre-sizes the value store (e.g. to a known replication count) so the
+  /// add() loop allocates nothing. The lazily sorted copy still grows on the
+  /// first percentile query.
+  void reserve(std::size_t n) { values_.reserve(n); }
 
   std::size_t count() const noexcept { return values_.size(); }
   bool empty() const noexcept { return values_.empty(); }

@@ -1,18 +1,27 @@
-// perf-smoke suite: the cheap canaries for the two PR6 fast paths, sized
+// perf-smoke suite: the cheap canaries for the PR6/PR7 fast paths, sized
 // to run inside the sanitize/tsan label sweeps. One tiny sharded cell
-// proves the SPSC mesh still moves real protocol traffic end-to-end, and
-// the batched same-tick dispatch (drain_tick) is checked to be
-// observationally identical to one-at-a-time pop_into on both simulator
-// queues — including handlers that push same-tick work mid-drain — plus a
-// spec-level repeat-run determinism check.
+// proves the SPSC mesh still moves real protocol traffic end-to-end; the
+// batched same-tick dispatch (drain_tick) is checked to be observationally
+// identical to one-at-a-time pop_into on both simulator queues — including
+// handlers that push same-tick work mid-drain; the PR7 SoA key lane is
+// checked against an AoS reference heap ordered by Event::operator> (the
+// reference total order the 16-byte EventKey must reproduce); full runs are
+// compared bit-for-bit across the two queue engines; and the rt mesh and
+// locked-inbox cross-shard backends are held to identical outcomes under
+// kill= crashes.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "experiment/run_spec.hpp"
+#include "experiment/runner.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
 
 namespace ct::sim {
 namespace {
@@ -106,6 +115,37 @@ std::vector<Dispatched> run_script(Queue& queue, bool batched) {
   return out;
 }
 
+// AoS reference queue: the pre-PR7 layout distilled — whole 48-byte Events
+// in a std::priority_queue ordered by Event::operator>, the documented
+// reference total order. The SoA queues must dispatch identically or the
+// packed (time, ord) key lane broke the order.
+struct AosRefQueue {
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+  void push(const Event& e) { pq.push(e); }
+  bool empty() const { return pq.empty(); }
+  void pop_into(Event& out) {
+    out = pq.top();
+    pq.pop();
+  }
+  template <class Sink>
+  std::int64_t drain_tick(Sink&&) {
+    return 0;  // no batched path; run_script only calls this when batched
+  }
+};
+
+TEST(PerfSmoke, SoAQueuesMatchAosReferenceOrder) {
+  AosRefQueue aos;
+  const std::vector<Dispatched> expected = run_script(aos, false);
+  ASSERT_GT(expected.size(), 1000u);
+
+  EventHeapQueue soa_heap;
+  EXPECT_EQ(run_script(soa_heap, false), expected);
+
+  CalendarQueue soa_calendar;
+  soa_calendar.reset(64);  // < the 700-tick offset: overflow tier engaged
+  EXPECT_EQ(run_script(soa_calendar, false), expected);
+}
+
 TEST(PerfSmoke, BatchedDispatchMatchesPopOrderOnBothQueues) {
   // Reference: the binary heap popped one event at a time — the (time,
   // lane, seq) total order by construction.
@@ -139,6 +179,51 @@ TEST(PerfSmoke, SimSweepRepeatsBitIdenticalUnderBatchedDispatch) {
   EXPECT_EQ(a.messages_per_process, b.messages_per_process);
   EXPECT_EQ(a.incomplete, b.incomplete);
   EXPECT_GT(a.latency_mean, 0.0);
+}
+
+TEST(PerfSmoke, SweepDigestBitIdenticalAcrossQueueEngines) {
+  // Whole-simulation digest of the SoA rewrite: every replication of a
+  // faulty sweep must produce bit-identical results on the calendar queue
+  // and the binary-heap fallback — two independent SoA implementations of
+  // the same total order, so a layout bug in either shows as a digest split.
+  const exp::Scenario scenario =
+      exp::parse_run_spec("bcast:binomial:checked:sync@P=512,f=0.02,exec=sim")
+          .to_scenario();
+  RunOptions calendar;
+  calendar.queue = QueueKind::kCalendar;
+  RunOptions heap;
+  heap.queue = QueueKind::kBinaryHeap;
+  for (std::uint64_t rep = 0; rep < 16; ++rep) {
+    const std::uint64_t seed = support::derive_seed(1234, rep);
+    const RunResult a = exp::run_once(scenario, seed, calendar);
+    const RunResult b = exp::run_once(scenario, seed, heap);
+    EXPECT_EQ(a.quiescence_latency, b.quiescence_latency) << "rep " << rep;
+    EXPECT_EQ(a.coloring_latency, b.coloring_latency) << "rep " << rep;
+    EXPECT_EQ(a.total_messages, b.total_messages) << "rep " << rep;
+    EXPECT_EQ(a.events_processed, b.events_processed) << "rep " << rep;
+    EXPECT_EQ(a.uncolored_live, b.uncolored_live) << "rep " << rep;
+  }
+}
+
+TEST(PerfSmoke, MeshAndInboxAgreeUnderKillCrashes) {
+  // The copy-free delivery path (in-place outbox refs + consume_all into
+  // the fifos) must not change outcomes on either cross-shard backend, and
+  // the two backends must agree with each other — including when kill=
+  // victims crash mid-epoch and their in-flight traffic is discarded.
+  const char* kBase =
+      "bcast:binomial:checked:overlapped@P=128,kill=3+17+64,reps=2,warmup=1,"
+      "deadline-ms=10000,exec=rt-sharded:w=4";
+  const exp::RunRecord mesh = exp::run(exp::parse_run_spec(kBase));
+  const exp::RunRecord inbox =
+      exp::run(exp::parse_run_spec(std::string(kBase) + ":inbox"));
+  const std::vector<topo::Rank> killed{3, 17, 64};
+  EXPECT_EQ(mesh.crashed_ranks, killed);
+  EXPECT_EQ(inbox.crashed_ranks, killed);
+  EXPECT_EQ(mesh.uncolored_survivors, inbox.uncolored_survivors);
+  EXPECT_EQ(mesh.incomplete, inbox.incomplete);
+  EXPECT_EQ(mesh.timeouts, 0);
+  EXPECT_EQ(inbox.timeouts, 0);
+  EXPECT_GT(mesh.messages_per_sec, 0.0);
 }
 
 }  // namespace

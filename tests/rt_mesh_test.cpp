@@ -29,13 +29,9 @@ namespace {
 using topo::Rank;
 
 Envelope make_envelope(std::int64_t payload) {
-  Envelope e;
-  e.msg.src = 0;
-  e.msg.dst = 1;
-  e.msg.tag = sim::tag::kTree;
-  e.msg.payload = payload;
-  e.epoch = 1;
-  return e;
+  return Envelope{
+      sim::Message{.src = 0, .dst = 1, .tag = sim::tag::kTree, .payload = payload},
+      /*epoch=*/1};
 }
 
 proto::CorrectionConfig make_correction(proto::CorrectionKind kind) {

@@ -1,0 +1,155 @@
+// Multi-process sweep driver (DESIGN.md §4g): fans a replication sweep
+// across N forked worker processes via exp::run_replicated_mp and reports
+// reps/s. `--check` also runs the identical sweep single-process in this
+// process and asserts the merged aggregate is bit-identical — the merge
+// invariant the bench-smoke ctest entry pins.
+//
+// Usage:
+//   sweep_shard [--spec CELL] [--reps N] [--procs N] [--seed HEX] [--check]
+//
+// Defaults to the benchmark headline cell (8Ki ranks, 2 % failed, checked
+// synchronized correction). The spec must be exec=sim — process sharding
+// shards *replications*, which only the simulator substrate has.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "experiment/mp.hpp"
+#include "experiment/run_spec.hpp"
+#include "experiment/runner.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kDefaultSpec =
+    "bcast:binomial:checked:sync@P=8192,f=0.02,reps=1000,exec=sim";
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool samples_equal(const ct::support::Samples& a, const ct::support::Samples& b,
+                   const char* name) {
+  if (a.values() == b.values()) return true;  // element-wise, bit-exact doubles
+  std::fprintf(stderr, "sweep_shard: MISMATCH in %s (%zu vs %zu samples)\n", name,
+               a.count(), b.count());
+  return false;
+}
+
+bool aggregates_equal(const ct::exp::Aggregate& a, const ct::exp::Aggregate& b) {
+  bool ok = a.runs == b.runs && a.not_fully_colored == b.not_fully_colored &&
+            a.uncolored_total == b.uncolored_total;
+  if (!ok) std::fprintf(stderr, "sweep_shard: MISMATCH in counters\n");
+  ok &= samples_equal(a.coloring_latency, b.coloring_latency, "coloring_latency");
+  ok &= samples_equal(a.quiescence_latency, b.quiescence_latency, "quiescence_latency");
+  ok &= samples_equal(a.messages_per_process, b.messages_per_process,
+                      "messages_per_process");
+  ok &= samples_equal(a.max_gap, b.max_gap, "max_gap");
+  ok &= samples_equal(a.gap_count, b.gap_count, "gap_count");
+  ok &= samples_equal(a.correction_time, b.correction_time, "correction_time");
+  return ok;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sweep_shard [--spec CELL] [--reps N] [--procs N] "
+               "[--seed HEX] [--check]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_text = kDefaultSpec;
+  long long reps_override = -1;
+  int procs = 2;
+  unsigned long long seed_override = 0;
+  bool have_seed_override = false;
+  bool check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--spec") {
+      const char* v = value();
+      if (!v) return usage();
+      spec_text = v;
+    } else if (arg == "--reps") {
+      const char* v = value();
+      if (!v) return usage();
+      reps_override = std::atoll(v);
+    } else if (arg == "--procs") {
+      const char* v = value();
+      if (!v) return usage();
+      procs = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return usage();
+      seed_override = std::strtoull(v, nullptr, 0);
+      have_seed_override = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      return usage();
+    }
+  }
+
+  ct::exp::RunSpec spec;
+  try {
+    spec = ct::exp::parse_run_spec(spec_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_shard: bad spec: %s\n", e.what());
+    return 2;
+  }
+  if (spec.executor != ct::exp::Executor::kSim) {
+    std::fprintf(stderr, "sweep_shard: spec must use exec=sim (got %s)\n",
+                 spec_text.c_str());
+    return 2;
+  }
+  const std::size_t reps = reps_override >= 0 ? static_cast<std::size_t>(reps_override)
+                                              : static_cast<std::size_t>(spec.reps);
+  const std::uint64_t seed = have_seed_override ? seed_override : spec.seed;
+  const ct::exp::Scenario scenario = spec.to_scenario();
+
+  // Fork first, measure, and only then (under --check) run in-process work:
+  // no threads may exist before the fork (see exp::run_replicated_mp).
+  const Clock::time_point mp_start = Clock::now();
+  const ct::exp::MpSweepResult sharded =
+      ct::exp::run_replicated_mp(scenario, reps, seed, procs);
+  const double mp_seconds = seconds_since(mp_start);
+  if (!sharded.error.empty()) {
+    std::fprintf(stderr, "sweep_shard: %s\n", sharded.error.c_str());
+    return 1;
+  }
+
+  std::printf("spec                %s\n", spec.to_string().c_str());
+  std::printf("reps                %zu\n", reps);
+  std::printf("procs               %d%s\n", sharded.procs_used,
+              sharded.forked ? "" : " (in-process fallback)");
+  std::printf("wall_seconds        %.3f\n", mp_seconds);
+  std::printf("reps_per_sec        %.1f\n",
+              mp_seconds > 0.0 ? static_cast<double>(reps) / mp_seconds : 0.0);
+  std::printf("mean_quiescence     %.4f\n", sharded.aggregate.quiescence_latency.mean());
+
+  if (check) {
+    const Clock::time_point sp_start = Clock::now();
+    const ct::exp::Aggregate single =
+        ct::exp::run_replicated(scenario, reps, seed, /*pool=*/nullptr);
+    const double sp_seconds = seconds_since(sp_start);
+    std::printf("single_wall_seconds %.3f\n", sp_seconds);
+    std::printf("single_reps_per_sec %.1f\n",
+                sp_seconds > 0.0 ? static_cast<double>(reps) / sp_seconds : 0.0);
+    if (!aggregates_equal(sharded.aggregate, single)) {
+      std::fprintf(stderr,
+                   "sweep_shard: merged multi-process aggregate differs from the "
+                   "single-process sweep\n");
+      return 1;
+    }
+    std::printf("check               ok (merged aggregate bit-identical)\n");
+  }
+  return 0;
+}
