@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "protocol/allreduce.hpp"
 #include "protocol/gossip_broadcast.hpp"
 #include "protocol/reduce.hpp"
+#include "protocol/stream_mux.hpp"
 #include "protocol/tree_broadcast.hpp"
 #include "rt/chaos.hpp"
 #include "rt/engine.hpp"
@@ -30,8 +32,12 @@ using Clock = std::chrono::steady_clock;
 }
 
 /// Shortest decimal that round-trips to exactly `x` — keeps canonical spec
-/// strings short ("0.02") without losing parse(to_string()) == identity.
+/// strings short ("0.02", and "1000" rather than "1e+03" for whole-number
+/// rates) without losing parse(to_string()) == identity.
 std::string format_double(double x) {
+  if (x == std::floor(x) && std::abs(x) < 1e15) {
+    return std::to_string(static_cast<long long>(x));
+  }
   char buf[64];
   for (int precision = 1; precision <= 17; ++precision) {
     std::snprintf(buf, sizeof buf, "%.*g", precision, x);
@@ -256,6 +262,9 @@ std::string RunSpec::to_string() const {
   if (warmup != 2) kv("warmup", std::to_string(warmup));
   if (seed != 0x5eed5eed) kv("seed", std::to_string(seed));
   if (deadline_ms != 0) kv("deadline-ms", std::to_string(deadline_ms));
+  if (window != 1) kv("window", std::to_string(window));
+  if (rate > 0.0) kv("rate", format_double(rate));
+  if (chunk > 0) kv("chunk", std::to_string(chunk));
   kv("exec", executor_token(*this));
   return out;
 }
@@ -370,6 +379,12 @@ RunSpec parse_run_spec(const std::string& text) {
         spec.seed = parse_uint(key, value);
       } else if (key == "deadline-ms") {
         spec.deadline_ms = parse_int(key, value);
+      } else if (key == "window") {
+        spec.window = parse_int(key, value);
+      } else if (key == "rate") {
+        spec.rate = parse_fraction(key, value);
+      } else if (key == "chunk") {
+        spec.chunk = parse_int(key, value);
       } else if (key == "exec") {
         parse_executor(value, spec);
       } else {
@@ -421,6 +436,35 @@ void RunSpec::validate() const {
   if (rt_mesh_capacity < 0) bad_spec("exec:mesh-cap must be >= 1");
   if (rt_locked_inbox && rt_mesh_capacity > 0) {
     bad_spec("':mesh-cap' sizes the SPSC mesh — it contradicts ':inbox'");
+  }
+
+  // --- streaming axes ---
+  if (window < 1 || window > 64) bad_spec("window must be in [1, 64]");
+  if (rate < 0.0) bad_spec("rate must be >= 0");
+  if (chunk < 0) bad_spec("chunk must be >= 0");
+  if (chunk > 0) {
+    if (collective != Collective::kBroadcast || protocol == ProtocolKind::kGossip) {
+      bad_spec("chunk= needs a tree broadcast (bcast, proto tree|ack)");
+    }
+    if (chunk_count() > proto::CorrectedTreeBroadcast::kMaxChunks) {
+      bad_spec("bytes/chunk yields " + std::to_string(chunk_count()) +
+               " chunks; the protocols support at most " +
+               std::to_string(proto::CorrectedTreeBroadcast::kMaxChunks));
+    }
+  }
+  if (streaming()) {
+    if (collective != Collective::kBroadcast || protocol == ProtocolKind::kGossip) {
+      bad_spec("streaming (window/rate) supports bcast with proto tree|ack only");
+    }
+    if (executor == Executor::kRtThreadPerRank) {
+      bad_spec("streaming needs the windowed executor: exec=rt-sharded or exec=sim");
+    }
+    if (executor == Executor::kSim &&
+        (faults.crash_fraction > 0.0 || faults.drop_prob > 0.0 ||
+         faults.delay_prob > 0.0 || faults.duplicate_prob > 0.0)) {
+      bad_spec("sim streams support kill= deaths only (chaos knobs are rt-only; "
+               "per-epoch crash resampling has no sim analog)");
+    }
   }
 }
 
@@ -483,6 +527,7 @@ void fill_latency(RunRecord& record, const support::Samples& samples) {
   if (samples.empty()) return;
   record.latency_p50 = samples.percentile(0.5);
   record.latency_p99 = samples.percentile(0.99);
+  record.latency_p999 = samples.percentile(0.999);
   record.latency_mean = samples.mean();
 }
 
@@ -557,6 +602,104 @@ RunRecord run_sim_broadcast(const RunSpec& spec, const support::ThreadPool* pool
   record.incomplete = record.aggregate.not_fully_colored;
   record.ranks_crashed =
       static_cast<std::int64_t>(scenario.mid_run_deaths.size()) * record.runs;
+  return record;
+}
+
+/// Streamed sim broadcast (PR8): ONE simulator run carries all `reps`
+/// epochs, multiplexed by proto::StreamMux so up to `window` are in flight.
+/// Latencies are per-epoch sojourn times in model ticks; the open-loop
+/// arrival process uses the 1 tick ≙ 1 µs convention (rate in epochs/s →
+/// interval 1e6/rate ticks), and the achieved/delivery rates are model-time
+/// rates under the same convention — directly comparable shape-wise, not
+/// magnitude-wise, to the rt wall-clock rates.
+RunRecord run_sim_stream(const RunSpec& spec) {
+  Scenario scenario = spec.to_scenario();
+  scenario.mid_run_deaths = sim_chaos_victims(spec);  // kill= only (validated)
+  proto::CorrectionConfig correction = spec.correction;
+  default_delay(correction, spec.params, /*wall_clock=*/false);
+
+  const topo::Tree tree = topo::make_tree(spec.tree, spec.params.P);
+  const sim::FaultSet faults =
+      scenario_faults(scenario, support::derive_seed(spec.seed, 0));
+
+  // Chunked payloads price every wire message at `chunk` bytes.
+  sim::LogP params = spec.params;
+  if (spec.chunk > 0) params.bytes = std::min(spec.chunk, spec.params.bytes);
+  const auto chunks = static_cast<std::int32_t>(spec.chunk_count());
+
+  proto::StreamMuxOptions mux_options;
+  mux_options.epochs = spec.reps;
+  mux_options.window = static_cast<std::int32_t>(spec.window);
+  mux_options.interval =
+      spec.rate > 0.0 ? std::max<sim::Time>(1, std::llround(1e6 / spec.rate)) : 0;
+  mux_options.excluded.assign(static_cast<std::size_t>(spec.params.P), 0);
+  topo::Rank excluded_count = 0;
+  for (topo::Rank r = 0; r < spec.params.P; ++r) {
+    if (!faults.always_alive(r)) {
+      mux_options.excluded[static_cast<std::size_t>(r)] = 1;
+      ++excluded_count;
+    }
+  }
+
+  proto::StreamMux mux(
+      [&]() -> std::unique_ptr<sim::Protocol> {
+        if (spec.protocol == ProtocolKind::kAckTree) {
+          return std::make_unique<proto::AckTreeBroadcast>(tree, nullptr, chunks);
+        }
+        return std::make_unique<proto::CorrectedTreeBroadcast>(tree, correction, 0,
+                                                               nullptr, nullptr, chunks);
+      },
+      mux_options);
+
+  RunRecord record = make_record(spec);
+  record.latency_unit = "ticks";
+  record.workers = 1;  // one event queue; streams have no replication pool
+  record.crashed_ranks = scenario.mid_run_deaths;
+
+  sim::Simulator simulator(params, &faults);
+  const auto start = Clock::now();
+  const sim::RunResult result = simulator.run(mux, sim::RunOptions{});
+  record.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  support::Samples sojourn;
+  std::int64_t deliveries = 0;
+  sim::Time last_retire = 0;
+  for (const proto::StreamMuxEpoch& epoch : mux.epochs()) {
+    record.aggregate.messages_per_process.add(static_cast<double>(epoch.sends) /
+                                              static_cast<double>(spec.params.P));
+    if (!epoch.complete()) {
+      ++record.incomplete;  // stream drained with counted ranks uncolored
+      continue;
+    }
+    sojourn.add(static_cast<double>(epoch.sojourn()));
+    deliveries += epoch.colored;
+    last_retire = std::max(last_retire, epoch.retired);
+  }
+  record.runs = mux.retired_count();
+  fill_latency(record, sojourn);
+  record.messages_per_process =
+      spec.reps > 0 ? static_cast<double>(result.total_messages) /
+                          static_cast<double>(spec.params.P) /
+                          static_cast<double>(spec.reps)
+                    : 0.0;
+  record.messages_per_sec =
+      record.wall_seconds > 0.0
+          ? static_cast<double>(result.total_messages) / record.wall_seconds
+          : 0.0;
+  record.ranks_crashed =
+      static_cast<std::int64_t>(scenario.mid_run_deaths.size()) * record.runs;
+  record.offered_rate = spec.rate;
+  const double model_seconds = static_cast<double>(last_retire) * 1e-6;
+  record.achieved_rate =
+      model_seconds > 0.0 ? static_cast<double>(record.runs) / model_seconds : 0.0;
+  record.deliveries_per_sec =
+      model_seconds > 0.0 ? static_cast<double>(deliveries) / model_seconds : 0.0;
+  // Per-rank detail of epoch 0, same contract as the one-shot detail rep.
+  for (topo::Rank r = 0; r < spec.params.P; ++r) {
+    if (faults.always_alive(r) && !mux.colored_in(0, r)) {
+      record.uncolored_survivors.push_back(r);
+    }
+  }
   return record;
 }
 
@@ -712,6 +855,7 @@ RunRecord run_rt(const RunSpec& spec) {
     default_delay(gossip.correction, spec.params, /*wall_clock=*/true);
   }
   std::uint64_t gossip_epoch = 0;
+  const auto chunks = static_cast<std::int32_t>(spec.chunk_count());
 
   const rt::ProtocolFactory factory = [&]() -> std::unique_ptr<sim::Protocol> {
     if (spec.collective == Collective::kAllreduce) {
@@ -723,7 +867,7 @@ RunRecord run_rt(const RunSpec& spec) {
     }
     switch (spec.protocol) {
       case ProtocolKind::kAckTree:
-        return std::make_unique<proto::AckTreeBroadcast>(tree);
+        return std::make_unique<proto::AckTreeBroadcast>(tree, nullptr, chunks);
       case ProtocolKind::kGossip: {
         gossip.seed = support::derive_seed(spec.seed, ++gossip_epoch);
         return std::make_unique<proto::CorrectedGossipBroadcast>(spec.params.P, gossip);
@@ -731,8 +875,57 @@ RunRecord run_rt(const RunSpec& spec) {
       case ProtocolKind::kCorrectedTree:
         break;
     }
-    return std::make_unique<proto::CorrectedTreeBroadcast>(tree, correction);
+    return std::make_unique<proto::CorrectedTreeBroadcast>(tree, correction, 0, nullptr,
+                                                           nullptr, chunks);
   };
+
+  if (spec.streaming()) {
+    rt::StreamOptions stream;
+    stream.epochs = spec.reps;
+    stream.window = static_cast<std::int32_t>(spec.window);
+    stream.rate = spec.rate;
+    stream.keep_rank_state = true;  // first-epoch per-rank detail, like one-shot
+    if (spec.deadline_ms > 0) {
+      stream.epoch_timeout = std::chrono::milliseconds(spec.deadline_ms);
+    }
+    const rt::StreamHarnessResult result = rt::measure_stream(engine, factory, stream);
+
+    RunRecord record = make_record(spec);
+    record.latency_unit = "us";
+    record.workers = static_cast<std::int64_t>(engine.worker_threads());
+    record.runs = result.epochs;
+    record.wall_seconds = result.wall_seconds;
+    fill_latency(record, result.sojourn_us);  // sojourn: queueing + service
+    record.messages_per_process =
+        result.epochs > 0 ? static_cast<double>(result.total_messages) /
+                                static_cast<double>(spec.params.P) /
+                                static_cast<double>(result.epochs)
+                          : 0.0;
+    record.messages_per_sec =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.total_messages) / result.wall_seconds
+            : 0.0;
+    record.incomplete = result.incomplete;
+    record.timeouts = result.timeouts;
+    record.ranks_crashed = result.ranks_crashed;
+    record.offered_rate = spec.rate;
+    record.achieved_rate = result.achieved_rate();
+    record.deliveries_per_sec = result.deliveries_per_sec();
+    for (const rt::StreamEpoch& epoch : result.raw.epochs) {
+      if (epoch.degraded()) ++record.epochs_degraded;
+    }
+    if (!result.raw.epochs.empty()) {
+      const std::vector<rt::RankEnd>& ends = result.raw.epochs.front().rank_state;
+      for (topo::Rank r = 0; r < static_cast<topo::Rank>(ends.size()); ++r) {
+        if (ends[static_cast<std::size_t>(r)] == rt::RankEnd::kCrashed) {
+          record.crashed_ranks.push_back(r);
+        } else if (ends[static_cast<std::size_t>(r)] == rt::RankEnd::kUncolored) {
+          record.uncolored_survivors.push_back(r);
+        }
+      }
+    }
+    return record;
+  }
 
   rt::HarnessOptions harness;
   harness.warmup = spec.warmup;
@@ -749,6 +942,7 @@ RunRecord run_rt(const RunSpec& spec) {
   record.wall_seconds = result.wall_seconds;
   record.latency_p50 = result.p50_us();
   record.latency_p99 = result.p99_us();
+  record.latency_p999 = result.p999_us();
   record.latency_mean =
       result.latency_us.empty() ? 0.0 : result.latency_us.mean();
   record.messages_per_process =
@@ -771,8 +965,11 @@ RunRecord run_rt(const RunSpec& spec) {
 RunRecord run(const RunSpec& spec, const support::ThreadPool* pool) {
   spec.validate();
   if (spec.executor != Executor::kSim) return run_rt(spec);
-  if (spec.collective == Collective::kBroadcast) return run_sim_broadcast(spec, pool);
-  return run_sim_reduction(spec);
+  if (spec.collective != Collective::kBroadcast) return run_sim_reduction(spec);
+  // Chunk-only specs (window = 1, no rate) run as a trivial stream too: the
+  // StreamMux path is the one that knows how to build chunked protocols.
+  if (spec.streaming() || spec.chunk > 0) return run_sim_stream(spec);
+  return run_sim_broadcast(spec, pool);
 }
 
 void RunRecord::write_json(support::JsonWriter& w) const {
@@ -796,6 +993,12 @@ void RunRecord::write_json(support::JsonWriter& w) const {
       .field("messages_dropped", messages_dropped)
       .field("messages_delayed", messages_delayed)
       .field("messages_duplicated", messages_duplicated)
+      // Streaming keys appended (never reordered): bench tooling reads
+      // records positionally against the pre-PR8 key list.
+      .field("latency_p999", latency_p999, 1)
+      .field("offered_rate", offered_rate, 1)
+      .field("achieved_rate", achieved_rate, 1)
+      .field("deliveries_per_sec", deliveries_per_sec, 0)
       .end_object();
 }
 

@@ -108,12 +108,29 @@ struct RunSpec {
   int workers = 0;           ///< rt-sharded shard count; 0 = hardware
   std::int64_t deadline_ms = 0;  ///< rt epoch deadline+timeout; 0 = 10 s timeout
 
+  // --- streaming axes (PR8). window > 1 or rate > 0 turns the run into one
+  // *stream* of `reps` pipelined epochs instead of `reps` isolated epochs:
+  // rt-sharded via Engine::run_stream, sim via proto::StreamMux multiplexing
+  // per-epoch protocol instances on one event queue. chunk > 0 additionally
+  // splits the `bytes` payload into ceil(bytes/chunk) pipelined chunks per
+  // epoch (tree/ack broadcasts; sim prices each message at `chunk` bytes).
+  std::int64_t window = 1;  ///< epochs concurrently in flight, [1, 64]
+  double rate = 0.0;  ///< open-loop offered epochs/s (sim: model-time, 1 tick ≙ 1 µs)
+  std::int64_t chunk = 0;  ///< chunk size in bytes; 0 = unchunked
+
   // --- rt-sharded executor knobs (exec=rt-sharded:w=8:inbox:pin:mesh-cap=N).
   // Defaults (mesh, no pinning, engine-default capacity) are canonical, so
   // existing spec strings and golden outputs are unchanged.
   bool rt_locked_inbox = false;     ///< ':inbox' — legacy locked MPSC inbox
   bool rt_pin = false;              ///< ':pin' — shard→core thread pinning
   std::int64_t rt_mesh_capacity = 0;  ///< ':mesh-cap=N' per-pair ring; 0 = default
+
+  /// Whether this spec runs as a pipelined stream (the PR8 tentpole).
+  bool streaming() const noexcept { return window > 1 || rate > 0.0; }
+  /// Pipelined chunks per epoch: ceil(bytes / chunk); 1 when unchunked.
+  std::int64_t chunk_count() const noexcept {
+    return chunk > 0 ? (params.bytes + chunk - 1) / chunk : 1;
+  }
 
   /// Canonical spec string; parse_run_spec(to_string()) == *this.
   std::string to_string() const;
@@ -165,6 +182,12 @@ struct RunRecord {
   double messages_per_sec = 0.0;  ///< delivered sends / wall_seconds
   std::int64_t incomplete = 0;    ///< runs leaving live survivors uncolored
   std::int64_t timeouts = 0;      ///< rt epochs hitting deadline (sim: 0)
+
+  // --- streaming metrics (zero for one-shot runs except latency_p999) ---
+  double latency_p999 = 0.0;        ///< tail of the same distribution as p50/p99
+  double offered_rate = 0.0;        ///< RunSpec::rate (0 = closed loop)
+  double achieved_rate = 0.0;       ///< retired epochs/s (sim: model-time)
+  double deliveries_per_sec = 0.0;  ///< colored live ranks/s across the stream
 
   // --- chaos tallies (all zero under sim except ranks_crashed) ---
   std::int64_t epochs_degraded = 0;

@@ -7,29 +7,76 @@ namespace ct::proto {
 using sim::Message;
 using topo::Rank;
 
-AckTreeBroadcast::AckTreeBroadcast(const topo::Tree& tree, AckScratch* scratch)
-    : tree_(tree), state_(owned_scratch_, scratch, tree.num_procs()) {}
-
-void AckTreeBroadcast::begin(sim::Context& ctx) {
-  ctx.mark_colored(tree_.root());
-  color(ctx, tree_.root());
+AckTreeBroadcast::AckTreeBroadcast(const topo::Tree& tree, AckScratch* scratch,
+                                   std::int32_t chunks)
+    : tree_(tree),
+      chunks_(chunks),
+      all_mask_(chunks == 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << (chunks >= 1 && chunks < 64 ? chunks : 1)) - 1),
+      state_(owned_scratch_, scratch, tree.num_procs()) {
+  if (chunks < 1 || chunks > 64) {
+    throw std::invalid_argument("ack-tree broadcast: chunks must be in [1, 64]");
+  }
+  if (chunks_ > 1) seen_.assign(static_cast<std::size_t>(tree.num_procs()), 0);
 }
 
-void AckTreeBroadcast::color(sim::Context& ctx, Rank me) {
-  AckCell& cell = state_[me];
-  if (cell.started) return;
+void AckTreeBroadcast::begin(sim::Context& ctx) {
+  const Rank root = tree_.root();
+  ctx.mark_colored(root);
+  AckCell& cell = state_[root];
   cell.started = 1;
-  const auto children = tree_.children(me);
+  if (chunks_ > 1) seen_[static_cast<std::size_t>(root)] = all_mask_;
+  const auto children = tree_.children(root);
   cell.pending_acks = static_cast<std::int32_t>(children.size());
-  if (children.empty()) {
-    // Leaf: acknowledge immediately (the root of a single-process tree is
-    // trivially acknowledged).
-    ack_received(ctx, me);
+  // Chunk-major, like the corrected tree: chunk 0 reaches every subtree
+  // before the root pays the injection cost of chunk 1.
+  for (std::int64_t c = 0; c < chunks_; ++c) {
+    for (Rank child : children) {
+      ctx.send(root, child, sim::tag::kTree, c);
+    }
+  }
+  maybe_ack(ctx, root);
+}
+
+void AckTreeBroadcast::take_chunk(sim::Context& ctx, Rank me, std::int64_t chunk) {
+  AckCell& cell = state_[me];
+  if (chunks_ == 1) {
+    // Whole-message fast path: `started` doubles as the duplicate-delivery
+    // guard — only ranks that are sent kTree can see rt-chaos duplicates,
+    // and for them started flips exactly on first receipt.
+    if (cell.started) return;
+    cell.started = 1;
+    cell.pending_acks = static_cast<std::int32_t>(tree_.children(me).size());
+    ctx.mark_colored(me);
+    for (Rank child : tree_.children(me)) {
+      ctx.send(me, child, sim::tag::kTree, chunk);
+    }
+    maybe_ack(ctx, me);
     return;
   }
-  for (Rank child : children) {
-    ctx.send(me, child, sim::tag::kTree, 0);
+  std::uint64_t& seen = seen_[static_cast<std::size_t>(me)];
+  const std::uint64_t bit = std::uint64_t{1} << chunk;
+  if (seen & bit) return;  // duplicate delivery (rt chaos)
+  seen |= bit;
+  if (!cell.started) {
+    cell.started = 1;
+    cell.pending_acks = static_cast<std::int32_t>(tree_.children(me).size());
   }
+  if (seen == all_mask_) ctx.mark_colored(me);
+  for (Rank child : tree_.children(me)) {
+    ctx.send(me, child, sim::tag::kTree, chunk);
+  }
+  maybe_ack(ctx, me);
+}
+
+void AckTreeBroadcast::maybe_ack(sim::Context& ctx, Rank me) {
+  AckCell& cell = state_[me];
+  const bool complete =
+      chunks_ == 1 ? cell.started != 0
+                   : seen_[static_cast<std::size_t>(me)] == all_mask_;
+  if (cell.acked || !complete || cell.pending_acks != 0) return;
+  cell.acked = 1;
+  ack_received(ctx, me);
 }
 
 void AckTreeBroadcast::ack_received(sim::Context& ctx, Rank me) {
@@ -43,12 +90,11 @@ void AckTreeBroadcast::ack_received(sim::Context& ctx, Rank me) {
 void AckTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
   switch (msg.tag) {
     case sim::tag::kTree:
-      ctx.mark_colored(me);
-      color(ctx, me);
+      take_chunk(ctx, me, chunks_ > 1 ? msg.payload : 0);
       break;
     case sim::tag::kAck:
       if (--state_[me].pending_acks == 0) {
-        ack_received(ctx, me);
+        maybe_ack(ctx, me);
       }
       break;
     default:

@@ -9,6 +9,7 @@
 // the behaviour the paper's introduction ascribes to current MPI libraries.
 
 #include <memory>
+#include <vector>
 
 #include "protocol/scratch.hpp"
 #include "sim/protocol.hpp"
@@ -17,18 +18,25 @@
 namespace ct::proto {
 
 /// Per-rank ack-tree state (see scratch.hpp for the reuse contract).
+/// Deliberately 16 bytes, matching TreeCell: the chunk bitmap lives out of
+/// line in the protocol (sized only when chunks > 1).
 struct AckCell {
   std::uint64_t epoch = 0;
   std::int32_t pending_acks = 0;
   std::uint8_t started = 0;
+  std::uint8_t acked = 0;
 };
 using AckScratch = RankScratch<AckCell>;
 
 class AckTreeBroadcast final : public sim::Protocol {
  public:
   /// The optional scratch recycles per-rank state across replications
-  /// (ReplicaPlan); it must outlive the protocol when given.
-  explicit AckTreeBroadcast(const topo::Tree& tree, AckScratch* scratch = nullptr);
+  /// (ReplicaPlan); it must outlive the protocol when given. `chunks` > 1
+  /// pipelines the payload down the tree in that many chunks; a rank acks
+  /// its parent once it holds every chunk AND collected one ack per child
+  /// (acks themselves stay one logical message).
+  explicit AckTreeBroadcast(const topo::Tree& tree, AckScratch* scratch = nullptr,
+                            std::int32_t chunks = 1);
 
   void begin(sim::Context& ctx) override;
   void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
@@ -38,12 +46,18 @@ class AckTreeBroadcast final : public sim::Protocol {
   bool root_acknowledged() const noexcept { return root_acknowledged_; }
 
  private:
-  void color(sim::Context& ctx, topo::Rank me);
+  void take_chunk(sim::Context& ctx, topo::Rank me, std::int64_t chunk);
+  void maybe_ack(sim::Context& ctx, topo::Rank me);
   void ack_received(sim::Context& ctx, topo::Rank me);
 
   const topo::Tree& tree_;
+  std::int32_t chunks_;
+  std::uint64_t all_mask_;
   std::unique_ptr<AckScratch> owned_scratch_;  // when no caller scratch given
   RankScratchView<AckCell> state_;
+  // Chunked-mode side state, sized num_procs only when chunks_ > 1 so the
+  // whole-message AckCell array stays at its classic 16-byte stride.
+  std::vector<std::uint64_t> seen_;  // bitmap: chunks received per rank
   bool root_acknowledged_ = false;
 };
 

@@ -19,7 +19,6 @@ CorrectedGossipBroadcast::CorrectedGossipBroadcast(Rank num_procs, GossipConfig 
                   ? acquire_correction_engine(config.correction, num_procs,
                                               *correction_scratch)
                   : owned_engine_.get()),
-      rng_(config.seed),
       state_(owned_scratch_, scratch, num_procs) {
   if (config_.budget == GossipConfig::Budget::kTime && config_.gossip_time <= 0) {
     throw std::invalid_argument("time-based gossip needs gossip_time > 0");
@@ -68,11 +67,22 @@ void CorrectedGossipBroadcast::start_gossip(sim::Context& ctx, Rank me,
 
 void CorrectedGossipBroadcast::gossip_send(sim::Context& ctx, Rank me) {
   // Uniform random target other than ourselves; the sender cannot know
-  // whether the target is colored or even alive (§2.2).
-  const auto offset = 1 + rng_.below(static_cast<std::uint64_t>(num_procs_) - 1);
+  // whether the target is colored or even alive (§2.2). The draw is a pure
+  // hash of (seed, me, round) rather than a shared generator: under the
+  // sharded rt executor, ranks gossip concurrently from different worker
+  // threads, so mutable shared RNG state would be a data race — and would
+  // make the target sequence depend on thread interleaving. Hashing keeps
+  // the sequence identical across substrates and worker counts (the same
+  // discipline rt::ChaosPlan uses for its schedules).
+  const std::int64_t round = ++state_[me].round;
+  const std::uint64_t word = support::SplitMix64(support::derive_seed(
+      config_.seed, (static_cast<std::uint64_t>(me) << 32) ^
+                        static_cast<std::uint64_t>(round))).next();
+  const auto bound = static_cast<std::uint64_t>(num_procs_) - 1;
+  const auto offset = 1 + static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(word) * bound) >> 64);
   const Rank target = static_cast<Rank>(
       (static_cast<std::int64_t>(me) + static_cast<std::int64_t>(offset)) % num_procs_);
-  const std::int64_t round = ++state_[me].round;
   ctx.send(me, target, sim::tag::kGossip, round);
 }
 

@@ -73,7 +73,6 @@ class CorrectedGossipBroadcast final : public sim::Protocol {
   // (see CorrectedTreeBroadcast), privately owned otherwise.
   std::unique_ptr<CorrectionEngine> owned_engine_;
   CorrectionEngine* engine_ = nullptr;
-  support::Xoshiro256ss rng_;
 
   std::unique_ptr<GossipScratch> owned_scratch_;  // when no caller scratch given
   RankScratchView<GossipCell> state_;

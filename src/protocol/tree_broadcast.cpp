@@ -9,13 +9,82 @@ namespace ct::proto {
 using sim::Message;
 using topo::Rank;
 
+namespace {
+
+// Chunked correction probes ride the wire as logical_payload * 64 + chunk.
+// Correction payloads are SIGNED ring distances, so decoding uses the
+// Euclidean remainder: the chunk index is always in [0, 64) and the
+// quotient restores the (possibly negative) logical payload exactly.
+constexpr std::int64_t kChunkRadix = 64;
+
+std::int64_t chunk_of(std::int64_t wire) noexcept {
+  return ((wire % kChunkRadix) + kChunkRadix) % kChunkRadix;
+}
+
+std::int64_t base_of(std::int64_t wire) noexcept {
+  return (wire - chunk_of(wire)) / kChunkRadix;
+}
+
+/// Context the correction engine sees when the broadcast is chunked: probe
+/// sends fan out into one wire message per chunk, and mark_colored is gated
+/// on "all chunks held" so a logical probe only colors a rank whose chunk
+/// set is complete (the last wire chunk of the probe completes it). All
+/// other services pass through. Engines only mark/inspect the rank whose
+/// callback is running, so the rt single-writer contract is preserved.
+class ChunkContext final : public sim::Context {
+ public:
+  ChunkContext(sim::Context& inner, const std::vector<std::uint64_t>& held,
+               std::int32_t chunks, std::uint64_t all_mask)
+      : inner_(inner), held_(held), chunks_(chunks), all_mask_(all_mask) {}
+
+  sim::Time now() const override { return inner_.now(); }
+  Rank num_procs() const override { return inner_.num_procs(); }
+
+  void send(Rank from, Rank to, sim::Tag tag, std::int64_t payload) override {
+    if (tag == sim::tag::kCorrection) {
+      for (std::int32_t c = 0; c < chunks_; ++c) {
+        inner_.send(from, to, tag, payload * kChunkRadix + c);
+      }
+      return;
+    }
+    inner_.send(from, to, tag, payload);
+  }
+
+  void set_timer(Rank on, sim::Time when, std::int64_t id) override {
+    inner_.set_timer(on, when, id);
+  }
+
+  void mark_colored(Rank r) override {
+    if (held_[static_cast<std::size_t>(r)] == all_mask_) inner_.mark_colored(r);
+  }
+  bool is_colored(Rank r) const override { return inner_.is_colored(r); }
+  void note_correction_start() override { inner_.note_correction_start(); }
+
+  void set_rank_data(Rank r, std::int64_t data) override { inner_.set_rank_data(r, data); }
+  std::int64_t rank_data(Rank r) const override { return inner_.rank_data(r); }
+
+ private:
+  sim::Context& inner_;
+  const std::vector<std::uint64_t>& held_;
+  std::int32_t chunks_;
+  std::uint64_t all_mask_;
+};
+
+}  // namespace
+
 CorrectedTreeBroadcast::CorrectedTreeBroadcast(const topo::Tree& tree,
                                                CorrectionConfig config,
                                                std::int64_t payload, TreeScratch* scratch,
-                                               CorrectionScratch* correction_scratch)
+                                               CorrectionScratch* correction_scratch,
+                                               std::int32_t chunks)
     : tree_(tree),
       config_(config),
       payload_(payload),
+      chunks_(chunks),
+      all_mask_(chunks >= 1 && chunks <= kMaxChunks
+                    ? (chunks == kMaxChunks ? ~std::uint64_t{0}
+                                            : (std::uint64_t{1} << chunks) - 1)
+                    : 0),
       owned_engine_(correction_scratch
                         ? nullptr
                         : make_correction_engine(config, tree.num_procs(), nullptr)),
@@ -23,6 +92,15 @@ CorrectedTreeBroadcast::CorrectedTreeBroadcast(const topo::Tree& tree,
                                                              *correction_scratch)
                                  : owned_engine_.get()),
       state_(owned_scratch_, scratch, tree.num_procs()) {
+  if (chunks < 1 || chunks > kMaxChunks) {
+    throw std::invalid_argument("corrected tree broadcast: chunks must be in [1, 64]");
+  }
+  if (chunks_ > 1) {
+    const auto n = static_cast<std::size_t>(tree.num_procs());
+    held_.assign(n, 0);
+    fwd_.assign(n, 0);
+    tree_seen_.assign(n, 0);
+  }
   if (engine_ && config_.start == CorrectionStart::kSynchronized &&
       config_.sync_time <= 0) {
     throw std::invalid_argument(
@@ -37,23 +115,50 @@ void CorrectedTreeBroadcast::begin(sim::Context& ctx) {
       ctx.set_timer(r, config_.sync_time, sim::timer::kCorrectionStart);
     }
   }
-  ctx.set_rank_data(tree_.root(), payload_);
-  ctx.mark_colored(tree_.root());
-  color_by_tree(ctx, tree_.root());
+  const Rank root = tree_.root();
+  ctx.set_rank_data(root, payload_);
+  TreeCell& cell = state_[root];
+  cell.colored = 1;
+  if (chunks_ > 1) {
+    const auto v = static_cast<std::size_t>(root);
+    held_[v] = all_mask_;
+    fwd_[v] = all_mask_;
+    tree_seen_[v] = chunks_;
+  }
+  ctx.mark_colored(root);
+  const auto children = tree_.children(root);
+  // Chunk-major order: chunk 0 to every child, then chunk 1, ... so the
+  // first chunk starts its way down every subtree before the root pays the
+  // injection cost of the rest (classic pipelined broadcast schedule).
+  for (std::int64_t c = 0; c < chunks_; ++c) {
+    for (Rank child : children) {
+      ++cell.pending;
+      ctx.send(root, child, sim::tag::kTree, c);
+    }
+  }
+  if (cell.pending == 0) dissemination_done(ctx, root);
 }
 
-void CorrectedTreeBroadcast::color_by_tree(sim::Context& ctx, Rank me) {
+void CorrectedTreeBroadcast::hold_chunk(sim::Context& ctx, Rank me, std::int64_t chunk) {
+  std::uint64_t& held = held_[static_cast<std::size_t>(me)];
+  held |= std::uint64_t{1} << chunk;
+  if (held == all_mask_) ctx.mark_colored(me);
+}
+
+void CorrectedTreeBroadcast::forward_chunk(sim::Context& ctx, Rank me, std::int64_t chunk) {
+  const auto v = static_cast<std::size_t>(me);
+  const std::uint64_t bit = std::uint64_t{1} << chunk;
+  if (fwd_[v] & bit) return;  // duplicate delivery (rt chaos)
+  fwd_[v] |= bit;
   TreeCell& cell = state_[me];
-  if (cell.colored) return;
   cell.colored = 1;
-  const auto children = tree_.children(me);
-  cell.pending = static_cast<std::int32_t>(children.size());
-  if (children.empty()) {
-    dissemination_done(ctx, me);
-    return;
+  ++tree_seen_[v];
+  for (Rank child : tree_.children(me)) {
+    ++cell.pending;
+    ctx.send(me, child, sim::tag::kTree, chunk);
   }
-  for (Rank child : children) {
-    ctx.send(me, child, sim::tag::kTree, 0);
+  if (tree_seen_[v] == chunks_ && cell.pending == 0) {
+    dissemination_done(ctx, me);
   }
 }
 
@@ -61,29 +166,77 @@ void CorrectedTreeBroadcast::dissemination_done(sim::Context& ctx, Rank me) {
   if (!engine_) return;
   if (config_.start == CorrectionStart::kOverlapped) {
     ctx.note_correction_start();
-    engine_->start(ctx, me);
+    if (chunks_ > 1) {
+      ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+      engine_->start(cctx, me);
+    } else {
+      engine_->start(ctx, me);
+    }
   } else if (ctx.now() >= config_.sync_time) {
     // Tree message arrived after the synchronized start (caller picked a
     // sync_time below the dissemination span): join late rather than never.
-    engine_->start(ctx, me);
+    if (chunks_ > 1) {
+      ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+      engine_->start(cctx, me);
+    } else {
+      engine_->start(ctx, me);
+    }
   }
 }
 
 void CorrectedTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Message& msg) {
   switch (msg.tag) {
-    case sim::tag::kTree:
+    case sim::tag::kTree: {
       // Even a process colored early by correction still forwards tree
       // messages to its children (§3.3, overlapped correction).
       if (!ctx.is_colored(me)) ctx.set_rank_data(me, msg.data);
-      ctx.mark_colored(me);
-      color_by_tree(ctx, me);
-      break;
-    case sim::tag::kCorrection:
-    case sim::tag::kCorrReply:
-      if (msg.tag == sim::tag::kCorrection && !ctx.is_colored(me)) {
-        ctx.set_rank_data(me, msg.data);
+      if (chunks_ == 1) {
+        // Whole-message fast path: one cell access, no bitmap churn. This
+        // is the hottest line in every one-shot rt benchmark; keep it at
+        // the pre-chunking instruction count.
+        ctx.mark_colored(me);
+        TreeCell& cell = state_[me];
+        if (cell.colored) break;
+        cell.colored = 1;
+        for (Rank child : tree_.children(me)) {
+          ++cell.pending;
+          ctx.send(me, child, sim::tag::kTree, 0);
+        }
+        if (cell.pending == 0) dissemination_done(ctx, me);
+        break;
       }
-      if (engine_) engine_->on_message(ctx, me, msg);
+      hold_chunk(ctx, me, msg.payload);
+      forward_chunk(ctx, me, msg.payload);
+      break;
+    }
+    case sim::tag::kCorrection: {
+      if (chunks_ == 1) {
+        if (!ctx.is_colored(me)) ctx.set_rank_data(me, msg.data);
+        if (engine_) engine_->on_message(ctx, me, msg);
+        break;
+      }
+      const std::int64_t chunk = chunk_of(msg.payload);
+      if (!ctx.is_colored(me)) ctx.set_rank_data(me, msg.data);
+      hold_chunk(ctx, me, chunk);
+      // The engine sees one logical probe, delivered by its last chunk
+      // (per-pair FIFO keeps the expansion in order on both substrates).
+      if (engine_ && chunk == chunks_ - 1) {
+        Message logical = msg;
+        logical.payload = base_of(msg.payload);
+        ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+        engine_->on_message(cctx, me, logical);
+      }
+      break;
+    }
+    case sim::tag::kCorrReply:
+      if (engine_) {
+        if (chunks_ > 1) {
+          ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+          engine_->on_message(cctx, me, msg);
+        } else {
+          engine_->on_message(ctx, me, msg);
+        }
+      }
       break;
     default:
       throw std::logic_error("unexpected message tag in corrected tree broadcast");
@@ -92,23 +245,52 @@ void CorrectedTreeBroadcast::on_receive(sim::Context& ctx, Rank me, const Messag
 
 void CorrectedTreeBroadcast::on_sent(sim::Context& ctx, Rank me, const Message& msg) {
   if (msg.tag == sim::tag::kTree) {
-    if (--state_[me].pending == 0) {
+    TreeCell& cell = state_[me];
+    if (--cell.pending == 0 &&
+        (chunks_ == 1 || tree_seen_[static_cast<std::size_t>(me)] == chunks_)) {
       dissemination_done(ctx, me);
     }
     return;
   }
-  if (engine_) engine_->on_sent(ctx, me, msg);
+  if (!engine_) return;
+  if (chunks_ == 1) {
+    engine_->on_sent(ctx, me, msg);
+    return;
+  }
+  ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+  if (msg.tag == sim::tag::kCorrection) {
+    const std::int64_t chunk = chunk_of(msg.payload);
+    if (chunk != chunks_ - 1) return;  // engine sees one completion per probe
+    Message logical = msg;
+    logical.payload = base_of(msg.payload);
+    engine_->on_sent(cctx, me, logical);
+    return;
+  }
+  engine_->on_sent(cctx, me, msg);
 }
 
 void CorrectedTreeBroadcast::on_timer(sim::Context& ctx, Rank me, std::int64_t id) {
   if (id == sim::timer::kCorrectionStart) {
     ctx.note_correction_start();
     if (state_[me].colored) {
-      if (engine_) engine_->start(ctx, me);
+      if (engine_) {
+        if (chunks_ > 1) {
+          ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+          engine_->start(cctx, me);
+        } else {
+          engine_->start(ctx, me);
+        }
+      }
     }
     return;
   }
-  if (engine_) engine_->on_timer(ctx, me, id);
+  if (!engine_) return;
+  if (chunks_ > 1) {
+    ChunkContext cctx(ctx, held_, chunks_, all_mask_);
+    engine_->on_timer(cctx, me, id);
+  } else {
+    engine_->on_timer(ctx, me, id);
+  }
 }
 
 sim::Time fault_free_dissemination_time(const topo::Tree& tree, const sim::LogP& params) {

@@ -2,6 +2,15 @@
 // Corrected Tree broadcast (§3.2/§3.3): tree dissemination followed by ring
 // correction. With CorrectionKind::kNone this degenerates to the classic
 // fault-agnostic tree broadcast (the "d = 0" baseline of Fig. 12).
+//
+// Chunked payloads (PR8): with `chunks` > 1 the broadcast content is split
+// into that many equal chunks which pipeline down the tree independently —
+// a rank forwards chunk c to its children as soon as chunk c arrives, so
+// the per-chunk injection cost (LogGP send_cost) overlaps with the wire.
+// Correction probes are expanded to one message per chunk (wire payload =
+// logical_payload * 64 + chunk); replies and acks stay logical. A rank is
+// colored once it holds ALL chunks, from whichever mix of tree and
+// correction messages supplied them.
 
 #include <memory>
 #include <vector>
@@ -16,6 +25,9 @@
 namespace ct::proto {
 
 /// Per-rank dissemination state (see scratch.hpp for the reuse contract).
+/// Deliberately 16 bytes: every benchmark streams this array through the
+/// event loop, so the per-chunk bitmaps live out of line in the protocol
+/// (sized only when chunks > 1) rather than fattening every cell.
 struct TreeCell {
   std::uint64_t epoch = 0;
   std::int32_t pending = 0;  // outstanding tree sends
@@ -25,16 +37,22 @@ using TreeScratch = RankScratch<TreeCell>;
 
 class CorrectedTreeBroadcast final : public sim::Protocol {
  public:
+  /// Hard cap on `chunks` (the held/fwd bitmaps are one word per rank).
+  static constexpr std::int32_t kMaxChunks = 64;
+
   /// `tree` must outlive the protocol. For synchronized correction the
   /// caller must set config.sync_time (usually the fault-free dissemination
   /// time; see fault_free_dissemination_time()). `payload` is the broadcast
   /// content word: every colored process ends up holding it in its rank
   /// data, regardless of which phase colored it. The optional scratches
   /// recycle the per-rank state across replications (ReplicaPlan); both
-  /// must outlive the protocol when given.
+  /// must outlive the protocol when given. `chunks` in [1, kMaxChunks]
+  /// splits the payload into pipelined chunks; 1 is the classic
+  /// whole-message broadcast, bit-identical to pre-chunking behaviour.
   CorrectedTreeBroadcast(const topo::Tree& tree, CorrectionConfig config,
                          std::int64_t payload = 0, TreeScratch* scratch = nullptr,
-                         CorrectionScratch* correction_scratch = nullptr);
+                         CorrectionScratch* correction_scratch = nullptr,
+                         std::int32_t chunks = 1);
 
   void begin(sim::Context& ctx) override;
   void on_receive(sim::Context& ctx, topo::Rank me, const sim::Message& msg) override;
@@ -47,12 +65,15 @@ class CorrectedTreeBroadcast final : public sim::Protocol {
   void set_payload(std::int64_t payload) noexcept { payload_ = payload; }
 
  private:
-  void color_by_tree(sim::Context& ctx, topo::Rank me);
+  void forward_chunk(sim::Context& ctx, topo::Rank me, std::int64_t chunk);
+  void hold_chunk(sim::Context& ctx, topo::Rank me, std::int64_t chunk);
   void dissemination_done(sim::Context& ctx, topo::Rank me);
 
   const topo::Tree& tree_;
   CorrectionConfig config_;
   std::int64_t payload_;
+  std::int32_t chunks_;
+  std::uint64_t all_mask_;
   // With a caller scratch the engine is borrowed from its reuse cache
   // (acquire_correction_engine) — zero steady-state allocations on the
   // ReplicaPlan path; otherwise owned_engine_ holds a private one.
@@ -61,6 +82,12 @@ class CorrectedTreeBroadcast final : public sim::Protocol {
 
   std::unique_ptr<TreeScratch> owned_scratch_;  // when no caller scratch given
   RankScratchView<TreeCell> state_;
+
+  // Chunked-mode side state, sized num_procs only when chunks_ > 1 so the
+  // whole-message TreeCell array stays at its classic 16-byte stride.
+  std::vector<std::uint64_t> held_;       // bitmap: chunks held per rank
+  std::vector<std::uint64_t> fwd_;        // bitmap: chunks forwarded per rank
+  std::vector<std::int32_t> tree_seen_;   // distinct tree chunks per rank
 };
 
 /// Runs a fault-free simulation of the bare tree dissemination and returns

@@ -491,4 +491,27 @@ EpochResult Engine::run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds 
   return impl_->run_epoch(protocol, timeout_ns);
 }
 
+StreamResult Engine::Impl::run_stream(const ProtocolFactory&, const StreamOptions&,
+                                      std::int64_t) {
+  throw std::runtime_error(
+      "epoch streaming requires the sharded executor "
+      "(EngineOptions::threading = Threading::kSharded)");
+}
+
+StreamResult Engine::run_stream(const ProtocolFactory& factory,
+                                const StreamOptions& options) {
+  if (!factory) throw std::invalid_argument("run_stream: factory must be callable");
+  if (options.epochs < 1) throw std::invalid_argument("run_stream: epochs must be >= 1");
+  if (options.window < 1 || options.window > 64) {
+    throw std::invalid_argument("run_stream: window must be in [1, 64]");
+  }
+  if (options.rate < 0.0) throw std::invalid_argument("run_stream: rate must be >= 0");
+  std::int64_t timeout_ns = options.epoch_timeout.count();
+  const std::int64_t deadline_ns = options_.epoch_deadline.count();
+  if (deadline_ns > 0 && (timeout_ns <= 0 || deadline_ns < timeout_ns)) {
+    timeout_ns = deadline_ns;
+  }
+  return impl_->run_stream(factory, options, timeout_ns);
+}
+
 }  // namespace ct::rt

@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,10 @@
 namespace ct::rt {
 
 using Clock = std::chrono::steady_clock;
+
+/// Builds a fresh protocol instance per epoch (harness iterations, stream
+/// admissions).
+using ProtocolFactory = std::function<std::unique_ptr<sim::Protocol>()>;
 
 /// How a rank ended an epoch — the per-rank last-state of the degradation
 /// report.
@@ -89,6 +94,59 @@ struct EpochResult {
   /// True when this epoch needed the deadline or left survivors uncolored
   /// — i.e. the result is a degradation report, not a clean measurement.
   bool degraded() const noexcept { return timed_out || uncolored_live > 0; }
+};
+
+// --- Streaming broadcast (PR8) ---------------------------------------------
+// A stream is a sequence of epochs admitted through a sliding window of W
+// concurrently-executing in-flight epochs — the per-epoch barrier bracket of
+// run_epoch is replaced by per-epoch completion countdowns, so epoch e+1's
+// dissemination overlaps epoch e's correction tail. Only the sharded
+// executor supports streams.
+
+struct StreamOptions {
+  /// Measured epochs to admit (the whole stream; no separate warmup —
+  /// callers wanting warmup run a short throwaway stream first).
+  std::int64_t epochs = 64;
+  /// Window size W: maximum epochs in flight. 1 = serialized epochs
+  /// (admission still follows the arrival process).
+  std::int32_t window = 1;
+  /// Offered arrival rate in epochs/s. > 0 selects the open-loop mode:
+  /// epoch i is *scheduled* at i/rate; if the window is full it queues
+  /// (blocks) — epochs are never dropped, so sojourn time (retire −
+  /// scheduled) surfaces the queueing delay. 0 = closed loop: each epoch
+  /// is scheduled the moment a window slot frees up.
+  double rate = 0.0;
+  /// Per-epoch deadline, measured from the epoch's begin. A stuck epoch is
+  /// force-retired (timed_out) so the stream always terminates. Clamped by
+  /// EngineOptions::epoch_deadline like run_epoch's timeout.
+  std::chrono::nanoseconds epoch_timeout = std::chrono::seconds(10);
+  /// Record per-rank end states per epoch (parity tests); off for
+  /// benchmarks — it is W·P extra copying per epoch.
+  bool keep_rank_state = false;
+};
+
+/// Outcome of one streamed epoch. All times are ns since stream start.
+struct StreamEpoch {
+  std::int64_t epoch = 0;          ///< engine-wide epoch tag
+  std::int64_t scheduled_ns = 0;   ///< arrival per the offered-rate process
+  std::int64_t admitted_ns = 0;    ///< when a window slot accepted it
+  std::int64_t begin_ns = 0;       ///< when Protocol::begin ran
+  std::int64_t retire_ns = 0;      ///< last live rank completed (or deadline)
+  bool timed_out = false;
+  std::int32_t crashed = 0;        ///< mid-epoch chaos crashes
+  std::int32_t uncolored = 0;      ///< live survivors never colored
+  std::int64_t messages = 0;
+  std::vector<RankEnd> rank_state;  ///< filled only with keep_rank_state
+
+  /// Open-loop sojourn: queueing delay + service time.
+  std::int64_t sojourn_ns() const noexcept { return retire_ns - scheduled_ns; }
+  std::int64_t service_ns() const noexcept { return retire_ns - begin_ns; }
+  bool degraded() const noexcept { return timed_out || uncolored > 0; }
+};
+
+struct StreamResult {
+  std::vector<StreamEpoch> epochs;  ///< in admission order
+  double wall_seconds = 0.0;        ///< first admission wait to last retire collection
 };
 
 /// How ranks map onto OS threads.
@@ -154,6 +212,11 @@ class Engine {
   /// and returns its timing. Serializes epochs internally.
   EpochResult run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout);
 
+  /// Runs a windowed epoch stream (see StreamOptions). Sharded backend
+  /// only; throws std::runtime_error on the thread-per-rank executor.
+  /// Serializes with run_epoch — never call both concurrently.
+  StreamResult run_stream(const ProtocolFactory& factory, const StreamOptions& options);
+
   /// Installs (or, with a default-constructed plan, removes) a fault-
   /// injection plan. Applies to subsequent epochs; must not be called
   /// while an epoch is running. With no plan the injection hooks compile
@@ -166,6 +229,10 @@ class Engine {
    public:
     virtual ~Impl() = default;
     virtual EpochResult run_epoch(sim::Protocol& protocol, std::int64_t timeout_ns) = 0;
+    /// Windowed epoch stream; timeout_ns is the resolved per-epoch deadline
+    /// (0 = none). Backends without stream support throw (the default).
+    virtual StreamResult run_stream(const ProtocolFactory& factory,
+                                    const StreamOptions& options, std::int64_t timeout_ns);
     virtual std::size_t worker_threads() const noexcept = 0;
     /// nullptr disables injection. The plan outlives all epochs run under it.
     virtual void set_chaos(const ChaosPlan* plan) = 0;

@@ -117,6 +117,9 @@ class ShardedImpl final : public Engine::Impl {
     return collect();
   }
 
+  StreamResult run_stream(const ProtocolFactory& factory, const StreamOptions& options,
+                          std::int64_t timeout_ns) override;
+
   std::size_t worker_threads() const noexcept override { return threads_.size(); }
 
   void set_chaos(const ChaosPlan* plan) override { chaos_ = plan; }
@@ -189,6 +192,14 @@ class ShardedImpl final : public Engine::Impl {
     std::size_t run_head = 0;
     std::vector<Rank> timer_watch;  // ranks with >= 1 unfired timer
     std::vector<Rank> crash_watch;  // ranks with a scheduled chaos crash
+
+    // Streaming (PR8): the epoch this shard last serviced per window slot,
+    // one entry per handshake phase — comparing against StreamSlot::epoch
+    // makes each phase idempotent per pass without extra atomics. In stream
+    // mode the three vectors above hold *virtual* ranks (slot·P + r).
+    std::vector<std::int64_t> slot_staged;
+    std::vector<std::int64_t> slot_seeded;
+    std::vector<std::int64_t> slot_sealed;
   };
 
   // The sim::Context facade handed to protocol callbacks.
@@ -233,6 +244,104 @@ class ShardedImpl final : public Engine::Impl {
 
    private:
     ShardedImpl& impl_;
+  };
+
+  // --- Streaming (PR8) ------------------------------------------------------
+  // W window slots, each hosting one in-flight epoch over a full virtual
+  // copy of the rank state (virtual rank v = slot·P + r, arrays resized to
+  // W·P). A slot cycles through an atomic state machine; every transition
+  // into worker-owned territory is a staged handshake so the coordinator
+  // only ever touches a slot's rank state while no worker does:
+  //
+  //   kFree     coordinator-owned, nothing in flight
+  //   kStaging  every shard resets its own slice (fifos may hold stale mail
+  //             only the owner may touch), acks; last ack -> kStaged
+  //   kStaged   coordinator builds the protocol, runs begin(), seeds chaos
+  //             crash schedules, arms the countdown -> kActive
+  //   kActive   shards seed their run queues/watches once, then step ranks;
+  //             the last completion (or the coordinator's deadline scan)
+  //             CASes -> kSealing
+  //   kSealing  every shard acks "no further callbacks for this slot";
+  //             last ack -> kDone
+  //   kDone     coordinator collects metrics, destroys the protocol -> kFree
+  //
+  // Delivery maps an envelope to its slot by epoch % W; a late envelope of
+  // a retired epoch lands in the reused slot's fifo and is discarded by the
+  // consumption-time epoch filter, exactly like one-shot epoch leftovers.
+  enum : std::uint32_t {
+    kSlotFree = 0,
+    kSlotStaging = 1,
+    kSlotStaged = 2,
+    kSlotActive = 3,
+    kSlotSealing = 4,
+    kSlotDone = 5,
+  };
+
+  class StreamContext;  // defined below (needs ShardedImpl complete)
+
+  struct alignas(64) StreamSlot {
+    std::atomic<std::uint32_t> state{kSlotFree};
+    std::atomic<std::uint32_t> stage_acks{0};
+    std::atomic<std::uint32_t> seal_acks{0};
+    /// Live ranks still to complete; armed by the coordinator pre-kActive.
+    std::atomic<std::int32_t> remaining{0};
+    /// First writer wins (CAS from -1): the last completer or the
+    /// coordinator's deadline scan.
+    std::atomic<std::int64_t> retire_ns{-1};
+    std::atomic<bool> timed_out{false};
+    // Coordinator-owned plain fields, published by the release transitions.
+    std::int64_t epoch = -1;
+    std::int64_t scheduled_ns = 0;
+    std::int64_t admitted_ns = 0;
+    std::int64_t begin_ns = 0;
+    std::int64_t deadline_ns = 0;  // absolute stream time; 0 = none
+    std::unique_ptr<sim::Protocol> protocol;
+    std::unique_ptr<StreamContext> context;
+  };
+
+  /// The Context facade for one window slot: rank r translates to virtual
+  /// rank v = slot·P + r, and sends are stamped with the slot's epoch.
+  class StreamContext final : public sim::Context {
+   public:
+    StreamContext(ShardedImpl& impl, std::size_t w) : impl_(impl), w_(w) {}
+
+    sim::Time now() const override { return impl_.now(); }
+    Rank num_procs() const override { return impl_.num_procs_; }
+
+    void send(Rank from, Rank to, sim::Tag tag, std::int64_t payload) override {
+      const std::size_t v = impl_.vindex(w_, from);
+      impl_.outbox_[v].push_back(Envelope{
+          sim::Message{.src = from, .dst = to, .tag = tag, .payload = payload,
+                       .data = impl_.core_[v].rank_data},
+          impl_.slots_[w_].epoch});
+    }
+    void set_rank_data(Rank r, std::int64_t data) override {
+      impl_.core_[impl_.vindex(w_, r)].rank_data = data;
+    }
+    std::int64_t rank_data(Rank r) const override {
+      return impl_.core_[impl_.vindex(w_, r)].rank_data;
+    }
+    void set_timer(Rank on, sim::Time when, std::int64_t id) override {
+      // No watch registration here: the caller may be the coordinator
+      // (begin(), pre-kActive), which must not touch shard watch lists
+      // while workers run. begin()-time timers are picked up by the owning
+      // shard's seeding scan, callback-time timers by the post-step check —
+      // both on the owner thread.
+      impl_.timers_[impl_.vindex(w_, on)].push_back({when, id, false});
+    }
+    void mark_colored(Rank r) override {
+      impl_.core_[impl_.vindex(w_, r)].colored = 1;
+    }
+    bool is_colored(Rank r) const override {
+      return impl_.core_[impl_.vindex(w_, r)].colored != 0;
+    }
+    void note_correction_start() override {
+      impl_.correction_started_.store(true, std::memory_order_relaxed);
+    }
+
+   private:
+    ShardedImpl& impl_;
+    std::size_t w_;  ///< the window slot this context translates into
   };
 
   /// Carves [0, P) into contiguous slices of ceil(P / workers) ranks and
@@ -406,10 +515,14 @@ class ShardedImpl final : public Engine::Impl {
       pin_to_core(s % std::max(1u, std::thread::hardware_concurrency()));
     }
     for (;;) {
-      epoch_barrier_.arrive_and_wait();  // epoch start (or shutdown)
+      epoch_barrier_.arrive_and_wait();  // epoch/stream start (or shutdown)
       if (shutdown_.load(std::memory_order_acquire)) return;
-      shard_epoch(s);
-      epoch_barrier_.arrive_and_wait();  // epoch end
+      if (stream_mode_) {
+        stream_shard_loop(s);
+      } else {
+        shard_epoch(s);
+      }
+      epoch_barrier_.arrive_and_wait();  // epoch/stream end
     }
   }
 
@@ -841,11 +954,546 @@ class ShardedImpl final : public Engine::Impl {
 
   void finish_epoch() {
     epoch_done_.store(true, std::memory_order_release);
+    kick_all_shards();
+  }
+
+  void kick_all_shards() {
     for (Shard& shard : shards_) {
       if (use_mesh_) {
         shard.bell.kick();
       } else {
         shard.inbox.kick();
+      }
+    }
+  }
+
+  // --- Streaming (PR8) ------------------------------------------------------
+
+  std::size_t vindex(std::size_t w, Rank r) const noexcept {
+    return w * static_cast<std::size_t>(num_procs_) + static_cast<std::size_t>(r);
+  }
+  std::size_t vslot(std::size_t v) const noexcept {
+    return v / static_cast<std::size_t>(num_procs_);
+  }
+  Rank vrank(std::size_t v) const noexcept {
+    return static_cast<Rank>(v % static_cast<std::size_t>(num_procs_));
+  }
+  std::size_t slot_of_epoch(std::int64_t epoch) const noexcept {
+    return static_cast<std::size_t>(epoch % window_);
+  }
+
+  /// Full reset to stream mode: rank-state arrays grow to W·P virtual
+  /// ranks, W window slots are (re)built, every queue and watch list is
+  /// cleared. Runs with all workers parked at the barrier.
+  void prepare_stream(const StreamOptions& options, std::int64_t timeout_ns) {
+    window_ = options.window;
+    stream_timeout_ns_ = timeout_ns;
+    stream_keep_rank_state_ = options.keep_rank_state;
+    const std::size_t total =
+        static_cast<std::size_t>(window_) * static_cast<std::size_t>(num_procs_);
+    if (fifo_.size() < total) {
+      fifo_.resize(total);
+      outbox_.resize(total);
+      timers_.resize(total);
+      core_.resize(total);
+      dropped_.resize(total, 0);
+      delayed_stat_.resize(total, 0);
+      duped_.resize(total, 0);
+    }
+    slots_.clear();
+    for (std::size_t w = 0; w < static_cast<std::size_t>(window_); ++w) {
+      StreamSlot& slot = slots_.emplace_back();
+      slot.context = std::make_unique<StreamContext>(*this, w);
+    }
+    crash_active_ = chaos_ != nullptr && chaos_->crashes_enabled();
+    link_active_ = chaos_ != nullptr && chaos_->links_enabled();
+    for (std::size_t v = 0; v < total; ++v) {
+      fifo_[v].clear();
+      outbox_[v].clear();
+      timers_[v].clear();
+      core_[v] = RankCore{};
+      dropped_[v] = 0;
+      delayed_stat_[v] = 0;
+      duped_[v] = 0;
+    }
+    for (Shard& shard : shards_) {
+      shard.inbox.clear();
+      shard.drain.clear();
+      for (auto& staged : shard.staged) staged.clear();
+      shard.delayed.clear();
+      shard.run_queue.clear();
+      shard.run_head = 0;
+      shard.timer_watch.clear();
+      shard.crash_watch.clear();
+      for (std::atomic<std::uint64_t>& word : shard.mail_mask) {
+        word.store(0, std::memory_order_relaxed);
+      }
+      shard.slot_staged.assign(static_cast<std::size_t>(window_), -1);
+      shard.slot_seeded.assign(static_cast<std::size_t>(window_), -1);
+      shard.slot_sealed.assign(static_cast<std::size_t>(window_), -1);
+    }
+    for (SpscRing& ring : rings_) ring.clear();
+    stream_done_.store(false, std::memory_order_relaxed);
+    timed_out_.store(false, std::memory_order_relaxed);
+    correction_started_.store(false, std::memory_order_relaxed);
+    started_.store(false, std::memory_order_release);
+  }
+
+  /// kStaged → kActive: the coordinator owns the slot here — every shard
+  /// has acked the staging reset, no worker touches the slot's rank state
+  /// until the kActive release-store publishes everything written below.
+  void begin_stream_epoch(std::size_t w, StreamSlot& slot, const ProtocolFactory& factory) {
+    slot.protocol = factory();
+    slot.begin_ns = now();
+    slot.deadline_ns = stream_timeout_ns_ > 0 ? slot.begin_ns + stream_timeout_ns_ : 0;
+    if (crash_active_) {
+      for (Rank r = 0; r < num_procs_; ++r) {
+        const std::size_t v = vindex(w, r);
+        if (failed_[static_cast<std::size_t>(r)]) continue;
+        const std::int64_t at = chaos_->crash_ns(slot.epoch, r);
+        core_[v].crash_at_ns = at >= 0 ? slot.begin_ns + at : -1;
+        core_[v].crash_budget = chaos_->crash_send_budget(r);
+      }
+    }
+    slot.remaining.store(live_count_, std::memory_order_relaxed);
+    slot.protocol->begin(*slot.context);
+    slot.state.store(kSlotActive, std::memory_order_release);
+    kick_all_shards();
+  }
+
+  /// kDone → caller frees: all shards acked the seal, so the seal-ack
+  /// chain's acq_rel fetch_adds give the coordinator a happens-after edge
+  /// over every worker write to this slot's slice.
+  void collect_stream_epoch(std::size_t w, StreamEpoch& rec) {
+    StreamSlot& slot = slots_[w];
+    rec.epoch = slot.epoch;
+    rec.scheduled_ns = slot.scheduled_ns;
+    rec.admitted_ns = slot.admitted_ns;
+    rec.begin_ns = slot.begin_ns;
+    rec.retire_ns = slot.retire_ns.load(std::memory_order_relaxed);
+    rec.timed_out = slot.timed_out.load(std::memory_order_relaxed);
+    if (stream_keep_rank_state_) {
+      rec.rank_state.resize(static_cast<std::size_t>(num_procs_));
+    }
+    for (Rank r = 0; r < num_procs_; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (failed_[ri]) {
+        if (stream_keep_rank_state_) rec.rank_state[ri] = RankEnd::kFailedAtStart;
+        continue;
+      }
+      const std::size_t v = vindex(w, r);
+      rec.messages += core_[v].sends;
+      if (crash_active_ && core_[v].crashed) {
+        ++rec.crashed;
+        if (stream_keep_rank_state_) rec.rank_state[ri] = RankEnd::kCrashed;
+        continue;
+      }
+      if (!core_[v].colored) {
+        ++rec.uncolored;
+        if (stream_keep_rank_state_) rec.rank_state[ri] = RankEnd::kUncolored;
+      } else if (stream_keep_rank_state_) {
+        rec.rank_state[ri] = RankEnd::kColored;
+      }
+    }
+  }
+
+  /// Drops list entries belonging to window slot `w` (their dedup flags
+  /// were just reset by the staging pass).
+  void purge_slot_watch(std::vector<Rank>& list, std::size_t w) {
+    std::size_t keep = 0;
+    for (const Rank v : list) {
+      if (vslot(static_cast<std::size_t>(v)) != w) list[keep++] = v;
+    }
+    list.resize(keep);
+  }
+
+  /// kStaging: this shard resets its own slice of the slot — the fifos may
+  /// hold stale mail only the owner may touch — then acks. The last ack
+  /// hands the slot to the coordinator (kStaged).
+  void stream_stage_slice(Shard& shard, std::size_t w, StreamSlot& slot) {
+    shard.slot_staged[w] = slot.epoch;
+    for (Rank r = shard.lo; r < shard.hi; ++r) {
+      const std::size_t v = vindex(w, r);
+      fifo_[v].clear();
+      outbox_[v].clear();
+      timers_[v].clear();
+      core_[v] = RankCore{};
+      if (link_active_) {
+        dropped_[v] = 0;
+        delayed_stat_[v] = 0;
+        duped_[v] = 0;
+      }
+    }
+    purge_slot_watch(shard.timer_watch, w);
+    purge_slot_watch(shard.crash_watch, w);
+    if (slot.stage_acks.fetch_add(1, std::memory_order_acq_rel) + 1 == shards_.size()) {
+      slot.state.store(kSlotStaged, std::memory_order_release);
+      coordinator_bell_.notify();
+    }
+  }
+
+  /// First kActive sighting: arm the run queue and watch lists for this
+  /// shard's slice — begin()-time outboxes, timers and crash schedules must
+  /// be noticed even if no mail ever arrives for a rank.
+  void stream_seed_slice(Shard& shard, std::size_t w, StreamSlot& slot) {
+    shard.slot_seeded[w] = slot.epoch;
+    for (const Rank r : shard.live_ranks) {
+      const std::size_t v = vindex(w, r);
+      activate(shard, static_cast<Rank>(v));
+      if (!timers_[v].empty() && !core_[v].timer_watched) {
+        core_[v].timer_watched = 1;
+        shard.timer_watch.push_back(static_cast<Rank>(v));
+      }
+      if (crash_active_ && core_[v].crash_at_ns >= 0) {
+        shard.crash_watch.push_back(static_cast<Rank>(v));
+      }
+    }
+  }
+
+  /// Per-pass slot service: stage resets, seed fresh actives, ack seals.
+  /// Runs before the step loop so stale run-queue entries of a slot being
+  /// restaged are popped only after its state says so.
+  bool stream_service_slots(Shard& shard) {
+    bool any = false;
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      StreamSlot& slot = slots_[w];
+      const std::uint32_t state = slot.state.load(std::memory_order_acquire);
+      if (state == kSlotStaging && shard.slot_staged[w] != slot.epoch) {
+        stream_stage_slice(shard, w, slot);
+        any = true;
+      } else if (state == kSlotActive && shard.slot_seeded[w] != slot.epoch) {
+        stream_seed_slice(shard, w, slot);
+        any = true;
+      } else if (state == kSlotSealing && shard.slot_sealed[w] != slot.epoch) {
+        // Ack point: this shard runs no further callbacks for this slot's
+        // epoch (every callback site re-checks the state first).
+        shard.slot_sealed[w] = slot.epoch;
+        if (slot.seal_acks.fetch_add(1, std::memory_order_acq_rel) + 1 == shards_.size()) {
+          slot.state.store(kSlotDone, std::memory_order_release);
+          coordinator_bell_.notify();
+        }
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  /// Completion credit for one live virtual rank (completed or crashed).
+  /// The last credit retires the epoch: first-writer CAS on retire_ns, then
+  /// the kActive → kSealing CAS — which can lose only to the coordinator's
+  /// deadline scan, and then sealing is already under way.
+  void stream_credit_completion(StreamSlot& slot) {
+    if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::int64_t none = -1;
+      slot.retire_ns.compare_exchange_strong(none, now(), std::memory_order_acq_rel,
+                                             std::memory_order_relaxed);
+      std::uint32_t expected = kSlotActive;
+      if (slot.state.compare_exchange_strong(expected, kSlotSealing,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        kick_all_shards();
+        coordinator_bell_.notify();
+      }
+    }
+  }
+
+  void stream_crash_rank(std::size_t v, StreamSlot& slot) {
+    core_[v].crashed = 1;
+    outbox_[v].clear();
+    timers_[v].clear();
+    fifo_[v].clear();
+    if (!core_[v].completed) {
+      core_[v].completed = 1;
+      stream_credit_completion(slot);
+    }
+  }
+
+  /// Delivery keyed by the envelope's epoch tag: slot = epoch mod W, so a
+  /// late envelope of a retired epoch lands in the reused slot's fifo and
+  /// dies at the consumption-time epoch filter.
+  void stream_deliver(std::size_t s, Shard& shard, const Envelope& envelope) {
+    const auto dst = static_cast<std::size_t>(envelope.msg.dst);
+    if (failed_[dst]) return;
+    const std::size_t dest_shard = shard_of(dst);
+    if (dest_shard == s) {
+      const std::size_t v =
+          vindex(slot_of_epoch(envelope.epoch()), envelope.msg.dst);
+      fifo_[v].push(envelope);
+      activate(shard, static_cast<Rank>(v));
+    } else {
+      shard.staged[dest_shard].push_back(envelope);
+    }
+  }
+
+  void stream_deliver_chaos(std::size_t s, Shard& shard, std::size_t v,
+                            std::int64_t epoch, const Envelope& envelope,
+                            sim::Time pass_now) {
+    const ChaosPlan::Verdict verdict =
+        chaos_->classify(epoch, envelope.msg.src, core_[v].sends);
+    if (verdict.drop) {
+      ++dropped_[v];
+      return;
+    }
+    if (verdict.delay_ns > 0) {
+      ++delayed_stat_[v];
+      shard.delayed.push_back(Delayed{envelope, pass_now + verdict.delay_ns});
+      return;
+    }
+    stream_deliver(s, shard, envelope);
+    if (verdict.duplicate) {
+      ++duped_[v];
+      stream_deliver(s, shard, envelope);
+    }
+  }
+
+  bool stream_release_delayed(std::size_t s, Shard& shard, sim::Time pass_now) {
+    bool any = false;
+    std::size_t keep = 0;
+    for (Delayed& d : shard.delayed) {
+      if (d.release_ns <= pass_now) {
+        any = true;
+        stream_deliver(s, shard, d.envelope);
+      } else {
+        shard.delayed[keep++] = d;
+      }
+    }
+    shard.delayed.resize(keep);
+    return any;
+  }
+
+  bool stream_drain_cross_shard(std::size_t s, Shard& shard) {
+    const auto land = [&](const Envelope& envelope) {
+      const std::size_t v =
+          vindex(slot_of_epoch(envelope.epoch()), envelope.msg.dst);
+      fifo_[v].push(envelope);
+      activate(shard, static_cast<Rank>(v));
+    };
+    if (use_mesh_) {
+      const std::size_t num_shards = shards_.size();
+      std::size_t claimed = 0;
+      for (std::size_t word = 0; word < shard.mail_mask.size(); ++word) {
+        if (shard.mail_mask[word].load(std::memory_order_relaxed) == 0) continue;
+        std::uint64_t bits = shard.mail_mask[word].exchange(0, std::memory_order_acquire);
+        while (bits != 0) {
+          const std::size_t from =
+              (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          claimed += rings_[from * num_shards + s].consume_all(land);
+        }
+      }
+      return claimed > 0;
+    }
+    shard.inbox.drain_into(shard.drain);
+    if (shard.drain.empty()) return false;
+    for (const Envelope& envelope : shard.drain) land(envelope);
+    shard.drain.clear();
+    return true;
+  }
+
+  bool stream_fire_due_timers(StreamSlot& slot, Rank me, std::vector<Timer>& timers,
+                              sim::Time pass_now) {
+    bool fired = false;
+    for (std::size_t i = 0; i < timers.size(); ++i) {
+      if (!timers[i].fired && timers[i].when <= pass_now) {
+        timers[i].fired = true;
+        fired = true;
+        slot.protocol->on_timer(*slot.context, me, timers[i].id);
+      }
+    }
+    return fired;
+  }
+
+  bool stream_scan_timer_watch(Shard& shard, sim::Time pass_now) {
+    bool any = false;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < shard.timer_watch.size(); ++i) {
+      const Rank vr = shard.timer_watch[i];
+      const auto v = static_cast<std::size_t>(vr);
+      StreamSlot& slot = slots_[vslot(v)];
+      if (slot.state.load(std::memory_order_acquire) != kSlotActive ||
+          (crash_active_ && core_[v].crashed)) {
+        core_[v].timer_watched = 0;  // retired/sealed slot: entry is stale
+        continue;
+      }
+      auto& timers = timers_[v];
+      if (stream_fire_due_timers(slot, vrank(v), timers, pass_now)) {
+        any = true;
+        activate(shard, vr);
+      }
+      bool pending = false;
+      for (const Timer& timer : timers) {
+        if (!timer.fired) {
+          pending = true;
+          break;
+        }
+      }
+      if (pending) {
+        shard.timer_watch[keep++] = vr;
+      } else {
+        core_[v].timer_watched = 0;
+      }
+    }
+    shard.timer_watch.resize(keep);
+    return any;
+  }
+
+  bool stream_scan_crash_watch(Shard& shard, sim::Time pass_now) {
+    bool any = false;
+    std::size_t keep = 0;
+    for (const Rank vr : shard.crash_watch) {
+      const auto v = static_cast<std::size_t>(vr);
+      StreamSlot& slot = slots_[vslot(v)];
+      if (slot.state.load(std::memory_order_acquire) != kSlotActive) continue;
+      if (core_[v].crashed) continue;
+      if (pass_now >= core_[v].crash_at_ns) {
+        stream_crash_rank(v, slot);
+        any = true;
+        continue;
+      }
+      shard.crash_watch[keep++] = vr;
+    }
+    shard.crash_watch.resize(keep);
+    return any;
+  }
+
+  /// step_rank for a virtual rank: identical structure, but protocol,
+  /// context, epoch filter and completion countdown come from the slot.
+  bool stream_step_rank(std::size_t s, Shard& shard, std::size_t v, StreamSlot& slot,
+                        sim::Time pass_now) {
+    const Rank me = vrank(v);
+    bool progress = false;
+
+    if (crash_active_) {
+      if (core_[v].crashed) {
+        Envelope discard;
+        while (fifo_[v].pop(discard)) {
+        }
+        return false;
+      }
+      if (core_[v].crash_at_ns >= 0 && pass_now >= core_[v].crash_at_ns) {
+        stream_crash_rank(v, slot);
+        return true;
+      }
+    }
+
+    const auto etag = static_cast<std::int32_t>(slot.epoch);
+    LocalFifo& fifo = fifo_[v];
+    Envelope envelope;
+    std::size_t received = 0;
+    while (received < kMaxStepReceives && fifo.pop(envelope)) {
+      progress = true;
+      ++received;
+      if (envelope.epoch() == etag) {
+        slot.protocol->on_receive(*slot.context, me, envelope.msg);
+      }
+    }
+    auto& outbox = outbox_[v];
+    if (!outbox.empty()) {
+      progress = true;
+      const std::size_t limit = outbox.size() + kMaxChainedSends;
+      std::size_t i = 0;
+      for (; i < outbox.size() && i < limit; ++i) {
+        if (crash_active_ && core_[v].crash_budget >= 0 &&
+            core_[v].sends >= core_[v].crash_budget) {
+          stream_crash_rank(v, slot);
+          return true;
+        }
+        ++core_[v].sends;
+        if (link_active_) {
+          stream_deliver_chaos(s, shard, v, slot.epoch, outbox[i], pass_now);
+        } else {
+          stream_deliver(s, shard, outbox[i]);
+        }
+        const sim::Message sent = outbox[i].msg;
+        slot.protocol->on_sent(*slot.context, me, sent);
+      }
+      if (i == outbox.size()) {
+        outbox.clear();
+      } else {
+        outbox.erase(outbox.begin(), outbox.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+
+    auto& timers = timers_[v];
+    if (!timers.empty()) {
+      progress |= stream_fire_due_timers(slot, me, timers, pass_now);
+      // Callback-time set_timer skips watch registration (see
+      // StreamContext::set_timer); cover it here on the owner thread.
+      if (!core_[v].timer_watched) {
+        for (const Timer& timer : timers) {
+          if (!timer.fired) {
+            core_[v].timer_watched = 1;
+            shard.timer_watch.push_back(static_cast<Rank>(v));
+            break;
+          }
+        }
+      }
+    }
+
+    if (!core_[v].completed && core_[v].colored && outbox.empty()) {
+      core_[v].completed = 1;
+      core_[v].completion_ns = now();
+      stream_credit_completion(slot);
+    }
+    return progress;
+  }
+
+  /// One worker's whole stream: scheduling passes — slot service, drains,
+  /// watch scans, bounded stepping of the active set, staged flushes — until
+  /// the coordinator raises stream_done_. Unlike shard_epoch there is no
+  /// per-epoch barrier: slot handshakes are the only synchronization.
+  void stream_shard_loop(std::size_t s) {
+    Shard& shard = shards_[s];
+    const std::size_t step_budget = std::max<std::size_t>(
+        shard.live_ranks.size() * static_cast<std::size_t>(window_), 1024);
+    while (!stream_done_.load(std::memory_order_acquire)) {
+      bool progress = stream_service_slots(shard);
+      progress |= stream_drain_cross_shard(s, shard);
+
+      const sim::Time pass_now = now();
+      if (link_active_ && !shard.delayed.empty()) {
+        progress |= stream_release_delayed(s, shard, pass_now);
+      }
+      if (crash_active_ && !shard.crash_watch.empty()) {
+        progress |= stream_scan_crash_watch(shard, pass_now);
+      }
+      if (!shard.timer_watch.empty()) {
+        progress |= stream_scan_timer_watch(shard, pass_now);
+      }
+
+      std::size_t stepped = 0;
+      while (shard.run_head < shard.run_queue.size() && stepped < step_budget) {
+        const Rank vr = shard.run_queue[shard.run_head++];
+        const auto v = static_cast<std::size_t>(vr);
+        core_[v].queued = 0;
+        ++stepped;
+        StreamSlot& slot = slots_[vslot(v)];
+        // Stale entry (slot sealed, retired, or restaged since queueing):
+        // skip without re-arming.
+        if (slot.state.load(std::memory_order_acquire) != kSlotActive) continue;
+        progress |= stream_step_rank(s, shard, v, slot, pass_now);
+        if (!fifo_[v].empty() || !outbox_[v].empty()) activate(shard, vr);
+      }
+      if (shard.run_head > 0) {
+        if (shard.run_head == shard.run_queue.size()) {
+          shard.run_queue.clear();
+        } else {
+          shard.run_queue.erase(
+              shard.run_queue.begin(),
+              shard.run_queue.begin() + static_cast<std::ptrdiff_t>(shard.run_head));
+        }
+        shard.run_head = 0;
+      }
+      progress |= !shard.run_queue.empty();
+
+      progress |= flush_staged(s, shard);
+
+      if (!progress && !stream_done_.load(std::memory_order_acquire)) {
+        if (use_mesh_) {
+          shard.bell.wait(kIdleWait, [&] { return mesh_has_mail(shard); });
+        } else {
+          shard.inbox.wait_for_mail(kIdleWait);
+        }
       }
     }
   }
@@ -892,11 +1540,137 @@ class ShardedImpl final : public Engine::Impl {
   std::atomic<bool> correction_started_{false};
   std::atomic<std::int32_t> completed_count_{0};
 
+  // Streaming state (PR8). stream_mode_ is plain: written by the
+  // coordinator before the start barrier, read by workers after it.
+  bool stream_mode_ = false;
+  std::int32_t window_ = 0;
+  std::int64_t stream_timeout_ns_ = 0;
+  bool stream_keep_rank_state_ = false;
+  std::deque<StreamSlot> slots_;  // deque: slots hold atomics, must not move
+  std::atomic<bool> stream_done_{false};
+  Doorbell coordinator_bell_;
+
   Context context_;
   std::barrier<> epoch_barrier_;  // shards + coordinator, twice per epoch
   std::atomic<bool> shutdown_{false};
   std::vector<std::jthread> threads_;
 };
+
+/// Coordinator side of a stream: an admission/collection loop replaces the
+/// per-epoch barrier bracket. Epoch base+i always runs in window slot
+/// (base+i) mod W, matching the delivery-side slot_of_epoch map.
+StreamResult ShardedImpl::run_stream(const ProtocolFactory& factory,
+                                     const StreamOptions& options,
+                                     std::int64_t timeout_ns) {
+  prepare_stream(options, timeout_ns);
+  stream_mode_ = true;
+  start_clock();
+  epoch_barrier_.arrive_and_wait();  // workers enter stream_shard_loop
+
+  StreamResult result;
+  result.epochs.resize(static_cast<std::size_t>(options.epochs));
+  const std::int64_t base_epoch = epoch_ + 1;
+  const double interval_ns = options.rate > 0.0 ? 1e9 / options.rate : 0.0;
+  std::int64_t admitted = 0;
+  std::int64_t collected = 0;
+  const Clock::time_point wall_start = Clock::now();
+
+  while (collected < options.epochs) {
+    bool progress = false;
+
+    // Collect retired epochs (any slot, any completion order).
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      StreamSlot& slot = slots_[w];
+      if (slot.state.load(std::memory_order_acquire) != kSlotDone) continue;
+      collect_stream_epoch(
+          w, result.epochs[static_cast<std::size_t>(slot.epoch - base_epoch)]);
+      slot.protocol.reset();
+      slot.state.store(kSlotFree, std::memory_order_release);
+      ++collected;
+      progress = true;
+    }
+
+    // Deadline scan: force-retire stuck epochs so the stream terminates.
+    if (stream_timeout_ns_ > 0) {
+      const sim::Time scan_now = now();
+      for (std::size_t w = 0; w < slots_.size(); ++w) {
+        StreamSlot& slot = slots_[w];
+        if (slot.state.load(std::memory_order_acquire) != kSlotActive) continue;
+        if (scan_now <= slot.deadline_ns) continue;
+        std::uint32_t expected = kSlotActive;
+        if (slot.state.compare_exchange_strong(expected, kSlotSealing,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+          // Won against the last-completer CAS: this retire is a timeout.
+          slot.timed_out.store(true, std::memory_order_relaxed);
+          std::int64_t none = -1;
+          slot.retire_ns.compare_exchange_strong(none, scan_now,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed);
+          kick_all_shards();
+          progress = true;
+        }
+      }
+    }
+
+    // Launch any slot whose staging reset all shards have acked.
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      StreamSlot& slot = slots_[w];
+      if (slot.state.load(std::memory_order_acquire) != kSlotStaged) continue;
+      begin_stream_epoch(w, slot, factory);
+      progress = true;
+    }
+
+    // Admit the next epoch once its arrival is due and its slot is free.
+    // A full window *blocks* admission (epochs queue, never drop) — that
+    // queueing delay is exactly what open-loop sojourn times surface.
+    if (admitted < options.epochs) {
+      const std::int64_t epoch = base_epoch + admitted;
+      StreamSlot& slot = slots_[slot_of_epoch(epoch)];
+      const std::int64_t due_ns =
+          interval_ns > 0.0
+              ? static_cast<std::int64_t>(static_cast<double>(admitted) * interval_ns)
+              : 0;
+      if ((interval_ns == 0.0 || now() >= due_ns) &&
+          slot.state.load(std::memory_order_acquire) == kSlotFree) {
+        slot.epoch = epoch;
+        slot.admitted_ns = now();
+        slot.scheduled_ns = interval_ns > 0.0 ? due_ns : slot.admitted_ns;
+        slot.stage_acks.store(0, std::memory_order_relaxed);
+        slot.seal_acks.store(0, std::memory_order_relaxed);
+        slot.remaining.store(0, std::memory_order_relaxed);
+        slot.retire_ns.store(-1, std::memory_order_relaxed);
+        slot.timed_out.store(false, std::memory_order_relaxed);
+        slot.state.store(kSlotStaging, std::memory_order_release);
+        kick_all_shards();
+        ++admitted;
+        progress = true;
+      }
+    }
+
+    if (!progress) {
+      // Bounded park: a missed notify costs at most kIdleWait, same
+      // contract the worker bells rely on.
+      coordinator_bell_.wait(kIdleWait, [&] {
+        for (const StreamSlot& slot : slots_) {
+          const std::uint32_t state = slot.state.load(std::memory_order_acquire);
+          if (state == kSlotDone || state == kSlotStaged) return true;
+        }
+        return false;
+      });
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  epoch_ = base_epoch + options.epochs - 1;
+
+  stream_done_.store(true, std::memory_order_release);
+  kick_all_shards();
+  epoch_barrier_.arrive_and_wait();  // workers leave stream_shard_loop
+  stream_mode_ = false;
+  return result;
+}
 
 }  // namespace
 

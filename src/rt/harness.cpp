@@ -39,4 +39,26 @@ HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
   return result;
 }
 
+StreamHarnessResult measure_stream(Engine& engine, const ProtocolFactory& factory,
+                                   const StreamOptions& options) {
+  StreamHarnessResult result;
+  result.raw = engine.run_stream(factory, options);
+  result.wall_seconds = result.raw.wall_seconds;
+  const auto live = static_cast<std::int64_t>(engine.live_count());
+  for (const StreamEpoch& epoch : result.raw.epochs) {
+    ++result.epochs;
+    result.total_messages += epoch.messages;
+    result.ranks_crashed += epoch.crashed;
+    result.deliveries += live - epoch.crashed - epoch.uncolored;
+    if (epoch.timed_out) {
+      ++result.timeouts;
+      continue;
+    }
+    if (epoch.uncolored > 0) ++result.incomplete;
+    result.sojourn_us.add(static_cast<double>(epoch.sojourn_ns()) / 1000.0);
+    result.service_us.add(static_cast<double>(epoch.service_ns()) / 1000.0);
+  }
+  return result;
+}
+
 }  // namespace ct::rt

@@ -7,15 +7,11 @@
 // paper's median-latency plots do.
 
 #include <chrono>
-#include <functional>
-#include <memory>
 
 #include "rt/engine.hpp"
 #include "support/stats.hpp"
 
 namespace ct::rt {
-
-using ProtocolFactory = std::function<std::unique_ptr<sim::Protocol>()>;
 
 struct HarnessResult {
   support::Samples latency_us;  ///< per-iteration completion latency, µs
@@ -55,6 +51,7 @@ struct HarnessResult {
   double p50_us() const { return median_us(); }
   double p95_us() const { return clean_percentile_us(0.95); }
   double p99_us() const { return clean_percentile_us(0.99); }
+  double p999_us() const { return clean_percentile_us(0.999); }
 
   /// Delivered-send throughput of the measured loop (the scaling-table
   /// metric: epochs overlap setup and drain, so messages/s is fairer across
@@ -75,5 +72,48 @@ struct HarnessOptions {
 /// built by `factory` on `engine`.
 HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
                                 const HarnessOptions& options = {});
+
+// --- Streaming harness (PR8) -----------------------------------------------
+
+/// Aggregate view of one Engine::run_stream execution. Latencies are
+/// *sojourn* times (retire − scheduled): in the closed loop they equal
+/// service times; in the open loop they additionally surface queueing
+/// delay, which is the point of the open-loop mode. The empty-sample
+/// policy matches HarnessResult: percentiles over clean epochs only, 0.0
+/// when every epoch timed out.
+struct StreamHarnessResult {
+  StreamResult raw;             ///< per-epoch detail, admission order
+  support::Samples sojourn_us;  ///< clean (non-timed-out) epochs only
+  support::Samples service_us;  ///< retire − begin, clean epochs only
+  std::int64_t epochs = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t incomplete = 0;  ///< clean epochs leaving survivors uncolored
+  std::int64_t ranks_crashed = 0;
+  std::int64_t total_messages = 0;
+  std::int64_t deliveries = 0;  ///< colored live ranks, summed over epochs
+  double wall_seconds = 0.0;
+
+  double clean_percentile_us(double q) const {
+    return sojourn_us.empty() ? 0.0 : sojourn_us.percentile(q);
+  }
+  double p50_us() const { return clean_percentile_us(0.5); }
+  double p99_us() const { return clean_percentile_us(0.99); }
+  double p999_us() const { return clean_percentile_us(0.999); }
+
+  /// Sustained payload deliveries per second: every live rank colored in a
+  /// retired epoch counts once — the stream-throughput headline metric.
+  double deliveries_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(deliveries) / wall_seconds : 0.0;
+  }
+  /// Completed-epoch rate, for offered-vs-achieved comparison against
+  /// StreamOptions::rate.
+  double achieved_rate() const {
+    return wall_seconds > 0.0 ? static_cast<double>(epochs) / wall_seconds : 0.0;
+  }
+};
+
+/// Runs one stream on `engine` (sharded backend only) and aggregates it.
+StreamHarnessResult measure_stream(Engine& engine, const ProtocolFactory& factory,
+                                   const StreamOptions& options);
 
 }  // namespace ct::rt

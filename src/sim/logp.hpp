@@ -27,10 +27,13 @@ struct LogP {
   topo::Rank P = 0;
 
   // --- LogGP/LogGOP extension (Alexandrov et al. / [20]) -------------------
-  // The paper's analysis assumes small messages (G = O = 0, bytes = 1, the
-  // defaults — pure LogP). The simulator honours these for "what if the
-  // payload were larger" studies: per-byte wire gap G, per-byte CPU
-  // overhead O, and the uniform message size in bytes.
+  // Per-byte wire gap G, per-byte CPU overhead O, and the uniform message
+  // size in bytes. At the defaults (G = O = 0, bytes = 1) every accessor
+  // below reduces bit-identically to pure LogP (o, L, max(o, g), 2o + L) —
+  // the regime the paper's analysis assumes. With a payload, injection
+  // follows LogGP: send_cost(k) = o + (k-1)·G, so G gates back-to-back
+  // sends of large messages (the quantity the streaming/chunked cells
+  // exercise) instead of sitting dead in the model.
   Time G = 0;
   Time O = 0;
   Time bytes = 1;
@@ -44,19 +47,24 @@ struct LogP {
     if (bytes < 1) throw std::invalid_argument("LogP: message size must be >= 1 byte");
   }
 
-  /// CPU time to hand one message to / take it from the network.
-  Time overhead_time() const noexcept { return o + O * (bytes - 1); }
+  /// LogGP injection cost of one nbytes-long message: the sender owns the
+  /// network interface for o + (nbytes-1)·G before the next send may start.
+  Time send_cost(Time nbytes) const noexcept { return o + (nbytes - 1) * G; }
 
-  /// Wire time of one message: latency plus per-byte serialisation.
-  Time wire_time() const noexcept { return L + G * (bytes - 1); }
+  /// CPU time to hand one message to / take it from the network: the LogGP
+  /// injection cost plus the per-byte CPU overhead O of touching the payload.
+  Time overhead_time() const noexcept { return send_cost(bytes) + O * (bytes - 1); }
+
+  /// Wire time of one message: pure latency. Serialisation is injection
+  /// cost (send_cost), charged at the ports, not on the wire.
+  Time wire_time() const noexcept { return L; }
 
   /// Minimum spacing between two consecutive sends (or receives) on the
-  /// same process: the larger of the per-message gap, the injection time
-  /// and the processing overhead.
+  /// same process: the larger of the per-message gap and the injection +
+  /// processing time (which already includes (bytes-1)·G via send_cost).
   Time port_period() const noexcept {
     Time period = overhead_time();
     if (g > period) period = g;
-    if (G * bytes > period) period = G * bytes;
     return period;
   }
 

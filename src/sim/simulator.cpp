@@ -471,7 +471,9 @@ class Simulator::ContextImpl final : public Context {
 
   Time wire_time(topo::Rank src, topo::Rank dst) const {
     if (!locality_.uniform() && locality_.same_node(src, dst)) {
-      return locality_.L_intra + params_.G * (params_.bytes - 1);
+      // Serialisation ((bytes-1)*G) is injection cost, charged in
+      // overhead_time via send_cost; only the latency differs by locality.
+      return locality_.L_intra;
     }
     return params_.wire_time();
   }

@@ -403,10 +403,12 @@ TEST(LogGP, PerByteCostsApply) {
   p.O = 1;
   p.bytes = 5;
   p.validate();
-  EXPECT_EQ(p.overhead_time(), 2 + 1 * 4);
-  EXPECT_EQ(p.wire_time(), 10 + 3 * 4);
-  EXPECT_EQ(p.message_cost(), 2 * 6 + 22);
-  EXPECT_EQ(p.port_period(), 15);  // G*bytes dominates
+  // LogGP injection: send_cost(k) = o + (k-1)G; overhead adds (k-1)O of CPU.
+  EXPECT_EQ(p.send_cost(p.bytes), 2 + 3 * 4);
+  EXPECT_EQ(p.overhead_time(), (2 + 3 * 4) + 1 * 4);
+  EXPECT_EQ(p.wire_time(), 10);  // pure latency; serialisation is injection cost
+  EXPECT_EQ(p.message_cost(), 2 * 18 + 10);
+  EXPECT_EQ(p.port_period(), 18);  // injection+processing dominates g
 }
 
 TEST(LogGP, Validation) {
@@ -419,7 +421,8 @@ TEST(LogGP, Validation) {
 }
 
 TEST(LogGP, SimulatorHonoursMessageSize) {
-  // One message, 8 bytes, G=2, O=1: received at 2*(o+7O) + L+7G.
+  // One message, 8 bytes, G=2, O=1: received at 2*(send_cost(8)+7O) + L
+  // with send_cost(8) = o + 7G (LogGP injection on both ports).
   sim::LogP p{4, 1, 1, 2};
   p.G = 2;
   p.O = 1;
@@ -436,7 +439,7 @@ TEST(LogGP, SimulatorHonoursMessageSize) {
 
   sim::Simulator simulator(p, sim::FaultSet::none(2));
   simulator.run(probe);
-  EXPECT_EQ(probe.received, 2 * (1 + 7) + (4 + 14));
+  EXPECT_EQ(probe.received, 2 * ((1 + 7 * 2) + 7 * 1) + 4);
 }
 
 TEST(LogGP, LargeMessagesSlowTheBroadcastProportionally) {

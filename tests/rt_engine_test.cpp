@@ -171,6 +171,7 @@ TEST(RtHarness, AllTimeoutRunReportsZeroPercentilesNotNaN) {
   EXPECT_EQ(result.p50_us(), 0.0);
   EXPECT_EQ(result.p95_us(), 0.0);
   EXPECT_EQ(result.p99_us(), 0.0);
+  EXPECT_EQ(result.p999_us(), 0.0);
   EXPECT_EQ(result.median_us(), 0.0);
   // The kept first epoch is the degradation report for the whole run.
   EXPECT_TRUE(result.first.timed_out);

@@ -202,7 +202,45 @@ std::vector<SpecSection> spec_sections(bool smoke) {
     }
   }
 
-  return {sweep, rt, chaos};
+  // Streaming ladder (PR8 tentpole): pipelined epochs through the sharded
+  // executor's window slots. The open-loop pair offers the same saturating
+  // arrival rate at W = 1 and W = 8 — the pipelining A/B (deliveries/s,
+  // p99 sojourn) — and the headline cell streams a 64 KiB payload in 4 KiB
+  // chunks (16 pipelined chunks per epoch) through a W = 8 closed loop.
+  // Smoke keeps one small open-loop cell (also the stream_smoke ctest).
+  SpecSection stream{"rt_stream", {}};
+  if (smoke) {
+    stream.specs.push_back(std::string(rt_head) +
+                           "256,reps=8,window=4,rate=200,deadline-ms=10000,"
+                           "exec=rt-sharded");
+  } else {
+    for (const char* window : {"1", "8"}) {
+      stream.specs.push_back(rt_head + n(16384) + ",reps=24,deadline-ms=30000,window=" +
+                             window + ",rate=1000,exec=rt-sharded");
+    }
+    stream.specs.push_back(rt_head + n(16384) +
+                           ",bytes=65536,reps=24,deadline-ms=30000,window=8,"
+                           "chunk=4096,exec=rt-sharded");
+  }
+
+  // Simulator twin of the streaming ladder (proto::StreamMux): a closed-loop
+  // window, the chunked cell with a real per-byte gap G (the LogGP axis that
+  // only matters once payloads are chunked), and an open-loop cell at a
+  // model-time rate (1 tick ≙ 1 µs). Latencies are per-epoch sojourn ticks.
+  const char* sim_head = "bcast:binomial:opportunistic:4:overlapped@P=";
+  SpecSection sim_stream{"sim_stream", {}};
+  if (smoke) {
+    sim_stream.specs.push_back(std::string(sim_head) + "256,reps=8,window=4,exec=sim");
+  } else {
+    sim_stream.specs.push_back(std::string(sim_head) + "8192,reps=64,window=8,exec=sim");
+    sim_stream.specs.push_back(std::string(sim_head) +
+                               "8192,G=1,bytes=65536,reps=32,window=8,chunk=4096,"
+                               "exec=sim");
+    sim_stream.specs.push_back(std::string(sim_head) +
+                               "8192,reps=64,window=8,rate=5000,exec=sim");
+  }
+
+  return {sweep, rt, chaos, stream, sim_stream};
 }
 
 /// The process-sharded sweep cell (DESIGN.md §4g): the headline sweep cell
@@ -386,6 +424,21 @@ int main(int argc, char** argv) {
           ? ab_sharded->record.messages_per_sec / ab_legacy->record.messages_per_sec
           : 0.0;
 
+  // Streaming A/B: the open-loop rt_stream pair (same offered rate, same
+  // rank count, unchunked) at W = 1 vs W = 8.
+  const std::vector<Cell>& stream_rows = results[3];
+  const Cell* stream_w1 = nullptr;
+  const Cell* stream_w8 = nullptr;
+  for (const Cell& row : stream_rows) {
+    if (row.spec.rate <= 0.0 || row.spec.chunk > 0) continue;
+    if (row.spec.window == 1) stream_w1 = &row;
+    if (row.spec.window == 8) stream_w8 = &row;
+  }
+  const double stream_speedup =
+      stream_w1 && stream_w8 && stream_w1->record.deliveries_per_sec > 0.0
+          ? stream_w8->record.deliveries_per_sec / stream_w1->record.deliveries_per_sec
+          : 0.0;
+
   support::JsonWriter w;
   w.begin_object()
       .field("generated_by", "tools/bench_report")
@@ -445,6 +498,18 @@ int main(int argc, char** argv) {
         .field("mean_quiescence", sweep->record.aggregate.quiescence_latency.mean(), 4)
         .end_object();
   }
+  if (stream_w1 && stream_w8) {
+    w.key("rt_stream_ab")
+        .begin_object()
+        .field("procs", static_cast<std::int64_t>(stream_w8->record.procs))
+        .field("offered_rate", stream_w8->record.offered_rate, 1)
+        .field("w1_deliveries_per_sec", stream_w1->record.deliveries_per_sec, 0)
+        .field("w8_deliveries_per_sec", stream_w8->record.deliveries_per_sec, 0)
+        .field("w1_p99_sojourn_us", stream_w1->record.latency_p99, 1)
+        .field("w8_p99_sojourn_us", stream_w8->record.latency_p99, 1)
+        .field("speedup", stream_speedup, 2)
+        .end_object();
+  }
   if (ab_sharded) {
     w.key("rt_ab")
         .begin_object()
@@ -464,9 +529,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "bench_report: wrote %s (sweep %.1f reps/s, rt A/B at P=%d: %.1fx, "
-      "peak RSS %.1f MB)\n",
+      "stream W8/W1: %.2fx, peak RSS %.1f MB)\n",
       out_path.c_str(), sweep_reps_per_sec,
-      ab_sharded ? ab_sharded->record.procs : 0, ab_speedup, peak_rss_mb());
+      ab_sharded ? ab_sharded->record.procs : 0, ab_speedup, stream_speedup,
+      peak_rss_mb());
   if (!filter.empty()) {
     std::size_t cells = 0;
     for (const std::vector<Cell>& section : results) cells += section.size();
