@@ -25,7 +25,7 @@ using namespace ct;
 rt::Envelope make_envelope(std::int64_t i) {
   return rt::Envelope{
       sim::Message{.src = 0, .dst = 1, .tag = sim::tag::kTree, .payload = i, .data = i},
-      /*epoch=*/1};
+      /*tag=*/rt::Envelope::make_tag(/*epoch=*/1, /*generation=*/0)};
 }
 
 // --- delivery primitives ----------------------------------------------------

@@ -20,6 +20,14 @@
 //       --chaos-seed 7 --crash-frac 0.02 --drop-prob 0.01 --delay-prob 0.01
 //   $ ./runtime_broadcast --procs 512 --iterations 200 --legacy
 //       --chaos-seed 7 --crash-frac 0.02     # same schedule, other executor
+//
+// Self-healing soaks (PR9): --repair makes crashes persistent and repairs
+// the membership at every epoch boundary (tree rebuilt over survivors);
+// --revive-frac / --revive-after-us schedule deterministic revivals so
+// crashed ranks rejoin at a later boundary:
+//
+//   $ ./runtime_broadcast --procs 512 --iterations 200 --correction=checked
+//       --crash-frac 0.02 --repair --revive-frac 1 --revive-after-us 2000
 
 #include <iostream>
 #include <string>
@@ -69,6 +77,9 @@ ct::exp::RunSpec spec_from_flags(const ct::support::Options& options) {
   spec.faults.duplicate_prob = options.get_double("dup-prob", 0.0);
   spec.faults.delay_us = options.get_int("delay-us", 200);
   spec.faults.crash_window_us = options.get_int("crash-window-us", 2000);
+  spec.faults.repair = options.get_flag("repair");
+  spec.faults.revive_fraction = options.get_double("revive-frac", 0.0);
+  spec.faults.revive_after_us = options.get_int("revive-after-us", 0);
   spec.deadline_ms = options.get_int("deadline-ms", 0);
   return spec;
 }
@@ -122,6 +133,14 @@ int main(int argc, char** argv) {
               << "ranks crashed      : " << result.ranks_crashed << "\n"
               << "dropped/delayed/dup: " << result.messages_dropped << "/"
               << result.messages_delayed << "/" << result.messages_duplicated << "\n";
+    if (spec.faults.repair) {
+      std::cout << "repairs            : " << result.repairs << "\n"
+                << "rejoins            : " << result.rejoins << " ("
+                << result.replayed_epochs << " epochs replayed, "
+                << result.state_transfers << " state transfers)\n"
+                << "epochs to converge : " << result.epochs_to_converge
+                << " (epochs degraded past the last fault)\n";
+    }
     if (result.epochs_degraded > 0) {
       std::cout << "first epoch detail:\n  crashed mid-epoch  : ";
       print_ranks(result.crashed_ranks);

@@ -258,6 +258,13 @@ std::string RunSpec::to_string() const {
   if (faults.delay_prob > 0.0) kv("delay-prob", format_double(faults.delay_prob));
   if (faults.delay_us != 200) kv("delay-us", std::to_string(faults.delay_us));
   if (faults.duplicate_prob > 0.0) kv("dup-prob", format_double(faults.duplicate_prob));
+  if (faults.repair) kv("repair", "1");
+  if (faults.revive_fraction > 0.0) {
+    kv("revive-frac", format_double(faults.revive_fraction));
+  }
+  if (faults.revive_after_us > 0) {
+    kv("revive-after-us", std::to_string(faults.revive_after_us));
+  }
   if (reps != 20) kv("reps", std::to_string(reps));
   if (warmup != 2) kv("warmup", std::to_string(warmup));
   if (seed != 0x5eed5eed) kv("seed", std::to_string(seed));
@@ -371,6 +378,12 @@ RunSpec parse_run_spec(const std::string& text) {
         spec.faults.delay_us = parse_int(key, value);
       } else if (key == "dup-prob") {
         spec.faults.duplicate_prob = parse_fraction(key, value);
+      } else if (key == "repair") {
+        spec.faults.repair = parse_int(key, value) != 0;
+      } else if (key == "revive-frac") {
+        spec.faults.revive_fraction = parse_fraction(key, value);
+      } else if (key == "revive-after-us") {
+        spec.faults.revive_after_us = parse_int(key, value);
       } else if (key == "reps") {
         spec.reps = parse_int(key, value);
       } else if (key == "warmup") {
@@ -417,6 +430,23 @@ void RunSpec::validate() const {
       bad_spec("kill list rank " + std::to_string(r) +
                " out of range (root 0 must stay alive)");
     }
+  }
+  if (faults.revive_fraction < 0.0 || faults.revive_fraction > 1.0) {
+    bad_spec("revive-frac must be in [0, 1]");
+  }
+  if (faults.revive_after_us < 0) bad_spec("revive-after-us must be >= 0");
+  if (faults.repair && executor == Executor::kSim) {
+    bad_spec("repair=1 persists crashes across wall-clock epochs; "
+             "use exec=rt-sharded or exec=rt-tpr");
+  }
+  if (faults.revive_fraction > 0.0) {
+    if (!faults.repair) bad_spec("revive-frac needs repair=1");
+    if (faults.crash_fraction <= 0.0 && faults.kill.empty()) {
+      bad_spec("revive-frac without a crash source (crash-frac or kill) never fires");
+    }
+  }
+  if (faults.revive_after_us > 0 && faults.revive_fraction <= 0.0) {
+    bad_spec("revive-after-us needs revive-frac > 0");
   }
   if (collective != Collective::kBroadcast && protocol != ProtocolKind::kCorrectedTree) {
     bad_spec("reduce/allreduce have no ack/gossip variant (drop proto=)");
@@ -826,6 +856,7 @@ RunRecord run_rt(const RunSpec& spec) {
   if (spec.deadline_ms > 0) {
     engine_options.epoch_deadline = std::chrono::milliseconds(spec.deadline_ms);
   }
+  engine_options.repair = spec.faults.repair;
   rt::Engine engine(spec.params.P, static_failures(spec, tree), engine_options);
 
   if (spec.faults.chaos_enabled()) {
@@ -837,6 +868,8 @@ RunRecord run_rt(const RunSpec& spec) {
     chaos.delay_prob = spec.faults.delay_prob;
     chaos.duplicate_prob = spec.faults.duplicate_prob;
     chaos.delay_ns = spec.faults.delay_us * 1000;
+    chaos.revive_fraction = spec.faults.revive_fraction;
+    chaos.revive_after_ns = spec.faults.revive_after_us * 1000;
     rt::ChaosPlan plan(chaos);
     for (const topo::Rank victim : spec.faults.kill) plan.kill_at_ns(victim, 0);
     engine.set_chaos(std::move(plan));
@@ -911,6 +944,10 @@ RunRecord run_rt(const RunSpec& spec) {
     record.offered_rate = spec.rate;
     record.achieved_rate = result.achieved_rate();
     record.deliveries_per_sec = result.deliveries_per_sec();
+    record.repairs = result.repairs;
+    record.rejoins = result.rejoins;
+    record.state_transfers = result.state_transfers;
+    record.epochs_to_converge = result.epochs_to_converge;
     for (const rt::StreamEpoch& epoch : result.raw.epochs) {
       if (epoch.degraded()) ++record.epochs_degraded;
     }
@@ -933,7 +970,60 @@ RunRecord run_rt(const RunSpec& spec) {
   if (spec.deadline_ms > 0) {
     harness.epoch_timeout = std::chrono::milliseconds(spec.deadline_ms);
   }
-  const rt::HarnessResult result = rt::measure_broadcast(engine, factory, harness);
+
+  rt::HarnessResult result;
+  if (spec.faults.repair) {
+    // Self-healing one-shot path: each epoch's protocol is sized to the live
+    // membership; after a repair the tree is rebuilt over the survivors and
+    // the harness remaps dense <-> stable global ranks (DESIGN.md §4i). The
+    // repaired tree is cached per membership generation — rebuilds happen at
+    // repair boundaries only, not every epoch.
+    std::int32_t cached_generation = 0;
+    std::unique_ptr<topo::Tree> repaired;
+    const rt::MembershipProtocolFactory membership_factory =
+        [&](const rt::MembershipView& view) -> std::unique_ptr<sim::Protocol> {
+      const topo::Tree* t = &tree;
+      if (!view.is_identity()) {
+        if (!repaired || cached_generation != view.generation()) {
+          repaired = std::make_unique<topo::Tree>(
+              topo::make_survivor_tree(spec.tree, view.num_live()));
+          cached_generation = view.generation();
+        }
+        t = repaired.get();
+      }
+      if (spec.collective == Collective::kAllreduce) {
+        // Survivor values keyed by *global* rank: the agreed reduction after
+        // a repair is the reduction over the survivors' original inputs.
+        std::vector<std::int64_t> dense(static_cast<std::size_t>(view.num_live()));
+        for (topo::Rank d = 0; d < view.num_live(); ++d) {
+          dense[static_cast<std::size_t>(d)] = view.global_of(d) % 97;
+        }
+        sim::LogP live_params = spec.params;
+        live_params.P = view.num_live();
+        proto::AllReduceConfig config;
+        config.reduce.distance = spec.reduce_distance;
+        config.correction = correction;
+        return std::make_unique<proto::CorrectedAllReduce>(*t, live_params, dense,
+                                                           config);
+      }
+      switch (spec.protocol) {
+        case ProtocolKind::kAckTree:
+          return std::make_unique<proto::AckTreeBroadcast>(*t, nullptr, chunks);
+        case ProtocolKind::kGossip: {
+          gossip.seed = support::derive_seed(spec.seed, ++gossip_epoch);
+          return std::make_unique<proto::CorrectedGossipBroadcast>(view.num_live(),
+                                                                   gossip);
+        }
+        case ProtocolKind::kCorrectedTree:
+          break;
+      }
+      return std::make_unique<proto::CorrectedTreeBroadcast>(*t, correction, 0,
+                                                             nullptr, nullptr, chunks);
+    };
+    result = rt::measure_recovery(engine, membership_factory, harness);
+  } else {
+    result = rt::measure_broadcast(engine, factory, harness);
+  }
 
   RunRecord record = make_record(spec);
   record.latency_unit = "us";
@@ -957,6 +1047,11 @@ RunRecord run_rt(const RunSpec& spec) {
   record.messages_duplicated = result.messages_duplicated;
   record.crashed_ranks = result.first.crashed_ranks;
   record.uncolored_survivors = result.first.uncolored_survivors;
+  record.repairs = result.repairs;
+  record.rejoins = result.rejoins;
+  record.replayed_epochs = result.replayed_epochs;
+  record.state_transfers = result.state_transfers;
+  record.epochs_to_converge = result.epochs_to_converge;
   return record;
 }
 
@@ -999,6 +1094,13 @@ void RunRecord::write_json(support::JsonWriter& w) const {
       .field("offered_rate", offered_rate, 1)
       .field("achieved_rate", achieved_rate, 1)
       .field("deliveries_per_sec", deliveries_per_sec, 0)
+      // Recovery keys appended after the streaming block, same append-only
+      // contract: positional readers of older records stay correct.
+      .field("repairs", repairs)
+      .field("rejoins", rejoins)
+      .field("replayed_epochs", replayed_epochs)
+      .field("state_transfers", state_transfers)
+      .field("epochs_to_converge", epochs_to_converge)
       .end_object();
 }
 

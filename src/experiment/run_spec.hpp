@@ -75,6 +75,18 @@ struct FaultModel {
   double duplicate_prob = 0.0;
   std::int64_t delay_us = 200;
 
+  // --- self-healing membership (PR9; rt executors only) ---
+  /// repair=1: crashes become persistent and the run repairs itself at
+  /// every epoch boundary — one-shot runs rebuild the tree over survivors
+  /// (rt::measure_recovery), streams retire corpses at admission.
+  bool repair = false;
+  /// revive-frac=p: probability a crashed rank gets a deterministic
+  /// revive schedule (ChaosPlan::revive_after_ns; same SplitMix64 contract
+  /// as the crash schedule). Requires repair=1 and a crash source.
+  double revive_fraction = 0.0;
+  /// revive-after-us=d: fixed outage length before a scheduled revival.
+  std::int64_t revive_after_us = 0;
+
   bool chaos_enabled() const noexcept {
     return crash_fraction > 0.0 || drop_prob > 0.0 || delay_prob > 0.0 ||
            duplicate_prob > 0.0 || !kill.empty();
@@ -195,6 +207,15 @@ struct RunRecord {
   std::int64_t messages_dropped = 0;
   std::int64_t messages_delayed = 0;
   std::int64_t messages_duplicated = 0;
+
+  // --- recovery tallies (repair=1 runs only; zeros otherwise). JSON keys
+  // are appended at the END of write_json so positional bench tooling
+  // written against older records keeps working. ---
+  std::int64_t repairs = 0;
+  std::int64_t rejoins = 0;
+  std::int64_t replayed_epochs = 0;
+  std::int64_t state_transfers = 0;
+  std::int64_t epochs_to_converge = 0;
 
   /// Per-rank detail of the *first* measured run (rep 0 / first epoch):
   /// realised mid-run deaths and survivors never colored, both ascending.

@@ -8,8 +8,9 @@ namespace {
 
 // Domain-separation tags so the crash schedule and the three per-send
 // decisions draw from statistically independent streams of the same seed.
-constexpr std::uint64_t kCrashTag = 0x6372617368ULL;  // "crash"
-constexpr std::uint64_t kLinkTag = 0x6c696e6bULL;     // "link"
+constexpr std::uint64_t kCrashTag = 0x6372617368ULL;   // "crash"
+constexpr std::uint64_t kLinkTag = 0x6c696e6bULL;      // "link"
+constexpr std::uint64_t kReviveTag = 0x726576697665ULL;  // "revive"
 
 /// Stateless mix of up to four words into one; SplitMix64-chained so every
 /// input word fully avalanches into the output.
@@ -45,6 +46,25 @@ std::int64_t ChaosPlan::crash_ns(std::int64_t epoch, topo::Rank rank) const {
   // "before the epoch started".
   support::SplitMix64 when(h);
   return 1 + static_cast<std::int64_t>(when.next() % window);
+}
+
+std::int64_t ChaosPlan::revive_after_ns(std::int64_t crash_epoch,
+                                        topo::Rank rank) const {
+  for (const auto& [r, ns] : revive_ns_) {
+    if (r == rank) return ns;
+  }
+  if (options_.revive_fraction <= 0.0 || rank == 0) return -1;
+  const std::uint64_t h = mix(options_.seed ^ kReviveTag,
+                              static_cast<std::uint64_t>(crash_epoch),
+                              static_cast<std::uint64_t>(rank));
+  if (unit(h) >= options_.revive_fraction) return -1;
+  std::int64_t delay = options_.revive_after_ns;
+  if (options_.revive_jitter_ns > 0) {
+    support::SplitMix64 when(h);
+    delay += static_cast<std::int64_t>(
+        when.next() % static_cast<std::uint64_t>(options_.revive_jitter_ns + 1));
+  }
+  return delay > 0 ? delay : 0;
 }
 
 std::int64_t ChaosPlan::crash_send_budget(topo::Rank rank) const {

@@ -39,6 +39,15 @@ struct ChaosOptions {
   /// Base delay plus uniform jitter in [0, delay_jitter_ns].
   std::int64_t delay_ns = 200'000;
   std::int64_t delay_jitter_ns = 0;
+  /// Probability that a crashed rank is scheduled to revive (repair mode,
+  /// DESIGN.md §4i). Drawn once per crash from the same pure-hash stream
+  /// family as the crash schedule, keyed by the epoch the rank crashed in.
+  double revive_fraction = 0.0;
+  /// Wall-clock delay from the crash's detection (epoch seal) until the
+  /// rank is eligible to rejoin, plus uniform jitter in [0,
+  /// revive_jitter_ns]. 0 = eligible at the very next epoch boundary.
+  std::int64_t revive_after_ns = 0;
+  std::int64_t revive_jitter_ns = 0;
 };
 
 class ChaosPlan {
@@ -60,8 +69,18 @@ class ChaosPlan {
     kill_sends_.emplace_back(rank, sends);
   }
 
+  /// Explicit override: every crash of `rank` revives after `ns` wall-clock
+  /// nanoseconds (the revive analogue of kill_at_ns, for deterministic
+  /// recovery tests). ns < 0 pins the rank dead forever.
+  void revive_after(topo::Rank rank, std::int64_t ns) {
+    revive_ns_.emplace_back(rank, ns);
+  }
+
   bool crashes_enabled() const noexcept {
     return options_.crash_fraction > 0.0 || !kill_ns_.empty() || !kill_sends_.empty();
+  }
+  bool revives_enabled() const noexcept {
+    return options_.revive_fraction > 0.0 || !revive_ns_.empty();
   }
   bool links_enabled() const noexcept {
     return options_.drop_prob > 0.0 || options_.delay_prob > 0.0 ||
@@ -77,6 +96,14 @@ class ChaosPlan {
   /// Send budget before a step-count crash; -1 = unlimited.
   std::int64_t crash_send_budget(topo::Rank rank) const;
 
+  /// Scheduled revive delay for a rank that crashed in `crash_epoch`, ns of
+  /// wall clock from the crash's detection; -1 = the rank stays dead. Pure
+  /// hash of (seed, crash_epoch, rank) under its own domain tag, so the
+  /// schedule is bit-reproducible across executors and worker counts just
+  /// like crash_ns. Explicit revive_after overrides win. Rank 0 never
+  /// crashes, so its schedule is vacuously -1.
+  std::int64_t revive_after_ns(std::int64_t crash_epoch, topo::Rank rank) const;
+
   /// Fate of one send. `send_index` is the sender's 1-based per-epoch send
   /// counter. At most one of drop/duplicate/delay applies.
   struct Verdict {
@@ -90,6 +117,7 @@ class ChaosPlan {
   ChaosOptions options_;
   std::vector<std::pair<topo::Rank, std::int64_t>> kill_ns_;
   std::vector<std::pair<topo::Rank, std::int64_t>> kill_sends_;
+  std::vector<std::pair<topo::Rank, std::int64_t>> revive_ns_;
 };
 
 }  // namespace ct::rt

@@ -29,6 +29,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
   ThreadPerRankImpl(Rank num_procs, const std::vector<char>& failed, Rank live_count)
       : num_procs_(num_procs),
         failed_(failed),
+        dead_(failed.begin(), failed.end()),
         live_count_(live_count),
         mailboxes_(static_cast<std::size_t>(num_procs)),
         outbox_(static_cast<std::size_t>(num_procs)),
@@ -72,6 +73,18 @@ class ThreadPerRankImpl final : public Engine::Impl {
 
   void set_chaos(const ChaosPlan* plan) override { chaos_ = plan; }
 
+  /// Repair pass (DESIGN.md §4i). Runs between epochs while every worker is
+  /// parked at the epoch barrier, so the plain-member writes are published
+  /// by the barrier's synchronization. A persistently-dead rank's thread
+  /// stays in the barrier protocol but skips its epochs; reviving a rank
+  /// simply clears its dead flag and the thread resumes stepping.
+  void set_membership(const std::vector<char>& dead, Rank live_count,
+                      std::int32_t generation) override {
+    dead_.assign(dead.begin(), dead.end());
+    live_count_ = live_count;
+    generation_ = generation;
+  }
+
  private:
   // The sim::Context facade handed to protocol callbacks.
   class Context final : public sim::Context {
@@ -89,7 +102,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
       impl_.outbox_[slot].push_back(Envelope{
           sim::Message{.src = from, .dst = to, .tag = tag, .payload = payload,
                        .data = impl_.rank_data_[slot]},
-          impl_.epoch_});
+          impl_.tag_});
     }
 
     void set_rank_data(Rank r, std::int64_t data) override {
@@ -137,6 +150,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
 
   void reset_epoch(sim::Protocol* protocol, std::int64_t timeout_ns) {
     ++epoch_;
+    tag_ = Envelope::make_tag(epoch_, generation_);
     protocol_ = protocol;
     timeout_ns_ = timeout_ns;
     completed_count_.store(0, std::memory_order_relaxed);
@@ -157,8 +171,8 @@ class ThreadPerRankImpl final : public Engine::Impl {
       completion_ns_[slot] = -1;
       if (crash_active_) {
         crashed_[slot] = 0;
-        crash_at_ns_[slot] = failed_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
-        crash_budget_[slot] = failed_[slot] ? -1 : chaos_->crash_send_budget(r);
+        crash_at_ns_[slot] = dead_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
+        crash_budget_[slot] = dead_[slot] ? -1 : chaos_->crash_send_budget(r);
       }
       if (link_active_) {
         dropped_[slot] = 0;
@@ -179,7 +193,10 @@ class ThreadPerRankImpl final : public Engine::Impl {
     result.rank_state.resize(static_cast<std::size_t>(num_procs_));
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
-      if (failed_[slot]) {
+      if (dead_[slot]) {
+        // Failed at construction, or persistently dead under repair mode —
+        // either way the rank held no execution slot this epoch, so it is
+        // not a survivor and cannot degrade the epoch.
         result.rank_state[slot] = RankEnd::kFailedAtStart;
         continue;
       }
@@ -239,6 +256,13 @@ class ThreadPerRankImpl final : public Engine::Impl {
 
   void worker_epoch(Rank me) {
     const auto slot = static_cast<std::size_t>(me);
+    // Persistently dead under repair mode: no execution slot this epoch.
+    // The thread keeps the barrier protocol (worker_main arrives at the end
+    // barrier right away) and resumes stepping the epoch after a revive
+    // clears the flag. Mail addressed here is dropped at delivery; anything
+    // already queued is cleared by the next reset_epoch and would be
+    // rejected by the tag filter regardless.
+    if (dead_[slot]) return;
     auto& outbox = outbox_[slot];
     std::size_t outbox_head = 0;
     auto& timers = timers_[slot];
@@ -272,7 +296,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
         if (d.release_ns <= current) {
           any = true;
           const auto dst = static_cast<std::size_t>(d.envelope.msg.dst);
-          if (!failed_[dst]) mailboxes_[dst].push(d.envelope);
+          if (!dead_[dst]) mailboxes_[dst].push(d.envelope);
         } else {
           delayed[keep++] = d;
         }
@@ -330,7 +354,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
             delayed.push_back(Delayed{out, now() + verdict.delay_ns});
           } else {
             const auto dst = static_cast<std::size_t>(out.msg.dst);
-            if (!failed_[dst]) {
+            if (!dead_[dst]) {
               mailboxes_[dst].push(out);
               if (verdict.duplicate) {
                 ++duped_[slot];
@@ -338,13 +362,13 @@ class ThreadPerRankImpl final : public Engine::Impl {
               }
             }
           }
-        } else if (!failed_[static_cast<std::size_t>(out.msg.dst)]) {
+        } else if (!dead_[static_cast<std::size_t>(out.msg.dst)]) {
           mailboxes_[static_cast<std::size_t>(out.msg.dst)].push(out);
         }
         protocol_->on_sent(context_, me, out.msg);
         progress = true;
       } else if (mailboxes_[slot].try_pop(envelope)) {
-        if (envelope.epoch() == static_cast<std::int32_t>(epoch_)) {
+        if (envelope.tag() == tag_) {
           protocol_->on_receive(context_, me, envelope.msg);
         }
         progress = true;
@@ -376,7 +400,7 @@ class ThreadPerRankImpl final : public Engine::Impl {
           continue;
         }
         if (mailboxes_[slot].pop_for(envelope, kIdleWait)) {
-          if (envelope.epoch() == static_cast<std::int32_t>(epoch_)) {
+          if (envelope.tag() == tag_) {
             protocol_->on_receive(context_, me, envelope.msg);
           }
           maybe_complete();
@@ -399,6 +423,11 @@ class ThreadPerRankImpl final : public Engine::Impl {
 
   Rank num_procs_;
   const std::vector<char>& failed_;
+  /// Current persistent dead set: failed_ plus repair-mode crashes minus
+  /// revivals (== failed_ when repair is off). Written only between epochs
+  /// (set_membership), read freely by workers — the epoch barrier publishes
+  /// the writes.
+  std::vector<char> dead_;
   Rank live_count_;
   std::vector<Mailbox> mailboxes_;
   std::vector<std::vector<Envelope>> outbox_;
@@ -423,6 +452,8 @@ class ThreadPerRankImpl final : public Engine::Impl {
 
   sim::Protocol* protocol_ = nullptr;
   std::int64_t epoch_ = 0;
+  std::int32_t generation_ = 0;
+  std::int32_t tag_ = 0;  ///< Envelope::make_tag(epoch_, generation_)
   std::int64_t timeout_ns_ = 0;
   Clock::time_point epoch_start_{};
   std::atomic<bool> started_{false};
@@ -468,6 +499,12 @@ Engine::Engine(Rank num_procs, std::vector<char> failed, EngineOptions options)
   }
   live_count_ = 0;
   for (char f : failed_) live_count_ += (f == 0);
+  // Membership starts as the identity view even with construction failures:
+  // the initial tree/ring span [0, P) with failed ranks as holes, exactly
+  // the pre-repair behavior. The first effective repair pass compacts over
+  // *all* dead ranks (construction failures included).
+  dead_ = failed_;
+  membership_ = MembershipView::identity(num_procs_);
   impl_ = options_.threading == Threading::kThreadPerRank
               ? detail::make_thread_per_rank(num_procs_, failed_, live_count_)
               : detail::make_sharded(num_procs_, failed_, live_count_, options_);
@@ -480,6 +517,57 @@ std::size_t Engine::worker_threads() const noexcept { return impl_->worker_threa
 void Engine::set_chaos(ChaosPlan plan) {
   chaos_ = std::move(plan);
   impl_->set_chaos(chaos_.enabled() ? &chaos_ : nullptr);
+}
+
+bool Engine::repair_membership(const std::vector<topo::Rank>& newly_dead,
+                               const std::vector<topo::Rank>& revived) {
+  if (!options_.repair) {
+    throw std::logic_error(
+        "repair_membership requires EngineOptions::repair (without it "
+        "crashes are per-epoch and there is no persistent dead set to mend)");
+  }
+  auto check = [this](topo::Rank r) {
+    if (r < 0 || r >= num_procs_) {
+      throw std::invalid_argument("repair_membership: rank out of range");
+    }
+    if (r == 0) {
+      throw std::invalid_argument(
+          "repair_membership: rank 0 roots every collective and cannot "
+          "change state");
+    }
+  };
+  bool changed = false;
+  for (const topo::Rank r : newly_dead) {
+    check(r);
+    auto& flag = dead_[static_cast<std::size_t>(r)];
+    changed |= (flag == 0);
+    flag = 1;
+  }
+  for (const topo::Rank r : revived) {
+    check(r);
+    if (failed_[static_cast<std::size_t>(r)]) {
+      throw std::invalid_argument(
+          "repair_membership: ranks failed at construction hold no "
+          "execution slot and cannot revive");
+    }
+    auto& flag = dead_[static_cast<std::size_t>(r)];
+    changed |= (flag != 0);
+    flag = 0;
+  }
+  if (!changed) return false;
+
+  generation_ = (generation_ + 1) & 0xFF;  // 8-bit field in the envelope tag
+  live_count_ = 0;
+  for (const char d : dead_) live_count_ += (d == 0);
+  membership_ = MembershipView::over_survivors(dead_, generation_);
+  impl_->set_membership(dead_, live_count_, generation_);
+  return true;
+}
+
+void Engine::Impl::set_membership(const std::vector<char>&, topo::Rank,
+                                  std::int32_t) {
+  throw std::runtime_error(
+      "this executor backend does not support membership repair");
 }
 
 EpochResult Engine::run_epoch(sim::Protocol& protocol, std::chrono::nanoseconds timeout) {

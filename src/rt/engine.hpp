@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "rt/chaos.hpp"
+#include "rt/membership.hpp"
 #include "sim/protocol.hpp"
 #include "topology/gaps.hpp"
 
@@ -136,6 +137,13 @@ struct StreamEpoch {
   std::int32_t crashed = 0;        ///< mid-epoch chaos crashes
   std::int32_t uncolored = 0;      ///< live survivors never colored
   std::int64_t messages = 0;
+  /// Repair mode only: ranks already dead (persisted crashes) when this
+  /// epoch was admitted — excluded from the live set, not survivors and not
+  /// counted in `crashed`/`uncolored`.
+  std::int32_t dead_at_start = 0;
+  /// Repair mode only: revived ranks that rejoined at this admission (each
+  /// one a fresh-epoch state transfer; streams carry no replay log).
+  std::int32_t rejoined = 0;
   std::vector<RankEnd> rank_state;  ///< filled only with keep_rank_state
 
   /// Open-loop sojourn: queueing delay + service time.
@@ -147,6 +155,9 @@ struct StreamEpoch {
 struct StreamResult {
   std::vector<StreamEpoch> epochs;  ///< in admission order
   double wall_seconds = 0.0;        ///< first admission wait to last retire collection
+  /// Repair mode only: admissions at which the membership changed (deaths
+  /// persisted and/or ranks revived) and the generation was bumped.
+  std::int64_t repairs = 0;
 };
 
 /// How ranks map onto OS threads.
@@ -190,6 +201,14 @@ struct EngineOptions {
   /// soaks always terminate: on expiry the engine force-quiesces and the
   /// EpochResult carries the degradation diagnostics instead of hanging.
   std::chrono::nanoseconds epoch_deadline{0};
+  /// Self-healing membership (DESIGN.md §4i). Chaos crashes become
+  /// *persistent*: a rank killed mid-epoch stays dead across epochs until
+  /// revived, and the caller repairs the membership at epoch boundaries via
+  /// Engine::repair_membership (one-shot epochs) or the stream coordinator
+  /// does so at admission boundaries (run_stream). Off by default — without
+  /// it every epoch starts from the constructed failure set, the pre-PR9
+  /// behavior.
+  bool repair = false;
 };
 
 class Engine {
@@ -224,6 +243,31 @@ class Engine {
   void set_chaos(ChaosPlan plan);
   const ChaosPlan& chaos() const noexcept { return chaos_; }
 
+  // --- Self-healing membership (EngineOptions::repair; DESIGN.md §4i) ----
+
+  /// Epoch-boundary repair pass. Marks `newly_dead` (global ranks, e.g. the
+  /// previous EpochResult's crashed_ranks) as persistently dead, clears the
+  /// dead flag of `revived` ranks (chaos-crashed only — ranks failed at
+  /// construction have no execution slot to revive), recomputes the dense
+  /// survivor view and pushes the new membership + bumped generation into
+  /// the executor. Returns false (and changes nothing) when the requested
+  /// transition is a no-op. Must not be called while an epoch is running;
+  /// throws std::logic_error unless EngineOptions::repair is set,
+  /// std::invalid_argument for rank 0, out-of-range or construction-failed
+  /// revivals.
+  bool repair_membership(const std::vector<topo::Rank>& newly_dead,
+                         const std::vector<topo::Rank>& revived);
+
+  /// Current global->dense survivor mapping (identity until the first
+  /// effective repair_membership call).
+  const MembershipView& membership() const noexcept { return membership_; }
+  std::int32_t generation() const noexcept { return generation_; }
+  /// True when `r` holds no execution slot in the current membership
+  /// (failed at construction, or crashed and persisted by a repair pass).
+  bool is_dead(topo::Rank r) const {
+    return dead_[static_cast<std::size_t>(r)] != 0;
+  }
+
   /// Internal: executor backend interface (see engine.cpp / engine_sharded.cpp).
   class Impl {
    public:
@@ -236,6 +280,12 @@ class Engine {
     virtual std::size_t worker_threads() const noexcept = 0;
     /// nullptr disables injection. The plan outlives all epochs run under it.
     virtual void set_chaos(const ChaosPlan* plan) = 0;
+    /// Repair pass (EngineOptions::repair): adopt a new persistent dead set
+    /// (superset of the construction failure flags) for subsequent epochs.
+    /// Called only between epochs, while all workers are parked. Backends
+    /// without repair support throw (the default).
+    virtual void set_membership(const std::vector<char>& dead,
+                                topo::Rank live_count, std::int32_t generation);
   };
 
  private:
@@ -244,6 +294,12 @@ class Engine {
   EngineOptions options_;
   topo::Rank live_count_ = 0;
   ChaosPlan chaos_;
+  /// Repair mode: current persistent dead set (failed_ plus persisted chaos
+  /// crashes minus revivals); equals failed_ when repair is off. Declared
+  /// before impl_ — the executor references it during destruction.
+  std::vector<char> dead_;
+  MembershipView membership_;
+  std::int32_t generation_ = 0;
   std::unique_ptr<Impl> impl_;  // last member: destroyed before the state it references
 };
 

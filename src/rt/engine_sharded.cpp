@@ -84,7 +84,9 @@ class ShardedImpl final : public Engine::Impl {
               const EngineOptions& options)
       : num_procs_(num_procs),
         failed_(failed),
+        dead_(failed.begin(), failed.end()),
         live_count_(live_count),
+        repair_(options.repair),
         fifo_(static_cast<std::size_t>(num_procs)),
         outbox_(static_cast<std::size_t>(num_procs)),
         timers_(static_cast<std::size_t>(num_procs)),
@@ -124,6 +126,23 @@ class ShardedImpl final : public Engine::Impl {
 
   void set_chaos(const ChaosPlan* plan) override { chaos_ = plan; }
 
+  /// Repair pass (DESIGN.md §4i). Runs between epochs while every worker is
+  /// parked at the epoch barrier, so the plain-member writes (dead set,
+  /// live counts, shard live_ranks, generation) are published by the
+  /// barrier's synchronization — the same contract reset_epoch relies on.
+  void set_membership(const std::vector<char>& dead, Rank live_count,
+                      std::int32_t generation) override {
+    dead_.assign(dead.begin(), dead.end());
+    live_count_ = live_count;
+    generation_ = generation;
+    for (Shard& shard : shards_) {
+      shard.live_ranks.clear();
+      for (Rank r = shard.lo; r < shard.hi; ++r) {
+        if (!dead_[static_cast<std::size_t>(r)]) shard.live_ranks.push_back(r);
+      }
+    }
+  }
+
  private:
   struct Timer {
     sim::Time when;
@@ -148,6 +167,11 @@ class ShardedImpl final : public Engine::Impl {
     char crashed = 0;
     char queued = 0;         // rank is in its shard's run_queue
     char timer_watched = 0;  // rank is on its shard's timer_watch
+    /// Repair mode, stream slots: this rank was already persistently dead
+    /// when the slot's epoch was admitted (pre-marked crashed+completed by
+    /// the coordinator) — collection reports it as failed-at-start, not as
+    /// a fresh mid-epoch crash.
+    char dead_at_start = 0;
   };
   static_assert(sizeof(RankCore) == 64);
 
@@ -217,7 +241,7 @@ class ShardedImpl final : public Engine::Impl {
       impl_.outbox_[slot].push_back(Envelope{
           sim::Message{.src = from, .dst = to, .tag = tag, .payload = payload,
                        .data = impl_.core_[slot].rank_data},
-          impl_.epoch_});
+          impl_.tag_});
     }
 
     void set_rank_data(Rank r, std::int64_t data) override {
@@ -295,6 +319,8 @@ class ShardedImpl final : public Engine::Impl {
     std::int64_t admitted_ns = 0;
     std::int64_t begin_ns = 0;
     std::int64_t deadline_ns = 0;  // absolute stream time; 0 = none
+    std::int32_t tag = 0;          // Envelope::make_tag(epoch, generation)
+    std::int32_t rejoined = 0;     // repair mode: revivals joining this epoch
     std::unique_ptr<sim::Protocol> protocol;
     std::unique_ptr<StreamContext> context;
   };
@@ -313,7 +339,7 @@ class ShardedImpl final : public Engine::Impl {
       impl_.outbox_[v].push_back(Envelope{
           sim::Message{.src = from, .dst = to, .tag = tag, .payload = payload,
                        .data = impl_.core_[v].rank_data},
-          impl_.slots_[w_].epoch});
+          impl_.slots_[w_].tag});
     }
     void set_rank_data(Rank r, std::int64_t data) override {
       impl_.core_[impl_.vindex(w_, r)].rank_data = data;
@@ -393,6 +419,7 @@ class ShardedImpl final : public Engine::Impl {
 
   void reset_epoch(sim::Protocol* protocol, std::int64_t timeout_ns) {
     ++epoch_;
+    tag_ = Envelope::make_tag(epoch_, generation_);
     protocol_ = protocol;
     timeout_ns_ = timeout_ns;
     completed_count_.store(0, std::memory_order_relaxed);
@@ -429,12 +456,12 @@ class ShardedImpl final : public Engine::Impl {
       core_[slot].sends = 0;
       core_[slot].rank_data = 0;
       core_[slot].completion_ns = -1;
-      core_[slot].queued = static_cast<char>(!failed_[slot]);
+      core_[slot].queued = static_cast<char>(!dead_[slot]);
       core_[slot].timer_watched = 0;
       if (crash_active_) {
         core_[slot].crashed = 0;
-        core_[slot].crash_at_ns = failed_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
-        core_[slot].crash_budget = failed_[slot] ? -1 : chaos_->crash_send_budget(r);
+        core_[slot].crash_at_ns = dead_[slot] ? -1 : chaos_->crash_ns(epoch_, r);
+        core_[slot].crash_budget = dead_[slot] ? -1 : chaos_->crash_send_budget(r);
         if (core_[slot].crash_at_ns >= 0) {
           shards_[shard_of(slot)].crash_watch.push_back(r);
         }
@@ -458,7 +485,10 @@ class ShardedImpl final : public Engine::Impl {
     result.rank_state.resize(static_cast<std::size_t>(num_procs_));
     for (Rank r = 0; r < num_procs_; ++r) {
       const auto slot = static_cast<std::size_t>(r);
-      if (failed_[slot]) {
+      if (dead_[slot]) {
+        // Failed at construction, or persistently dead under repair mode —
+        // either way the rank held no execution slot this epoch, so it is
+        // not a survivor and cannot degrade the epoch.
         result.rank_state[slot] = RankEnd::kFailedAtStart;
         continue;
       }
@@ -753,8 +783,9 @@ class ShardedImpl final : public Engine::Impl {
     if (crash_active_) {
       if (core_[slot].crashed) {
         // A dead rank's fifo still receives traffic (deliver() only checks
-        // the construction-time failed flags — crash state is owner-local,
-        // never read cross-thread). Discard it so the ring stays bounded.
+        // the epoch-boundary dead flags — mid-epoch crash state is
+        // owner-local, never read cross-thread). Discard it so the ring
+        // stays bounded.
         Envelope discard;
         while (fifo_[slot].pop(discard)) {
         }
@@ -772,7 +803,7 @@ class ShardedImpl final : public Engine::Impl {
     while (received < kMaxStepReceives && fifo.pop(envelope)) {
       progress = true;
       ++received;
-      if (envelope.epoch() == static_cast<std::int32_t>(epoch_)) {
+      if (envelope.tag() == tag_) {
         protocol_->on_receive(context_, r, envelope.msg);
       }
     }
@@ -838,7 +869,7 @@ class ShardedImpl final : public Engine::Impl {
 
   void deliver(std::size_t s, Shard& shard, const Envelope& envelope) {
     const auto dst = static_cast<std::size_t>(envelope.msg.dst);
-    if (failed_[dst]) return;
+    if (dead_[dst]) return;
     const std::size_t dest_shard = shard_of(dst);
     if (dest_shard == s) {
       fifo_[dst].push(envelope);
@@ -1007,6 +1038,17 @@ class ShardedImpl final : public Engine::Impl {
     }
     crash_active_ = chaos_ != nullptr && chaos_->crashes_enabled();
     link_active_ = chaos_ != nullptr && chaos_->links_enabled();
+    if (repair_) {
+      // Stream-side membership (DESIGN.md §4i): crashes persist across
+      // admissions and revivals rejoin at an admission boundary via a
+      // fresh-epoch state transfer. All of it is coordinator-owned — the
+      // workers only ever see the per-slot pre-marks.
+      stream_dead_.assign(failed_.begin(), failed_.end());
+      stream_down_.clear();
+      stream_generation_ = 0;
+      stream_repairs_ = 0;
+      stream_membership_dirty_ = false;
+    }
     for (std::size_t v = 0; v < total; ++v) {
       fifo_[v].clear();
       outbox_[v].clear();
@@ -1046,16 +1088,53 @@ class ShardedImpl final : public Engine::Impl {
     slot.protocol = factory();
     slot.begin_ns = now();
     slot.deadline_ns = stream_timeout_ns_ > 0 ? slot.begin_ns + stream_timeout_ns_ : 0;
+    slot.rejoined = 0;
+    std::int32_t dead_count = 0;
+    if (repair_) {
+      // Admission-boundary repair: revive ranks whose schedule came due (a
+      // fresh-epoch state transfer — the new protocol instance carries the
+      // epoch's full state, nothing to replay), then pre-mark the still-dead
+      // ranks as corpses of this slot. Epochs already in flight keep the
+      // membership they were admitted with.
+      bool changed = stream_membership_dirty_;
+      stream_membership_dirty_ = false;
+      std::size_t keep = 0;
+      for (const StreamDown& down : stream_down_) {
+        if (slot.begin_ns >= down.revive_at_ns) {
+          stream_dead_[static_cast<std::size_t>(down.rank)] = 0;
+          ++slot.rejoined;
+          changed = true;
+        } else {
+          stream_down_[keep++] = down;
+        }
+      }
+      stream_down_.resize(keep);
+      if (changed) {
+        stream_generation_ = (stream_generation_ + 1) & 0xFF;
+        ++stream_repairs_;
+      }
+      for (Rank r = 0; r < num_procs_; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        if (failed_[ri] || !stream_dead_[ri]) continue;
+        const std::size_t v = vindex(w, r);
+        core_[v].dead_at_start = 1;
+        core_[v].crashed = 1;
+        core_[v].completed = 1;
+        core_[v].crash_at_ns = -1;
+        ++dead_count;
+      }
+    }
+    slot.tag = Envelope::make_tag(slot.epoch, stream_generation_);
     if (crash_active_) {
       for (Rank r = 0; r < num_procs_; ++r) {
         const std::size_t v = vindex(w, r);
-        if (failed_[static_cast<std::size_t>(r)]) continue;
+        if (failed_[static_cast<std::size_t>(r)] || core_[v].dead_at_start) continue;
         const std::int64_t at = chaos_->crash_ns(slot.epoch, r);
         core_[v].crash_at_ns = at >= 0 ? slot.begin_ns + at : -1;
         core_[v].crash_budget = chaos_->crash_send_budget(r);
       }
     }
-    slot.remaining.store(live_count_, std::memory_order_relaxed);
+    slot.remaining.store(live_count_ - dead_count, std::memory_order_relaxed);
     slot.protocol->begin(*slot.context);
     slot.state.store(kSlotActive, std::memory_order_release);
     kick_all_shards();
@@ -1072,6 +1151,7 @@ class ShardedImpl final : public Engine::Impl {
     rec.begin_ns = slot.begin_ns;
     rec.retire_ns = slot.retire_ns.load(std::memory_order_relaxed);
     rec.timed_out = slot.timed_out.load(std::memory_order_relaxed);
+    rec.rejoined = slot.rejoined;
     if (stream_keep_rank_state_) {
       rec.rank_state.resize(static_cast<std::size_t>(num_procs_));
     }
@@ -1082,10 +1162,29 @@ class ShardedImpl final : public Engine::Impl {
         continue;
       }
       const std::size_t v = vindex(w, r);
+      if (repair_ && core_[v].dead_at_start) {
+        // Pre-marked corpse: dead before this epoch was admitted — not a
+        // survivor, not a fresh crash.
+        ++rec.dead_at_start;
+        if (stream_keep_rank_state_) rec.rank_state[ri] = RankEnd::kFailedAtStart;
+        continue;
+      }
       rec.messages += core_[v].sends;
       if (crash_active_ && core_[v].crashed) {
         ++rec.crashed;
         if (stream_keep_rank_state_) rec.rank_state[ri] = RankEnd::kCrashed;
+        if (repair_ && !stream_dead_[ri]) {
+          // Persist the death and draw its revive schedule, keyed by the
+          // epoch the rank crashed in (the ChaosPlan determinism contract).
+          // Schedules that never fire are not tracked: the rank simply
+          // stays in stream_dead_.
+          stream_dead_[ri] = 1;
+          stream_membership_dirty_ = true;
+          const std::int64_t delay = chaos_->revive_after_ns(rec.epoch, r);
+          if (delay >= 0) {
+            stream_down_.push_back(StreamDown{r, now() + delay});
+          }
+        }
         continue;
       }
       if (!core_[v].colored) {
@@ -1135,8 +1234,8 @@ class ShardedImpl final : public Engine::Impl {
   /// First kActive sighting: arm the run queue and watch lists for this
   /// shard's slice — begin()-time outboxes, timers and crash schedules must
   /// be noticed even if no mail ever arrives for a rank.
-  void stream_seed_slice(Shard& shard, std::size_t w, StreamSlot& slot) {
-    shard.slot_seeded[w] = slot.epoch;
+  void stream_seed_slice(Shard& shard, std::size_t w, StreamSlot&) {
+    shard.slot_seeded[w] = shard.slot_staged[w];  // == slot.epoch, raceless
     for (const Rank r : shard.live_ranks) {
       const std::size_t v = vindex(w, r);
       activate(shard, static_cast<Rank>(v));
@@ -1158,16 +1257,26 @@ class ShardedImpl final : public Engine::Impl {
     for (std::size_t w = 0; w < slots_.size(); ++w) {
       StreamSlot& slot = slots_[w];
       const std::uint32_t state = slot.state.load(std::memory_order_acquire);
+      // Only the kSlotStaging branch may read slot.epoch: the admission
+      // write happens-before the kSlotStaging release store, and the next
+      // admission write needs this shard's seal ack first. The later
+      // branches compare against shard.slot_staged[w] — this shard's own
+      // durable record of the staged epoch (staging runs on every shard
+      // before launch) — because a pass that observes kSlotSealing *after*
+      // this shard already acked is unordered against the coordinator
+      // re-admitting the slot, so reading slot.epoch there would race.
       if (state == kSlotStaging && shard.slot_staged[w] != slot.epoch) {
         stream_stage_slice(shard, w, slot);
         any = true;
-      } else if (state == kSlotActive && shard.slot_seeded[w] != slot.epoch) {
+      } else if (state == kSlotActive &&
+                 shard.slot_seeded[w] != shard.slot_staged[w]) {
         stream_seed_slice(shard, w, slot);
         any = true;
-      } else if (state == kSlotSealing && shard.slot_sealed[w] != slot.epoch) {
+      } else if (state == kSlotSealing &&
+                 shard.slot_sealed[w] != shard.slot_staged[w]) {
         // Ack point: this shard runs no further callbacks for this slot's
         // epoch (every callback site re-checks the state first).
-        shard.slot_sealed[w] = slot.epoch;
+        shard.slot_sealed[w] = shard.slot_staged[w];
         if (slot.seal_acks.fetch_add(1, std::memory_order_acq_rel) + 1 == shards_.size()) {
           slot.state.store(kSlotDone, std::memory_order_release);
           coordinator_bell_.notify();
@@ -1376,14 +1485,14 @@ class ShardedImpl final : public Engine::Impl {
       }
     }
 
-    const auto etag = static_cast<std::int32_t>(slot.epoch);
+    const std::int32_t etag = slot.tag;
     LocalFifo& fifo = fifo_[v];
     Envelope envelope;
     std::size_t received = 0;
     while (received < kMaxStepReceives && fifo.pop(envelope)) {
       progress = true;
       ++received;
-      if (envelope.epoch() == etag) {
+      if (envelope.tag() == etag) {
         slot.protocol->on_receive(*slot.context, me, envelope.msg);
       }
     }
@@ -1500,7 +1609,13 @@ class ShardedImpl final : public Engine::Impl {
 
   Rank num_procs_;
   const std::vector<char>& failed_;
+  /// Current persistent dead set: failed_ plus repair-mode crashes minus
+  /// revivals (== failed_ when repair is off). Written only between epochs
+  /// (set_membership), read freely by workers — the epoch barrier publishes
+  /// the writes. One-shot path only; streams track stream_dead_ instead.
+  std::vector<char> dead_;
   Rank live_count_;
+  const bool repair_;
 
   std::size_t chunk_ = 1;        // ranks per shard; shard(r) = r / chunk_
   std::uint64_t chunk_mul_ = 0;  // ceil(2^64 / chunk_); 0 when chunk_ == 1
@@ -1532,6 +1647,8 @@ class ShardedImpl final : public Engine::Impl {
 
   sim::Protocol* protocol_ = nullptr;
   std::int64_t epoch_ = 0;
+  std::int32_t generation_ = 0;
+  std::int32_t tag_ = 0;  ///< Envelope::make_tag(epoch_, generation_)
   std::int64_t timeout_ns_ = 0;
   Clock::time_point epoch_start_{};
   std::atomic<bool> started_{false};
@@ -1549,6 +1666,18 @@ class ShardedImpl final : public Engine::Impl {
   std::deque<StreamSlot> slots_;  // deque: slots hold atomics, must not move
   std::atomic<bool> stream_done_{false};
   Doorbell coordinator_bell_;
+
+  /// Stream-side membership (repair mode, coordinator-owned — workers only
+  /// ever read the per-slot pre-marks published by the kActive release).
+  struct StreamDown {
+    Rank rank;
+    std::int64_t revive_at_ns;  ///< absolute stream time the revive is due
+  };
+  std::vector<char> stream_dead_;
+  std::vector<StreamDown> stream_down_;
+  std::int32_t stream_generation_ = 0;
+  std::int64_t stream_repairs_ = 0;
+  bool stream_membership_dirty_ = false;
 
   Context context_;
   std::barrier<> epoch_barrier_;  // shards + coordinator, twice per epoch
@@ -1663,6 +1792,7 @@ StreamResult ShardedImpl::run_stream(const ProtocolFactory& factory,
 
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
+  result.repairs = stream_repairs_;
   epoch_ = base_epoch + options.epochs - 1;
 
   stream_done_.store(true, std::memory_order_release);

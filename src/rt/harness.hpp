@@ -32,10 +32,25 @@ struct HarnessResult {
   /// degradation report (crashed ranks, uncolored survivors, gaps) without
   /// re-running; meaningful only when epochs_degraded > 0.
   EpochResult first_degraded;
+  /// Last degraded epoch of the run, kept whole alongside the first:
+  /// recovery runs show both the injury and the final state before
+  /// convergence. Equals first_degraded when only one epoch degraded;
+  /// meaningful only when epochs_degraded > 0.
+  EpochResult last_degraded;
   /// First measured epoch, kept whole (degraded or not). exp::run reads its
   /// crashed_ranks / uncolored_survivors so one RunSpec execution yields the
   /// same per-rank detail the simulator's keep_per_rank_detail run does.
   EpochResult first;
+
+  // --- recovery aggregates (measure_recovery only; zeros elsewhere) ---
+  std::int64_t repairs = 0;          ///< effective membership rebuilds
+  std::int64_t rejoins = 0;          ///< revived ranks that rejoined
+  std::int64_t replayed_epochs = 0;  ///< missed epochs caught up via the replay log
+  std::int64_t state_transfers = 0;  ///< rejoins whose outage outran the log
+  /// Epochs between the last injected fault (crash or rejoin) and the last
+  /// degraded epoch — the convergence-k of DESIGN.md §4i. 0 = the service
+  /// was already clean when the fault stream went quiet.
+  std::int64_t epochs_to_converge = 0;
 
   /// Percentile over clean (non-timed-out) iteration latencies. Single
   /// empty-sample policy for every accessor below: when *every* iteration
@@ -66,12 +81,44 @@ struct HarnessOptions {
   std::int64_t warmup = 3;
   std::int64_t iterations = 20;
   std::chrono::nanoseconds epoch_timeout = std::chrono::seconds(10);
+  /// measure_recovery only: epochs the sender-side replay log retains. A
+  /// rejoin whose outage fits the log replays the missed epochs; a longer
+  /// outage falls back to a fresh-epoch state transfer (DESIGN.md §4i).
+  std::size_t replay_log_capacity = 64;
 };
 
 /// Runs `options.iterations` measured epochs (after warmup) of protocols
 /// built by `factory` on `engine`.
 HarnessResult measure_broadcast(Engine& engine, const ProtocolFactory& factory,
                                 const HarnessOptions& options = {});
+
+// --- Recovery harness (PR9) -------------------------------------------------
+
+/// Builds a fresh protocol instance sized to the *live* membership. The
+/// factory receives the engine's current MembershipView each epoch; when the
+/// view is compacted (num_live < num_global) the harness wraps the returned
+/// protocol in a RemappedProtocol so it runs over dense ranks [0, num_live)
+/// while the engine keeps addressing stable global ranks.
+using MembershipProtocolFactory =
+    std::function<std::unique_ptr<sim::Protocol>(const MembershipView& view)>;
+
+/// Self-healing variant of measure_broadcast for engines constructed with
+/// EngineOptions::repair. At every epoch boundary the harness consumes the
+/// previous epoch's degradation report, schedules revivals from the engine's
+/// ChaosPlan (revive_after_ns keyed by the epoch index the crash was
+/// detected in), and calls Engine::repair_membership so the next epoch runs
+/// over survivors only. Rejoins are served from a bounded sender-side replay
+/// log when it still covers the outage, and counted as state transfers
+/// otherwise; the log is truncated at quiescence (no rank down or pending).
+/// Recovery counters (repairs / rejoins / replayed_epochs / state_transfers)
+/// span the whole run including warmup — a recovery soak's faults don't
+/// pause for the measurement window — while latency aggregates keep the
+/// usual measured-only semantics. epochs_to_converge is the convergence-k:
+/// epochs between the last injected fault (crash or rejoin) and the last
+/// degraded epoch.
+HarnessResult measure_recovery(Engine& engine,
+                               const MembershipProtocolFactory& factory,
+                               const HarnessOptions& options = {});
 
 // --- Streaming harness (PR8) -----------------------------------------------
 
@@ -92,6 +139,14 @@ struct StreamHarnessResult {
   std::int64_t total_messages = 0;
   std::int64_t deliveries = 0;  ///< colored live ranks, summed over epochs
   double wall_seconds = 0.0;
+
+  // --- recovery aggregates (repair-mode streams only; zeros otherwise) ---
+  std::int64_t repairs = 0;          ///< membership-generation bumps
+  std::int64_t rejoins = 0;          ///< revived ranks readmitted at a boundary
+  std::int64_t state_transfers = 0;  ///< stream rejoins are always fresh-epoch
+  /// Convergence-k over the admission-ordered epoch sequence: epochs between
+  /// the last fault epoch (crash or rejoin) and the last degraded epoch.
+  std::int64_t epochs_to_converge = 0;
 
   double clean_percentile_us(double q) const {
     return sojourn_us.empty() ? 0.0 : sojourn_us.percentile(q);

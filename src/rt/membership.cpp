@@ -1,0 +1,78 @@
+#include "rt/membership.hpp"
+
+#include <stdexcept>
+
+namespace ct::rt {
+
+MembershipView MembershipView::identity(topo::Rank num_global) {
+  MembershipView view;
+  view.num_global_ = num_global;
+  view.num_live_ = num_global;
+  view.generation_ = 0;
+  view.identity_ = true;
+  return view;
+}
+
+MembershipView MembershipView::over_survivors(const std::vector<char>& dead,
+                                              std::int32_t generation) {
+  const auto num_global = static_cast<topo::Rank>(dead.size());
+  MembershipView view;
+  view.num_global_ = num_global;
+  view.generation_ = generation;
+
+  topo::Rank live = 0;
+  for (const char d : dead) live += !d;
+  view.num_live_ = live;
+  if (live == num_global) {
+    // Everybody survived (or everybody revived): keep the identity fast
+    // path so callers can skip the remap wrapper entirely.
+    view.identity_ = true;
+    return view;
+  }
+
+  view.identity_ = false;
+  view.live_.reserve(static_cast<std::size_t>(live));
+  view.dense_.assign(static_cast<std::size_t>(num_global), topo::kNoRank);
+  for (topo::Rank g = 0; g < num_global; ++g) {
+    if (dead[static_cast<std::size_t>(g)]) continue;
+    view.dense_[static_cast<std::size_t>(g)] =
+        static_cast<topo::Rank>(view.live_.size());
+    view.live_.push_back(g);
+  }
+  return view;
+}
+
+void ReplayLog::append(std::int64_t epoch, std::int64_t payload) {
+  if (capacity_ == 0) return;
+  if (!records_.empty() && epoch <= records_.back().epoch) {
+    throw std::invalid_argument("ReplayLog: epochs must be appended in order");
+  }
+  if (records_.size() == capacity_) records_.pop_front();
+  records_.push_back(Record{epoch, payload});
+}
+
+bool ReplayLog::covers(std::int64_t epoch) const {
+  return !records_.empty() && epoch >= records_.front().epoch &&
+         epoch <= records_.back().epoch;
+}
+
+std::int64_t ReplayLog::payload_of(std::int64_t epoch) const {
+  if (!covers(epoch)) {
+    throw std::out_of_range("ReplayLog: epoch not covered");
+  }
+  // Appends are in epoch order but not necessarily contiguous (timed-out
+  // epochs are skipped), so scan; the log is small and this path only runs
+  // at a rejoin boundary.
+  for (const Record& rec : records_) {
+    if (rec.epoch == epoch) return rec.payload;
+  }
+  throw std::out_of_range("ReplayLog: epoch missing from covered range");
+}
+
+void ReplayLog::truncate_below(std::int64_t epoch) {
+  while (!records_.empty() && records_.front().epoch < epoch) {
+    records_.pop_front();
+  }
+}
+
+}  // namespace ct::rt

@@ -80,4 +80,14 @@ Tree make_tree(const TreeSpec& spec, Rank num_procs) {
   throw std::logic_error("unreachable tree kind");
 }
 
+Tree make_survivor_tree(const TreeSpec& spec, Rank live) {
+  if (live < 1) {
+    throw std::invalid_argument("make_survivor_tree: no surviving ranks");
+  }
+  // Structure depends only on the live count: the builders are all
+  // rank-count parameterised, so a repaired tree is exactly the tree the
+  // family would have produced for a fresh job of `live` ranks.
+  return make_tree(spec, live);
+}
+
 }  // namespace ct::topo

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "experiment/run_spec.hpp"
+#include "protocol/allreduce.hpp"
 #include "protocol/tree_broadcast.hpp"
 #include "rt/engine.hpp"
 #include "sim/simulator.hpp"
@@ -346,6 +347,154 @@ TEST(ChaosEngine, DelayAndDuplicateAccounting) {
   }
   EXPECT_GT(delayed, 0);
   EXPECT_GT(duplicated, 0);
+}
+
+// --- survivor agreement (PR9): allreduce under mid-epoch kills --------------
+// The recovery suite's correctness anchor: whatever subset of contributions
+// a killed gather loses, every *survivor* must end the epoch holding one
+// and the same reduction value. Sim asserts value-level agreement from the
+// per-rank detail (rank_data); the runtime asserts it through the coloring
+// contract (colored ⇔ holds the result broadcast) plus the root's result,
+// which is deterministic under rt because kill= victims die before their
+// first step and so contribute nothing.
+
+std::string allreduce_cell(Rank procs, const std::vector<Rank>& victims) {
+  std::string spec = "allreduce:binomial:checked:overlapped@P=" + std::to_string(procs);
+  spec += ",kill=";
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    if (i) spec += '+';
+    spec += std::to_string(victims[i]);
+  }
+  spec += ",reps=1,warmup=0";
+  return spec;
+}
+
+TEST(SurvivorAgreement, SimSurvivorsHoldOneReductionValueUnderMidGatherKills) {
+  const Rank procs = 24;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  sim::LogP params;
+  params.P = procs;
+  std::vector<std::int64_t> values(static_cast<std::size_t>(procs));
+  for (Rank r = 0; r < procs; ++r) values[static_cast<std::size_t>(r)] = r % 97;
+
+  support::Xoshiro256ss rng(0xA11Du);
+  for (int scenario = 0; scenario < 4; ++scenario) {
+    std::vector<Rank> victims = pick_victims(procs, 2, rng);
+    if (scenario % 2 == 0) victims.back() = procs - 1;  // lose the max holder
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    SCOPED_TRACE(allreduce_cell(procs, victims));
+
+    sim::FaultSet faults = sim::FaultSet::none(procs);
+    for (const Rank v : victims) faults.kill_at(v, 1);
+    proto::AllReduceConfig config;
+    config.reduce.distance = 4;  // gather guarantee needs failures <= distance
+    config.correction = make_correction(proto::CorrectionKind::kChecked);
+    proto::CorrectedAllReduce protocol(tree, params, values, config);
+    sim::Simulator simulator(params, &faults);
+    sim::RunOptions options;
+    options.keep_per_rank_detail = true;
+    const sim::RunResult result = simulator.run(protocol, options);
+
+    ASSERT_TRUE(protocol.reduction_done());
+    std::int64_t survivors_checked = 0;
+    for (Rank r = 0; r < procs; ++r) {
+      if (!faults.always_alive(r)) continue;
+      ASSERT_NE(result.colored_at[static_cast<std::size_t>(r)], sim::kTimeNever)
+          << "survivor " << r << " never received the result";
+      EXPECT_EQ(result.rank_data[static_cast<std::size_t>(r)], protocol.result())
+          << "survivor " << r << " disagrees with the root";
+      ++survivors_checked;
+    }
+    EXPECT_EQ(survivors_checked,
+              procs - static_cast<Rank>(victims.size()));
+  }
+}
+
+TEST(SurvivorAgreement, RtSurvivorsAgreeOnTheSurvivorOnlyReduction) {
+  const Rank procs = 24;
+  const topo::Tree tree = topo::make_binomial_interleaved(procs);
+  sim::LogP params;
+  params.P = procs;
+  // The gather forwards on LogP-timetable deadlines; under wall clock a
+  // tick is a microsecond, so widen the timetable to give live partials
+  // real slack. The value-exact assertion still has to stay one-sided
+  // (result <= survivor max): a slow live contribution can legitimately
+  // miss its parent's deadline on a loaded machine, which is the paper's
+  // deadline-driven semantics, not a bug. Sim pins exact agreement above.
+  params.L = 200;
+  params.o = 50;
+  params.g = 50;
+  std::vector<std::int64_t> values(static_cast<std::size_t>(procs));
+  for (Rank r = 0; r < procs; ++r) values[static_cast<std::size_t>(r)] = r % 97;
+
+  support::Xoshiro256ss rng(0xA22Du);
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    std::vector<Rank> victims = pick_victims(procs, 2, rng);
+    victims.back() = procs - 1;  // always lose the max contribution
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    SCOPED_TRACE(allreduce_cell(procs, victims));
+
+    // kill= victims die before their first step, so nothing they hold can
+    // enter the reduction: the agreed value is bounded by the survivor max.
+    std::int64_t expected = 0;
+    for (Rank r = 0; r < procs; ++r) {
+      if (std::find(victims.begin(), victims.end(), r) == victims.end()) {
+        expected = std::max(expected, values[static_cast<std::size_t>(r)]);
+      }
+    }
+    ASSERT_LT(expected, procs - 1);  // the lost max is really observable
+
+    for (const Threading threading :
+         {Threading::kSharded, Threading::kThreadPerRank}) {
+      SCOPED_TRACE(threading == Threading::kSharded ? "sharded" : "tpr");
+      EngineOptions options;
+      options.threading = threading;
+      if (threading == Threading::kSharded) options.workers = 4;
+      Engine engine(procs, std::vector<char>(static_cast<std::size_t>(procs), 0),
+                    options);
+      ChaosPlan plan;
+      for (const Rank v : victims) plan.kill_at_ns(v, 0);
+      engine.set_chaos(std::move(plan));
+
+      proto::AllReduceConfig config;
+      config.reduce.distance = 4;  // gather guarantee needs failures <= distance
+      config.correction = make_correction(proto::CorrectionKind::kChecked);
+      proto::CorrectedAllReduce protocol(tree, params, values, config);
+      const EpochResult result = engine.run_epoch(protocol, std::chrono::seconds(60));
+      ASSERT_FALSE(result.timed_out);
+      // Every survivor colored = every survivor holds the result broadcast,
+      // i.e. all survivors agree on one reduction value.
+      EXPECT_EQ(result.uncolored_live, 0);
+      EXPECT_EQ(result.crashed_ranks, victims);
+      EXPECT_TRUE(protocol.reduction_done());
+      EXPECT_GE(protocol.result(), 0);
+      EXPECT_LE(protocol.result(), expected);  // dead values never resurrect
+    }
+  }
+}
+
+TEST(SurvivorAgreement, SpecDrivenAllreduceCellsAgreeAcrossSubstrates) {
+  // The same allreduce cell under exec=sim and both rt executors: identical
+  // survivor-coloring outcome, nobody left without the result.
+  const Rank procs = 24;
+  support::Xoshiro256ss rng(0xA33Du);
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    const std::vector<Rank> victims = pick_victims(procs, 1 + scenario, rng);
+    const std::string cell = allreduce_cell(procs, victims);
+    SCOPED_TRACE(cell);
+    const exp::RunRecord expected = run_cell(cell, "exec=sim");
+    EXPECT_TRUE(expected.uncolored_survivors.empty());  // checked reaches all
+    EXPECT_EQ(expected.incomplete, 0);
+    for (const char* executor : {"exec=rt-sharded:w=4", "exec=rt-tpr"}) {
+      const exp::RunRecord actual = run_cell(cell, executor);
+      EXPECT_EQ(actual.uncolored_survivors, expected.uncolored_survivors);
+      EXPECT_EQ(actual.crashed_ranks, victims);
+      EXPECT_EQ(actual.incomplete, 0);
+      EXPECT_EQ(actual.timeouts, 0);
+    }
+  }
 }
 
 TEST(ChaosEngine, DisabledPlanLeavesResultsCleanAndDeterministic) {

@@ -31,7 +31,7 @@ using topo::Rank;
 Envelope make_envelope(std::int64_t payload) {
   return Envelope{
       sim::Message{.src = 0, .dst = 1, .tag = sim::tag::kTree, .payload = payload},
-      /*epoch=*/1};
+      /*tag=*/Envelope::make_tag(/*epoch=*/1, /*generation=*/0)};
 }
 
 proto::CorrectionConfig make_correction(proto::CorrectionKind kind) {

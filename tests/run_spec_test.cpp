@@ -168,6 +168,31 @@ TEST(RunSpecRoundTrip, ReduceDistance) {
   expect_roundtrip(spec);
 }
 
+TEST(RunSpecRoundTrip, RepairAndReviveAxes) {
+  // PR9 self-healing axes: repair alone, repair + a revive schedule, and
+  // the fixed-outage variant, on both rt executors.
+  for (const Executor e : {Executor::kRtSharded, Executor::kRtThreadPerRank}) {
+    RunSpec spec = base_spec();
+    spec.executor = e;
+    spec.faults.repair = true;
+    expect_roundtrip(spec);
+    spec.faults.chaos_seed = 0xBEEF;
+    spec.faults.crash_fraction = 0.02;
+    spec.faults.revive_fraction = 0.5;
+    expect_roundtrip(spec);
+    spec.faults.revive_fraction = 1.0;
+    spec.faults.revive_after_us = 1500;
+    expect_roundtrip(spec);
+  }
+  // kill= as the crash source works too.
+  RunSpec spec = base_spec();
+  spec.executor = Executor::kRtSharded;
+  spec.faults.kill = {3, 9};
+  spec.faults.repair = true;
+  spec.faults.revive_fraction = 1.0;
+  expect_roundtrip(spec);
+}
+
 TEST(RunSpecParse, AcceptsConveniences) {
   // Percent fractions, key order, aliases.
   const RunSpec a = parse_run_spec("bcast:binomial:checked:overlapped@P=256,f=2%");
@@ -244,6 +269,27 @@ TEST(RunSpecParse, RejectsInconsistentAxes) {
                   "reduce/allreduce");
   expect_rejected("bcast:binomial:checked:overlapped@P=8,proto=gossip,gap=4",
                   "tree protocol");
+  // PR9 self-healing axes: repair is a wall-clock (rt) concept, and the
+  // revive knobs form a dependency chain repair=1 -> revive-frac ->
+  // revive-after-us with a crash source required to ever fire.
+  expect_rejected("bcast:binomial:checked:overlapped@P=8,repair=1",
+                  "exec=rt-sharded");
+  expect_rejected(
+      "bcast:binomial:checked:overlapped@P=8,revive-frac=1,crash-frac=2%,"
+      "exec=rt-sharded",
+      "repair=1");
+  expect_rejected(
+      "bcast:binomial:checked:overlapped@P=8,repair=1,revive-frac=1.5,"
+      "crash-frac=2%,exec=rt-sharded",
+      "revive-frac");
+  expect_rejected(
+      "bcast:binomial:checked:overlapped@P=8,repair=1,revive-frac=1,"
+      "exec=rt-sharded",
+      "crash source");
+  expect_rejected(
+      "bcast:binomial:checked:overlapped@P=8,repair=1,revive-after-us=100,"
+      "crash-frac=2%,exec=rt-sharded",
+      "revive-frac > 0");
 }
 
 // --- JSON writer ---------------------------------------------------------
@@ -367,6 +413,24 @@ TEST(SpecSmoke, RtAllreduce) {
       "reps=2,warmup=1,exec=rt-sharded:w=4"));
   EXPECT_EQ(record.incomplete, 0);
   EXPECT_EQ(record.timeouts, 0);
+}
+
+TEST(SpecSmoke, RtRepairRecoveryCell) {
+  // The PR9 recovery path end-to-end through the spec layer: persistent
+  // crashes, boundary repair, immediate revive. kill= overrides fire at
+  // ns 0 of every epoch (crash-frac would be timing-dependent: a fast
+  // epoch can retire before its scheduled crash instant), so each epoch
+  // deterministically kills the victims, repairs at the boundary, and
+  // readmits them — the run ends converged.
+  const RunRecord record = run(parse_run_spec(
+      "bcast:binomial:checked:overlapped@P=96,kill=5+9,repair=1,"
+      "revive-frac=1,reps=6,warmup=1,exec=rt-sharded:w=4"));
+  EXPECT_EQ(record.runs, 6);
+  EXPECT_EQ(record.timeouts, 0);
+  EXPECT_GT(record.ranks_crashed, 0);
+  EXPECT_GT(record.repairs, 0);
+  EXPECT_GT(record.rejoins, 0);
+  EXPECT_LE(record.epochs_to_converge, 3);
 }
 
 TEST(SpecSmoke, MetricKeysIdenticalAcrossExecutors) {

@@ -240,7 +240,32 @@ std::vector<SpecSection> spec_sections(bool smoke) {
                                "8192,reps=64,window=8,rate=5000,exec=sim");
   }
 
-  return {sweep, rt, chaos, stream, sim_stream};
+  // Recovery matrix (PR9 tentpole): persistent 2 % crashes under repair=1 —
+  // every epoch boundary rebuilds the tree over the survivors — alone and
+  // with an immediate-revive schedule (revive-frac=1), checked correction.
+  // The headline number per cell is epochs_to_converge (the k of the
+  // "k epochs after the last fault" acceptance bound) in the appended
+  // recovery keys of each JSON row; see EXPERIMENTS.md, BENCH_PR9.
+  SpecSection recovery{"rt_recovery", {}};
+  if (smoke) {
+    recovery.specs.push_back("bcast:binomial:checked:overlapped@P=256" + chaos_seed +
+                             ",crash-frac=0.02,repair=1,revive-frac=1,reps=2,"
+                             "warmup=1,deadline-ms=2000,exec=rt-sharded");
+  } else {
+    for (topo::Rank procs : {1024, 16384}) {
+      const bool big = procs > 4096;
+      const std::string run_scale = ",reps=" + n(big ? 3 : 9) +
+                                    ",warmup=" + n(big ? 1 : 2) +
+                                    ",deadline-ms=" + n(big ? 30000 : 2000) +
+                                    ",exec=rt-sharded";
+      const std::string head = "bcast:binomial:checked:overlapped@P=" + n(procs) +
+                               chaos_seed + ",crash-frac=0.02,repair=1";
+      recovery.specs.push_back(head + run_scale);
+      recovery.specs.push_back(head + ",revive-frac=1" + run_scale);
+    }
+  }
+
+  return {sweep, rt, chaos, stream, sim_stream, recovery};
 }
 
 /// The process-sharded sweep cell (DESIGN.md §4g): the headline sweep cell
